@@ -1,0 +1,86 @@
+//===- bench/bench_ablation.cpp - Design-choice ablations ------------------===//
+//
+// Part of the Usher project, reproducing "Accelerating Dynamic Detection of
+// Uses of Undefined Values with Static Value-Flow Analysis" (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Ablations for the design choices the paper calls out:
+///  - semi-strong updates on/off (Section 3.2's novel update flavor);
+///  - context sensitivity k = 0 / 1 / 2 in definedness resolution
+///    (Section 3.3; the paper configures k = 1);
+///  - field sensitivity on/off and heap cloning on/off in the pointer
+///    analysis (Section 4.1 / 5.4).
+///
+/// Reported as the full-Usher average slowdown over the suite (lower is
+/// better; soundness is unaffected by construction).
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+using namespace usher;
+using namespace usher::bench;
+
+namespace {
+
+double averageSlowdown(const core::UsherOptions &Base) {
+  double Sum = 0;
+  for (const auto &B : workload::spec2000Suite()) {
+    RunResult R = runBenchmark(B, transforms::OptPreset::O0IM,
+                               core::ToolVariant::UsherFull, Base);
+    Sum += R.Report.slowdownPercent();
+  }
+  return Sum / workload::spec2000Suite().size();
+}
+
+} // namespace
+
+int main() {
+  std::printf("Ablations: average USHER slowdown (%%) over the suite, "
+              "O0+IM\n\n");
+
+  core::UsherOptions Default;
+  double Baseline = averageSlowdown(Default);
+  std::printf("%-44s %7.1f%%\n", "baseline (paper configuration)", Baseline);
+
+  {
+    core::UsherOptions O;
+    O.Vfg.SemiStrongUpdates = false;
+    std::printf("%-44s %7.1f%%\n", "without semi-strong updates",
+                averageSlowdown(O));
+  }
+  {
+    core::UsherOptions O;
+    O.Vfg.SemiStrongUpdates = false;
+    O.Vfg.StrongUpdates = false;
+    std::printf("%-44s %7.1f%%\n", "without any strong updates",
+                averageSlowdown(O));
+  }
+  {
+    core::UsherOptions O;
+    O.ContextK = 0;
+    std::printf("%-44s %7.1f%%\n", "context-insensitive resolution (k=0)",
+                averageSlowdown(O));
+  }
+  {
+    core::UsherOptions O;
+    O.ContextK = 2;
+    std::printf("%-44s %7.1f%%\n", "2-callsite-sensitive resolution (k=2)",
+                averageSlowdown(O));
+  }
+  {
+    core::UsherOptions O;
+    O.Pta.FieldSensitive = false;
+    std::printf("%-44s %7.1f%%\n", "field-insensitive pointer analysis",
+                averageSlowdown(O));
+  }
+  {
+    core::UsherOptions O;
+    O.Pta.HeapCloning = false;
+    std::printf("%-44s %7.1f%%\n", "without heap cloning",
+                averageSlowdown(O));
+  }
+  return 0;
+}

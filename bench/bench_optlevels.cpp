@@ -1,0 +1,70 @@
+//===- bench/bench_optlevels.cpp - Reproduces Section 4.6 ------------------===//
+//
+// Part of the Usher project, reproducing "Accelerating Dynamic Detection of
+// Uses of Undefined Values with Static Value-Flow Analysis" (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Regenerates the Section 4.6 experiment: MSan vs full Usher under the
+/// O0+IM, O1 and O2 pipelines. The paper's observation to reproduce:
+/// higher optimization levels shrink both tools' slowdowns, and Usher's
+/// *relative* reduction over MSan narrows versus O0+IM.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+using namespace usher;
+using namespace usher::bench;
+
+int main() {
+  std::printf("Section 4.6: slowdown (%%) by optimization level\n");
+  std::printf("%-12s | %8s %8s | %8s %8s | %8s %8s\n", "", "O0+IM", "",
+              "O1", "", "O2", "");
+  std::printf("%-12s | %8s %8s | %8s %8s | %8s %8s\n", "Benchmark", "MSAN",
+              "USHER", "MSAN", "USHER", "MSAN", "USHER");
+
+  const transforms::OptPreset Presets[] = {transforms::OptPreset::O0IM,
+                                           transforms::OptPreset::O1,
+                                           transforms::OptPreset::O2};
+  double Sums[3][2] = {};
+  for (const auto &B : workload::spec2000Suite()) {
+    std::printf("%-12s |", B.Name.c_str());
+    for (unsigned P = 0; P != 3; ++P) {
+      double MSan =
+          runBenchmark(B, Presets[P], core::ToolVariant::MSanFull)
+              .Report.slowdownPercent();
+      double Usher =
+          runBenchmark(B, Presets[P], core::ToolVariant::UsherFull)
+              .Report.slowdownPercent();
+      Sums[P][0] += MSan;
+      Sums[P][1] += Usher;
+      std::printf(" %7.0f%% %7.0f%% %s", MSan, Usher, P == 2 ? "" : "|");
+    }
+    std::printf("\n");
+  }
+
+  const double N = workload::spec2000Suite().size();
+  std::printf("%-12s |", "average");
+  for (unsigned P = 0; P != 3; ++P)
+    std::printf(" %7.0f%% %7.0f%% %s", Sums[P][0] / N, Sums[P][1] / N,
+                P == 2 ? "" : "|");
+  std::printf("\n(paper averages: O0+IM 302/123, O1 231/140, O2 212/132)\n");
+
+  for (unsigned P = 0; P != 3; ++P) {
+    double Reduction = 100.0 * (1.0 - (Sums[P][1] / Sums[P][0]));
+    std::printf("overhead reduction at %s: %.1f%%%s\n",
+                transforms::optPresetName(Presets[P]), Reduction,
+                P == 0 ? " (paper: 59.3%)"
+                       : (P == 1 ? " (paper: 39.4%)" : " (paper: 37.7%)"));
+  }
+
+  std::printf("\nNote: the paper's absolute narrowing at O1/O2 stems from "
+              "re-optimizing C code that\ncarries heavy frontend "
+              "redundancy; the hand-written TinyC benchmarks are already\n"
+              "minimal, so the presets change little here (see "
+              "EXPERIMENTS.md). What does\nreproduce is the invariance of "
+              "detection and Usher's win at every level.\n");
+  return 0;
+}

@@ -1,0 +1,121 @@
+//===- bench/bench_phases.cpp - Analysis phase microbenchmarks -------------===//
+//
+// Part of the Usher project, reproducing "Accelerating Dynamic Detection of
+// Uses of Undefined Values with Static Value-Flow Analysis" (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// google-benchmark timings of the pipeline phases (the decomposition of
+/// Table 1's Time column) on generated programs of growing size, plus the
+/// whole pipeline on the largest suite programs. Demonstrates that the
+/// analysis stays "reasonably lightweight" (Section 4.4).
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/CallGraph.h"
+#include "analysis/ModRef.h"
+#include "analysis/PointerAnalysis.h"
+#include "core/Definedness.h"
+#include "core/Instrumentation.h"
+#include "core/Usher.h"
+#include "ssa/MemorySSA.h"
+#include "vfg/VFG.h"
+#include "workload/Generator.h"
+#include "workload/Spec2000.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace usher;
+
+namespace {
+
+workload::GeneratorOptions scaled(unsigned Functions) {
+  workload::GeneratorOptions Opts;
+  Opts.NumFunctions = Functions;
+  Opts.MaxSegmentsPerFn = 8;
+  return Opts;
+}
+
+void BM_PointerAnalysis(benchmark::State &State) {
+  for (auto _ : State) {
+    State.PauseTiming();
+    auto M = workload::generateProgram(1, scaled(State.range(0)));
+    analysis::CallGraph CG(*M);
+    State.ResumeTiming();
+    analysis::PointerAnalysis PA(*M, CG);
+    benchmark::DoNotOptimize(PA.numLocations());
+  }
+}
+BENCHMARK(BM_PointerAnalysis)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_MemorySSA(benchmark::State &State) {
+  auto M = workload::generateProgram(2, scaled(State.range(0)));
+  analysis::CallGraph CG(*M);
+  analysis::PointerAnalysis PA(*M, CG);
+  analysis::ModRefAnalysis MR(*M, CG, PA);
+  for (auto _ : State) {
+    ssa::MemorySSA SSA(*M, PA, MR);
+    benchmark::DoNotOptimize(&SSA);
+  }
+}
+BENCHMARK(BM_MemorySSA)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_VFGBuild(benchmark::State &State) {
+  auto M = workload::generateProgram(3, scaled(State.range(0)));
+  analysis::CallGraph CG(*M);
+  analysis::PointerAnalysis PA(*M, CG);
+  analysis::ModRefAnalysis MR(*M, CG, PA);
+  ssa::MemorySSA SSA(*M, PA, MR);
+  for (auto _ : State) {
+    vfg::VFG G = vfg::VFGBuilder(*M, SSA, PA, CG).build();
+    benchmark::DoNotOptimize(G.numNodes());
+  }
+}
+BENCHMARK(BM_VFGBuild)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_DefinednessResolution(benchmark::State &State) {
+  auto M = workload::generateProgram(4, scaled(State.range(0)));
+  analysis::CallGraph CG(*M);
+  analysis::PointerAnalysis PA(*M, CG);
+  analysis::ModRefAnalysis MR(*M, CG, PA);
+  ssa::MemorySSA SSA(*M, PA, MR);
+  vfg::VFG G = vfg::VFGBuilder(*M, SSA, PA, CG).build();
+  for (auto _ : State) {
+    core::Definedness Gamma(G, core::DefinednessOptions());
+    benchmark::DoNotOptimize(Gamma.numUndefinedNodes());
+  }
+}
+BENCHMARK(BM_DefinednessResolution)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_GuidedInstrumentation(benchmark::State &State) {
+  auto M = workload::generateProgram(5, scaled(State.range(0)));
+  analysis::CallGraph CG(*M);
+  analysis::PointerAnalysis PA(*M, CG);
+  analysis::ModRefAnalysis MR(*M, CG, PA);
+  ssa::MemorySSA SSA(*M, PA, MR);
+  vfg::VFG G = vfg::VFGBuilder(*M, SSA, PA, CG).build();
+  core::Definedness Gamma(G, core::DefinednessOptions());
+  for (auto _ : State) {
+    core::InstrumentationPlanner Planner(*M, SSA, G, Gamma,
+                                         core::PlannerOptions());
+    core::InstrumentationPlan Plan = Planner.run();
+    benchmark::DoNotOptimize(Plan.countChecks());
+  }
+}
+BENCHMARK(BM_GuidedInstrumentation)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_WholePipelineOnSuite(benchmark::State &State) {
+  const auto &B = workload::spec2000Suite()[State.range(0)];
+  State.SetLabel(B.Name);
+  for (auto _ : State) {
+    auto M = workload::loadBenchmark(B);
+    core::UsherResult R = core::runUsher(*M, core::UsherOptions());
+    benchmark::DoNotOptimize(R.Plan.countChecks());
+  }
+}
+BENCHMARK(BM_WholePipelineOnSuite)->DenseRange(0, 14);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,85 @@
+//===- examples/build_with_api.cpp - Constructing IR programmatically ------===//
+//
+// Part of the Usher project, reproducing "Accelerating Dynamic Detection of
+// Uses of Undefined Values with Static Value-Flow Analysis" (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Builds a TinyC module with the IRBuilder API instead of the parser —
+/// the route an embedding compiler front-end would take — then runs the
+/// analysis pipeline, prints the textual form of the module, and executes
+/// it. The program built here is the paper's running TinyC example from
+/// Figure 5, extended with a main that exercises it.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Usher.h"
+#include "ir/IRBuilder.h"
+#include "ir/Verifier.h"
+#include "runtime/Interpreter.h"
+#include "support/RawStream.h"
+
+using namespace usher;
+using namespace usher::ir;
+
+int main() {
+  raw_ostream &OS = outs();
+  Module M;
+  IRBuilder B(M);
+
+  // def foo(q) { x := *q; if x goto l; t := 10; x := x*t; *q := x;
+  //              l: ret x; }   (Figure 5 of the paper)
+  Function *Foo = M.createFunction("foo");
+  Variable *Q = Foo->createVariable("q", /*IsParam=*/true);
+  Variable *X = Foo->createVariable("x");
+  Variable *T = Foo->createVariable("t");
+  BasicBlock *Entry = Foo->createBlock("entry");
+  BasicBlock *Then = Foo->createBlock("l");
+  BasicBlock *Fall = Foo->createBlock("fall");
+  B.setInsertPoint(Entry);
+  B.createLoad(X, Operand::var(Q));
+  B.createCondBr(Operand::var(X), Then, Fall);
+  B.setInsertPoint(Fall);
+  B.createCopy(T, Operand::constant(10));
+  B.createBinOp(X, BinOpcode::Mul, Operand::var(X), Operand::var(T));
+  B.createStore(Operand::var(Q), Operand::var(X));
+  B.createGoto(Then);
+  B.setInsertPoint(Then);
+  B.createRet(Operand::var(X));
+
+  // main: a := alloc_F b; *a := 4; r := foo(a); ret r.
+  Function *Main = M.createFunction("main");
+  Variable *A = Main->createVariable("a");
+  Variable *R = Main->createVariable("r");
+  BasicBlock *MainEntry = Main->createBlock("entry");
+  B.setInsertPoint(MainEntry);
+  B.createAlloc(A, Region::Heap, /*NumFields=*/1, /*Initialized=*/false,
+                /*IsArray=*/false, "b");
+  B.createStore(Operand::var(A), Operand::constant(4));
+  B.createCall(R, Foo, {Operand::var(A)});
+  B.createRet(Operand::var(R));
+
+  M.renumber();
+  verifyModuleOrAbort(M);
+
+  OS << "--- module built through the API ---\n";
+  M.print(OS);
+
+  core::UsherResult Result = core::runUsher(M, core::UsherOptions());
+  OS << "--- analysis ---\n";
+  OS << "VFG: " << Result.Stats.NumVFGNodes << " nodes, "
+     << Result.Stats.NumVFGEdges << " edges; checks kept: "
+     << Result.Stats.StaticChecks << "; shadow propagations kept: "
+     << Result.Stats.StaticPropagations << '\n';
+
+  runtime::ExecutionReport Rep =
+      runtime::Interpreter(M, &Result.Plan).run();
+  OS << "--- execution ---\n";
+  OS << "main returned " << Rep.MainResult << " with "
+     << Rep.ToolWarnings.size() << " warning(s), modeled slowdown "
+     << static_cast<int>(Rep.slowdownPercent()) << "%\n";
+  // *a := 4 defines the cell before foo reads it: a quiet, cheap run is
+  // the expected outcome.
+  return Rep.ToolWarnings.empty() ? 0 : 1;
+}

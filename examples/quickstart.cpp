@@ -1,0 +1,107 @@
+//===- examples/quickstart.cpp - Five-minute tour of the library -----------===//
+//
+// Part of the Usher project, reproducing "Accelerating Dynamic Detection of
+// Uses of Undefined Values with Static Value-Flow Analysis" (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The shortest useful end-to-end trip: parse a TinyC program containing a
+/// real uninitialized-read bug, instrument it two ways — full MSan-style
+/// instrumentation and Usher's guided instrumentation — execute both, and
+/// show that Usher reports the same bug at a fraction of the shadow work.
+///
+/// Build and run:
+///   cmake -B build -G Ninja && cmake --build build
+///   ./build/examples/quickstart
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Usher.h"
+#include "parser/Parser.h"
+#include "runtime/Interpreter.h"
+#include "support/RawStream.h"
+
+using namespace usher;
+
+// A C-like program with one bug: `limit` is only assigned when the
+// configuration flag is set, but the loop reads it unconditionally.
+static const char *Program = R"(
+  global config[1] init;       // zero-initialized: flag is off
+
+  func pick_limit(flag) {
+    if flag goto configured;
+    goto done;                  // BUG: limit stays undefined here
+  configured:
+    limit = 32;
+  done:
+    ret limit;
+  }
+
+  func main() {
+    pc = gep config, 0;
+    flag = *pc;
+    limit = pick_limit(flag);
+    i = 0;
+    total = 0;
+  loop:
+    c = i < limit;              // the undefined value decides a branch
+    if c goto body;
+    goto finish;
+  body:
+    total = total + i;
+    i = i + 1;
+    goto loop;
+  finish:
+    ret total;
+  }
+)";
+
+int main() {
+  raw_ostream &OS = outs();
+  auto M = parser::parseModuleOrAbort(Program);
+
+  // 1. Full instrumentation: the MSan baseline.
+  core::UsherOptions FullOpts;
+  FullOpts.Variant = core::ToolVariant::MSanFull;
+  core::UsherResult Full = core::runUsher(*M, FullOpts);
+
+  // 2. Guided instrumentation: the paper's contribution.
+  core::UsherOptions GuidedOpts;
+  GuidedOpts.Variant = core::ToolVariant::UsherFull;
+  core::UsherResult Guided = core::runUsher(*M, GuidedOpts);
+
+  OS << "static shadow propagations: MSan " << Full.Stats.StaticPropagations
+     << ", Usher " << Guided.Stats.StaticPropagations << '\n';
+  OS << "static runtime checks:      MSan " << Full.Stats.StaticChecks
+     << ", Usher " << Guided.Stats.StaticChecks << '\n';
+
+  // 3. Execute both and compare reports and modeled overhead.
+  runtime::ExecutionReport FullRep =
+      runtime::Interpreter(*M, &Full.Plan).run();
+  runtime::ExecutionReport GuidedRep =
+      runtime::Interpreter(*M, &Guided.Plan).run();
+
+  auto Describe = [&](const char *Tool,
+                      const runtime::ExecutionReport &Rep) {
+    OS << Tool << ": slowdown " << static_cast<int>(Rep.slowdownPercent())
+       << "%, warnings:\n";
+    for (const runtime::Warning &W : Rep.ToolWarnings) {
+      OS << "  use of undefined value at \"";
+      W.At->print(OS);
+      OS << "\" in " << W.At->getParent()->getParent()->getName() << " ("
+         << W.Occurrences << " occurrence(s))\n";
+    }
+  };
+  Describe("MSan ", FullRep);
+  Describe("Usher", GuidedRep);
+
+  bool SameBug = !GuidedRep.ToolWarnings.empty() &&
+                 !FullRep.ToolWarnings.empty();
+  OS << (SameBug ? "Usher found the same bug with "
+                 : "MISMATCH in bug reports; ")
+     << FullRep.DynShadowOps + FullRep.DynChecks << " vs "
+     << GuidedRep.DynShadowOps + GuidedRep.DynChecks
+     << " executed shadow operations.\n";
+  return SameBug ? 0 : 1;
+}

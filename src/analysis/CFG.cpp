@@ -1,0 +1,53 @@
+//===- analysis/CFG.cpp - Control-flow graph utilities --------------------===//
+//
+// Part of the Usher project, reproducing "Accelerating Dynamic Detection of
+// Uses of Undefined Values with Static Value-Flow Analysis" (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/CFG.h"
+
+#include "ir/IR.h"
+
+using namespace usher;
+using namespace usher::analysis;
+using ir::BasicBlock;
+using ir::Function;
+
+CFGInfo::CFGInfo(const Function &F) : F(F) {
+  const size_t N = F.blocks().size();
+  Succs.resize(N);
+  Preds.resize(N);
+  RPOIndex.assign(N, ~0u);
+
+  for (const auto &BB : F.blocks()) {
+    BB->getSuccessors(Succs[BB->getId()]);
+    for (BasicBlock *S : Succs[BB->getId()])
+      Preds[S->getId()].push_back(BB.get());
+  }
+
+  // Iterative post-order DFS from the entry, then reverse.
+  std::vector<char> Visited(N, 0);
+  std::vector<std::pair<BasicBlock *, size_t>> Stack;
+  BasicBlock *Entry = F.getEntry();
+  Visited[Entry->getId()] = 1;
+  Stack.push_back({Entry, 0});
+  std::vector<BasicBlock *> PostOrder;
+  while (!Stack.empty()) {
+    auto &[BB, NextSucc] = Stack.back();
+    const auto &SuccList = Succs[BB->getId()];
+    if (NextSucc < SuccList.size()) {
+      BasicBlock *S = SuccList[NextSucc++];
+      if (!Visited[S->getId()]) {
+        Visited[S->getId()] = 1;
+        Stack.push_back({S, 0});
+      }
+      continue;
+    }
+    PostOrder.push_back(BB);
+    Stack.pop_back();
+  }
+  RPO.assign(PostOrder.rbegin(), PostOrder.rend());
+  for (unsigned I = 0, E = static_cast<unsigned>(RPO.size()); I != E; ++I)
+    RPOIndex[RPO[I]->getId()] = I;
+}

@@ -1,0 +1,134 @@
+//===- analysis/CallGraph.cpp - Direct call graph --------------------------===//
+//
+// Part of the Usher project, reproducing "Accelerating Dynamic Detection of
+// Uses of Undefined Values with Static Value-Flow Analysis" (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/CallGraph.h"
+
+#include "ir/IR.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace usher;
+using namespace usher::analysis;
+using ir::CallInst;
+using ir::Function;
+using ir::Module;
+
+CallGraph::CallGraph(const Module &M) {
+  for (const auto &F : M.functions())
+    Info[F.get()]; // Ensure every function has an entry.
+
+  for (const auto &F : M.functions()) {
+    FnInfo &FI = Info[F.get()];
+    for (const auto &BB : F->blocks()) {
+      for (const auto &I : BB->instructions()) {
+        auto *Call = dyn_cast<CallInst>(I.get());
+        if (!Call)
+          continue;
+        FI.CallSites.push_back(Call);
+        Info[Call->getCallee()].Callers.push_back(Call);
+        auto &Callees = FI.Callees;
+        if (std::find(Callees.begin(), Callees.end(), Call->getCallee()) ==
+            Callees.end())
+          Callees.push_back(Call->getCallee());
+      }
+    }
+  }
+
+  // Tarjan's SCC algorithm, iterative. SCCs pop in reverse topological
+  // order (callees first), which is exactly the order mod/ref wants.
+  struct NodeState {
+    unsigned Index = ~0u;
+    unsigned LowLink = 0;
+    bool OnStack = false;
+  };
+  std::unordered_map<const Function *, NodeState> State;
+  std::vector<const Function *> Stack;
+  unsigned NextIndex = 0;
+
+  struct Frame {
+    const Function *F;
+    size_t NextCallee;
+  };
+
+  for (const auto &Root : M.functions()) {
+    if (State[Root.get()].Index != ~0u)
+      continue;
+    std::vector<Frame> DFS{{Root.get(), 0}};
+    State[Root.get()].Index = State[Root.get()].LowLink = NextIndex++;
+    State[Root.get()].OnStack = true;
+    Stack.push_back(Root.get());
+    while (!DFS.empty()) {
+      Frame &Top = DFS.back();
+      const auto &Callees = Info[Top.F].Callees;
+      if (Top.NextCallee < Callees.size()) {
+        const Function *Callee = Callees[Top.NextCallee++];
+        NodeState &CS = State[Callee];
+        if (CS.Index == ~0u) {
+          CS.Index = CS.LowLink = NextIndex++;
+          CS.OnStack = true;
+          Stack.push_back(Callee);
+          DFS.push_back({Callee, 0});
+        } else if (CS.OnStack) {
+          State[Top.F].LowLink = std::min(State[Top.F].LowLink, CS.Index);
+        }
+        continue;
+      }
+      // All callees processed: maybe pop an SCC, then propagate lowlink.
+      NodeState &TS = State[Top.F];
+      if (TS.LowLink == TS.Index) {
+        SCCs.emplace_back();
+        const Function *Member;
+        do {
+          Member = Stack.back();
+          Stack.pop_back();
+          State[Member].OnStack = false;
+          Info[Member].SCC = static_cast<unsigned>(SCCs.size() - 1);
+          SCCs.back().push_back(const_cast<Function *>(Member));
+        } while (Member != Top.F);
+      }
+      const Function *Done = Top.F;
+      DFS.pop_back();
+      if (!DFS.empty())
+        State[DFS.back().F].LowLink =
+            std::min(State[DFS.back().F].LowLink, State[Done].LowLink);
+    }
+  }
+
+  // A function is recursive if its SCC has >1 member or it calls itself.
+  for (const auto &F : M.functions()) {
+    FnInfo &FI = Info[F.get()];
+    FI.Recursive = SCCs[FI.SCC].size() > 1 ||
+                   std::find(FI.Callees.begin(), FI.Callees.end(), F.get()) !=
+                       FI.Callees.end();
+  }
+}
+
+const CallGraph::FnInfo &CallGraph::info(const Function *F) const {
+  auto It = Info.find(F);
+  assert(It != Info.end() && "function not in call graph");
+  return It->second;
+}
+
+const std::vector<CallInst *> &
+CallGraph::callSitesIn(const Function *F) const {
+  return info(F).CallSites;
+}
+
+const std::vector<CallInst *> &CallGraph::callersOf(const Function *F) const {
+  return info(F).Callers;
+}
+
+const std::vector<Function *> &CallGraph::calleesOf(const Function *F) const {
+  return info(F).Callees;
+}
+
+unsigned CallGraph::sccId(const Function *F) const { return info(F).SCC; }
+
+bool CallGraph::isRecursive(const Function *F) const {
+  return info(F).Recursive;
+}

@@ -1,0 +1,68 @@
+//===- analysis/ModRef.h - Interprocedural mod/ref --------------*- C++ -*-===//
+//
+// Part of the Usher project, reproducing "Accelerating Dynamic Detection of
+// Uses of Undefined Values with Static Value-Flow Analysis" (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Which memory locations each function may modify or read, transitively.
+/// MemorySSA uses this to place mu/chi annotations at call sites and to
+/// compute the virtual input/output parameters of Figure 4.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef USHER_ANALYSIS_MODREF_H
+#define USHER_ANALYSIS_MODREF_H
+
+#include "support/BitSet.h"
+
+#include <unordered_map>
+
+namespace usher {
+namespace ir {
+class CallInst;
+class Function;
+class Module;
+} // namespace ir
+
+namespace analysis {
+
+class CallGraph;
+class PointerAnalysis;
+
+/// Interprocedural may-mod / may-ref sets over PtLoc ids.
+class ModRefAnalysis {
+public:
+  ModRefAnalysis(const ir::Module &M, const CallGraph &CG,
+                 const PointerAnalysis &PA);
+
+  /// Locations \p F may write, including via callees and allocations.
+  const BitSet &mod(const ir::Function *F) const { return Info.at(F).Mod; }
+
+  /// Locations \p F may read, including via callees.
+  const BitSet &ref(const ir::Function *F) const { return Info.at(F).Ref; }
+
+  /// Mod set visible at one call site. For allocation-wrapper calls the
+  /// callee's cloned-away origin objects are replaced by this site's
+  /// clones; otherwise this is mod(callee).
+  BitSet modAt(const ir::CallInst *Call) const;
+
+  /// Ref set visible at one call site (with the same clone substitution).
+  BitSet refAt(const ir::CallInst *Call) const;
+
+private:
+  struct Sets {
+    BitSet Mod, Ref;
+  };
+
+  const ir::Module &M;
+  const CallGraph &CG;
+  const PointerAnalysis &PA;
+  std::unordered_map<const ir::Function *, Sets> Info;
+};
+
+} // namespace analysis
+} // namespace usher
+
+#endif // USHER_ANALYSIS_MODREF_H

@@ -1,0 +1,533 @@
+//===- analysis/PointerAnalysis.cpp - Andersen's analysis -----------------===//
+//
+// Part of the Usher project, reproducing "Accelerating Dynamic Detection of
+// Uses of Undefined Values with Static Value-Flow Analysis" (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/PointerAnalysis.h"
+
+#include "analysis/CallGraph.h"
+#include "ir/IR.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_set>
+
+using namespace usher;
+using namespace usher::analysis;
+using namespace usher::ir;
+
+const std::vector<MemObject *> PointerAnalysis::EmptyObjList;
+const std::vector<uint32_t> PointerAnalysis::EmptyPts;
+
+//===----------------------------------------------------------------------===//
+// Location numbering
+//===----------------------------------------------------------------------===//
+
+void PointerAnalysis::numberLocations() {
+  ObjLocBase.clear();
+  Locations.clear();
+  Collapsed.clear();
+  for (const auto &Obj : M.objects()) {
+    unsigned Tracked = 1;
+    if (Opts.FieldSensitive && !Obj->isArray())
+      Tracked = std::min(Obj->getNumFields(), Opts.MaxFieldsTracked);
+    assert(Obj->getId() == ObjLocBase.size() && "object ids not dense");
+    ObjLocBase.push_back({static_cast<unsigned>(Locations.size()), Tracked});
+    for (unsigned F = 0; F != Tracked; ++F) {
+      Locations.push_back({Obj.get(), F});
+      // The last tracked field is collapsed if it stands in for overflow
+      // fields; array locations always stand for all elements.
+      bool IsOverflow = (F + 1 == Tracked) && (Obj->getNumFields() > Tracked);
+      Collapsed.push_back(Obj->isArray() || !Opts.FieldSensitive
+                              ? Obj->getNumFields() > 1
+                              : IsOverflow);
+    }
+  }
+}
+
+unsigned PointerAnalysis::locId(const MemObject *Obj, unsigned Field) const {
+  auto [Base, Tracked] = ObjLocBase[Obj->getId()];
+  unsigned F = Field < Tracked ? Field : Tracked - 1;
+  return Base + F;
+}
+
+std::vector<unsigned> PointerAnalysis::locsOfObject(const MemObject *Obj) const {
+  auto [Base, Tracked] = ObjLocBase[Obj->getId()];
+  std::vector<unsigned> Result(Tracked);
+  for (unsigned F = 0; F != Tracked; ++F)
+    Result[F] = Base + F;
+  return Result;
+}
+
+//===----------------------------------------------------------------------===//
+// Allocation wrapper detection (for 1-callsite heap cloning)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Decides whether a function is an allocation wrapper in the sense of
+/// Section 4.1: its returned pointers are exactly its own fresh heap
+/// allocations (possibly mixed with integer constants on error paths), and
+/// those allocations neither escape nor get accessed inside the function.
+/// Under these conditions it is *precise and sound* to replace the callee's
+/// return-value flow by a per-call-site clone object.
+class WrapperChecker {
+public:
+  explicit WrapperChecker(const Function &F) : F(F) {}
+
+  /// Returns the heap objects to clone, or an empty vector if \p F is not
+  /// a wrapper.
+  std::vector<MemObject *> run();
+
+private:
+  const Function &F;
+};
+
+} // namespace
+
+std::vector<MemObject *> WrapperChecker::run() {
+  std::vector<MemObject *> HeapObjs;
+  // MayHoldAlloc: forward closure of heap-alloc defs through copies.
+  std::unordered_set<const Variable *> MayHoldAlloc;
+  bool Changed = true;
+  for (const auto &BB : F.blocks())
+    for (const auto &I : BB->instructions())
+      if (const auto *A = dyn_cast<AllocInst>(I.get()))
+        if (A->getObject()->isHeap()) {
+          HeapObjs.push_back(A->getObject());
+          MayHoldAlloc.insert(A->getDef());
+        }
+  if (HeapObjs.empty())
+    return {};
+  while (Changed) {
+    Changed = false;
+    for (const auto &BB : F.blocks())
+      for (const auto &I : BB->instructions())
+        if (const auto *C = dyn_cast<CopyInst>(I.get()))
+          if (C->getSrc().isVar() && MayHoldAlloc.count(C->getSrc().getVar()))
+            Changed |= MayHoldAlloc.insert(C->getDef()).second;
+  }
+
+  // Escape/access check: a variable that may hold a fresh allocation may
+  // only be copied, returned, or branched on.
+  for (const auto &BB : F.blocks()) {
+    for (const auto &I : BB->instructions()) {
+      std::vector<Variable *> Used;
+      I->collectUsedVars(Used);
+      bool UsesAlloc = false;
+      for (const Variable *V : Used)
+        UsesAlloc |= MayHoldAlloc.count(V) != 0;
+      if (!UsesAlloc)
+        continue;
+      switch (I->getKind()) {
+      case Instruction::IKind::Copy:
+      case Instruction::IKind::Ret:
+      case Instruction::IKind::CondBr:
+        break;
+      default:
+        return {};
+      }
+    }
+  }
+
+  // AllocPure: greatest set of variables whose every def is a heap alloc,
+  // a constant copy, or a copy of an AllocPure variable. Parameters are
+  // defined at entry and thus never AllocPure.
+  std::unordered_set<const Variable *> AllocPure;
+  for (const auto &V : F.variables())
+    if (!V->isParam())
+      AllocPure.insert(V.get());
+  Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (const auto &BB : F.blocks()) {
+      for (const auto &I : BB->instructions()) {
+        const Variable *Def = I->getDef();
+        if (!Def || !AllocPure.count(Def))
+          continue;
+        bool Ok = false;
+        if (const auto *A = dyn_cast<AllocInst>(I.get()))
+          Ok = A->getObject()->isHeap();
+        else if (const auto *C = dyn_cast<CopyInst>(I.get()))
+          Ok = C->getSrc().isConst() ||
+               (C->getSrc().isVar() && AllocPure.count(C->getSrc().getVar()));
+        if (!Ok) {
+          AllocPure.erase(Def);
+          Changed = true;
+        }
+      }
+    }
+  }
+
+  // Every returned variable must be AllocPure, and at least one must
+  // actually carry an allocation.
+  bool ReturnsAlloc = false;
+  for (const auto &BB : F.blocks()) {
+    for (const auto &I : BB->instructions()) {
+      const auto *R = dyn_cast<RetInst>(I.get());
+      if (!R || !R->getValue().isVar())
+        continue;
+      const Variable *V = R->getValue().getVar();
+      if (!AllocPure.count(V))
+        return {};
+      ReturnsAlloc |= MayHoldAlloc.count(V) != 0;
+    }
+  }
+  if (!ReturnsAlloc)
+    return {};
+  return HeapObjs;
+}
+
+void PointerAnalysis::detectWrappers() {
+  for (const auto &F : M.functions()) {
+    if (F->getName() == "main" || CG.isRecursive(F.get()))
+      continue;
+    std::vector<MemObject *> Origins = WrapperChecker(*F).run();
+    if (!Origins.empty())
+      Wrappers[F.get()] = std::move(Origins);
+  }
+}
+
+void PointerAnalysis::createClones() {
+  for (auto &[F, Origins] : Wrappers) {
+    unsigned SiteIdx = 0;
+    for (CallInst *Call : CG.callersOf(F)) {
+      std::vector<MemObject *> SiteClones;
+      for (MemObject *Origin : Origins) {
+        MemObject *Clone = M.createObject(
+            Origin->getName() + "#" + std::to_string(SiteIdx), Region::Heap,
+            Origin->getNumFields(), Origin->isInitialized(),
+            Origin->isArray());
+        Clone->setCloneOrigin(Origin);
+        Clone->setAllocSite(Call);
+        SiteClones.push_back(Clone);
+      }
+      Clones[Call] = std::move(SiteClones);
+      ++SiteIdx;
+    }
+  }
+}
+
+const std::vector<MemObject *> &
+PointerAnalysis::clonesAt(const CallInst *Call) const {
+  auto It = Clones.find(Call);
+  return It == Clones.end() ? EmptyObjList : It->second;
+}
+
+const std::vector<MemObject *> &
+PointerAnalysis::cloneOrigins(const Function *F) const {
+  auto It = Wrappers.find(F);
+  return It == Wrappers.end() ? EmptyObjList : It->second;
+}
+
+//===----------------------------------------------------------------------===//
+// Constraint solver
+//===----------------------------------------------------------------------===//
+
+class PointerAnalysis::Solver {
+public:
+  Solver(PointerAnalysis &PA) : PA(PA), M(PA.M) {}
+
+  void run();
+
+private:
+  /// Either a solver node or a literal location (a global's address or a
+  /// wrapper clone).
+  struct ValueRef {
+    bool IsLoc;
+    uint32_t Id;
+  };
+
+  uint32_t varNode(const Variable *V) const {
+    auto It = VarIds.find(V);
+    assert(It != VarIds.end() && "unnumbered variable");
+    return It->second;
+  }
+  uint32_t locNode(uint32_t LocId) const { return NumVars + LocId; }
+
+  /// Translates an operand into a solver value; returns false for
+  /// constants (which carry no points-to information).
+  bool valueOf(const Operand &Op, ValueRef &Out) const {
+    if (Op.isVar()) {
+      Out = {false, varNode(Op.getVar())};
+      return true;
+    }
+    if (Op.isGlobal()) {
+      Out = {true, PA.locId(Op.getGlobal(), 0)};
+      return true;
+    }
+    return false;
+  }
+
+  void seed(uint32_t Node, uint32_t LocId) {
+    if (Pts[Node].set(LocId))
+      push(Node);
+  }
+
+  void addCopy(uint32_t Src, uint32_t Dst) {
+    uint64_t Key = (static_cast<uint64_t>(Src) << 32) | Dst;
+    if (!EdgeSet.insert(Key).second)
+      return;
+    CopyTargets[Src].push_back(Dst);
+    if (Pts[Dst].unionWith(Pts[Src]))
+      push(Dst);
+  }
+
+  /// Connects a value (node or literal loc) into \p Dst.
+  void flowInto(const ValueRef &V, uint32_t Dst) {
+    if (V.IsLoc)
+      seed(Dst, V.Id);
+    else
+      addCopy(V.Id, Dst);
+  }
+
+  void push(uint32_t Node) {
+    if (!InWorklist.test(Node)) {
+      InWorklist.set(Node);
+      Worklist.push_back(Node);
+    }
+  }
+
+  void buildConstraints();
+  void addCallConstraints(const CallInst *Call);
+  void solve();
+
+  PointerAnalysis &PA;
+  Module &M;
+
+  std::unordered_map<const Variable *, uint32_t> VarIds;
+  uint32_t NumVars = 0;
+  uint32_t NumNodes = 0;
+
+  std::vector<BitSet> Pts;
+  std::vector<std::vector<uint32_t>> CopyTargets;
+  std::unordered_set<uint64_t> EdgeSet;
+  // x := *n (on pointer node n): propagate pts(loc) into each target.
+  std::vector<std::vector<uint32_t>> LoadTargets;
+  // *n := v (on pointer node n): flow each value into pts-locations of n.
+  std::vector<std::vector<ValueRef>> StoreValues;
+  // x := gep n, off: derived field inclusion.
+  struct GepTarget {
+    uint32_t Dst;
+    unsigned Offset;
+    bool Dynamic;
+  };
+  std::vector<std::vector<GepTarget>> GepTargets;
+  // Return values per function (for non-wrapper calls).
+  std::unordered_map<const Function *, std::vector<ValueRef>> RetValues;
+
+  std::vector<uint32_t> Worklist;
+  BitSet InWorklist;
+};
+
+void PointerAnalysis::Solver::buildConstraints() {
+  for (const auto &F : M.functions())
+    for (const auto &V : F->variables())
+      VarIds[V.get()] = NumVars++;
+  NumNodes = NumVars + PA.numLocations();
+
+  Pts.assign(NumNodes, BitSet(PA.numLocations()));
+  CopyTargets.resize(NumNodes);
+  LoadTargets.resize(NumNodes);
+  StoreValues.resize(NumNodes);
+  GepTargets.resize(NumNodes);
+  InWorklist.resize(NumNodes);
+
+  // Collect return values first (calls may precede callee bodies).
+  for (const auto &F : M.functions()) {
+    auto &Rets = RetValues[F.get()];
+    for (const auto &BB : F->blocks())
+      for (const auto &I : BB->instructions())
+        if (const auto *R = dyn_cast<RetInst>(I.get())) {
+          ValueRef V;
+          if (valueOf(R->getValue(), V))
+            Rets.push_back(V);
+        }
+  }
+
+  for (const auto &F : M.functions()) {
+    for (const auto &BB : F->blocks()) {
+      for (const auto &I : BB->instructions()) {
+        switch (I->getKind()) {
+        case Instruction::IKind::Copy: {
+          const auto *C = cast<CopyInst>(I.get());
+          ValueRef V;
+          if (valueOf(C->getSrc(), V))
+            flowInto(V, varNode(C->getDef()));
+          break;
+        }
+        case Instruction::IKind::Alloc: {
+          const auto *A = cast<AllocInst>(I.get());
+          seed(varNode(A->getDef()), PA.locId(A->getObject(), 0));
+          break;
+        }
+        case Instruction::IKind::FieldAddr: {
+          const auto *FA = cast<FieldAddrInst>(I.get());
+          ValueRef V;
+          if (!valueOf(FA->getBase(), V))
+            break;
+          // A variable index may reach any field of the pointee (the
+          // dynamic-GEP case; arrays collapse to one location anyway).
+          bool Dynamic = !FA->hasConstIndex();
+          unsigned Offset = Dynamic ? 0 : FA->getFieldIdx();
+          if (V.IsLoc) {
+            // gep of a global: fold the field arithmetic directly.
+            const PtLoc &L = PA.location(V.Id);
+            if (Dynamic) {
+              for (unsigned Loc : PA.locsOfObject(L.Obj))
+                seed(varNode(FA->getDef()), Loc);
+            } else {
+              seed(varNode(FA->getDef()),
+                   PA.locId(L.Obj, L.Field + Offset));
+            }
+          } else {
+            GepTargets[V.Id].push_back(
+                {varNode(FA->getDef()), Offset, Dynamic});
+            push(V.Id);
+          }
+          break;
+        }
+        case Instruction::IKind::Load: {
+          const auto *L = cast<LoadInst>(I.get());
+          ValueRef P;
+          if (!valueOf(L->getPtr(), P))
+            break;
+          if (P.IsLoc) {
+            addCopy(locNode(P.Id), varNode(L->getDef()));
+          } else {
+            LoadTargets[P.Id].push_back(varNode(L->getDef()));
+            push(P.Id);
+          }
+          break;
+        }
+        case Instruction::IKind::Store: {
+          const auto *S = cast<StoreInst>(I.get());
+          ValueRef P, V;
+          bool HasValue = valueOf(S->getValue(), V);
+          if (!HasValue)
+            break; // Storing a constant: no points-to flow.
+          if (!valueOf(S->getPtr(), P))
+            break;
+          if (P.IsLoc) {
+            flowInto(V, locNode(P.Id));
+          } else {
+            StoreValues[P.Id].push_back(V);
+            push(P.Id);
+          }
+          break;
+        }
+        case Instruction::IKind::Call:
+          addCallConstraints(cast<CallInst>(I.get()));
+          break;
+        case Instruction::IKind::BinOp:
+        case Instruction::IKind::CondBr:
+        case Instruction::IKind::Goto:
+        case Instruction::IKind::Ret:
+          // Binary operations yield integers in TinyC (pointer arithmetic
+          // must use gep); branches and returns add no constraints here.
+          break;
+        }
+      }
+    }
+  }
+}
+
+void PointerAnalysis::Solver::addCallConstraints(const CallInst *Call) {
+  const Function *Callee = Call->getCallee();
+  const auto &Params = Callee->params();
+  for (size_t Idx = 0; Idx != Params.size(); ++Idx) {
+    ValueRef V;
+    if (valueOf(Call->getArgs()[Idx], V))
+      flowInto(V, varNode(Params[Idx]));
+  }
+
+  const std::vector<MemObject *> &SiteClones = PA.clonesAt(Call);
+  if (!SiteClones.empty()) {
+    // Wrapper call: the result points to this site's fresh clones; the
+    // callee's return flow is intentionally not connected (the wrapper
+    // check guarantees it only returns its own fresh allocations).
+    if (Call->getDef())
+      for (MemObject *Clone : SiteClones)
+        seed(varNode(Call->getDef()), PA.locId(Clone, 0));
+    return;
+  }
+
+  if (Call->getDef()) {
+    uint32_t Dst = varNode(Call->getDef());
+    for (const ValueRef &V : RetValues[Callee])
+      flowInto(V, Dst);
+  }
+}
+
+void PointerAnalysis::Solver::solve() {
+  while (!Worklist.empty()) {
+    uint32_t N = Worklist.back();
+    Worklist.pop_back();
+    InWorklist.clear(N);
+
+    if (!LoadTargets[N].empty() || !StoreValues[N].empty() ||
+        !GepTargets[N].empty()) {
+      Pts[N].forEach([&](size_t LocIdx) {
+        uint32_t LocId = static_cast<uint32_t>(LocIdx);
+        for (uint32_t Dst : LoadTargets[N])
+          addCopy(locNode(LocId), Dst);
+        for (const ValueRef &V : StoreValues[N])
+          flowInto(V, locNode(LocId));
+        if (!GepTargets[N].empty()) {
+          const PtLoc &L = PA.location(LocId);
+          for (const GepTarget &G : GepTargets[N]) {
+            if (G.Dynamic) {
+              for (unsigned Loc : PA.locsOfObject(L.Obj))
+                seed(G.Dst, Loc);
+            } else {
+              seed(G.Dst, PA.locId(L.Obj, L.Field + G.Offset));
+            }
+          }
+        }
+      });
+    }
+
+    for (uint32_t Dst : CopyTargets[N])
+      if (Pts[Dst].unionWith(Pts[N]))
+        push(Dst);
+  }
+}
+
+void PointerAnalysis::Solver::run() {
+  buildConstraints();
+  solve();
+  PA.NumNodes = NumNodes;
+  for (const auto &[V, Id] : VarIds)
+    PA.VarPts[V] = Pts[Id].toVector();
+}
+
+//===----------------------------------------------------------------------===//
+// Public interface
+//===----------------------------------------------------------------------===//
+
+PointerAnalysis::PointerAnalysis(Module &M, const CallGraph &CG,
+                                 PtaOptions Opts)
+    : M(M), CG(CG), Opts(Opts) {
+  if (Opts.HeapCloning) {
+    detectWrappers();
+    createClones();
+  }
+  numberLocations();
+  Solver(*this).run();
+}
+
+const std::vector<uint32_t> &
+PointerAnalysis::pointsTo(const Variable *V) const {
+  auto It = VarPts.find(V);
+  return It == VarPts.end() ? EmptyPts : It->second;
+}
+
+std::vector<uint32_t> PointerAnalysis::pointsTo(const Operand &Op) const {
+  if (Op.isVar())
+    return pointsTo(Op.getVar());
+  if (Op.isGlobal())
+    return {locId(Op.getGlobal(), 0)};
+  return {};
+}

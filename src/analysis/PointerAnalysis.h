@@ -1,0 +1,162 @@
+//===- analysis/PointerAnalysis.h - Andersen's analysis ---------*- C++ -*-===//
+//
+// Part of the Usher project, reproducing "Accelerating Dynamic Detection of
+// Uses of Undefined Values with Static Value-Flow Analysis" (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An inclusion-based (Andersen-style) pointer analysis over TinyC,
+/// matching the configuration the paper uses (Section 4.1):
+///  - offset-based field sensitivity, with arrays collapsed to a single
+///    field ("arrays are treated as a whole");
+///  - 1-callsite-sensitive heap cloning for allocation wrapper functions;
+///  - context-insensitive otherwise.
+///
+/// The unit of may-point-to information is a PtLoc: one field of one
+/// abstract memory object. PtLocs are also the address-taken variables
+/// (Var_AT) that memory SSA and the VFG version.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef USHER_ANALYSIS_POINTERANALYSIS_H
+#define USHER_ANALYSIS_POINTERANALYSIS_H
+
+#include "support/BitSet.h"
+
+#include <unordered_map>
+#include <vector>
+
+namespace usher {
+namespace ir {
+class CallInst;
+class Function;
+class MemObject;
+class Module;
+class Operand;
+class Variable;
+} // namespace ir
+
+namespace analysis {
+
+class CallGraph;
+
+/// One field of one abstract object: the granule of points-to sets and of
+/// the value-flow analysis for address-taken variables.
+struct PtLoc {
+  ir::MemObject *Obj = nullptr;
+  unsigned Field = 0;
+};
+
+/// Configuration knobs of the pointer analysis.
+struct PtaOptions {
+  /// Track (object, field) pairs; when false all fields collapse to 0.
+  bool FieldSensitive = true;
+  /// Clone heap objects of allocation wrappers per call site.
+  bool HeapCloning = true;
+  /// Fields beyond this index collapse into the last tracked field.
+  unsigned MaxFieldsTracked = 64;
+};
+
+/// Andersen-style whole-program pointer analysis.
+class PointerAnalysis {
+public:
+  /// Builds constraints for \p M and solves them. Heap cloning may add
+  /// clone objects to \p M. \p CG must outlive this analysis.
+  PointerAnalysis(ir::Module &M, const CallGraph &CG,
+                  PtaOptions Opts = PtaOptions());
+
+  const PtaOptions &options() const { return Opts; }
+
+  //===--------------------------------------------------------------------===//
+  // Location numbering
+  //===--------------------------------------------------------------------===//
+
+  /// Number of PtLocs (address-taken variables) in the program.
+  unsigned numLocations() const {
+    return static_cast<unsigned>(Locations.size());
+  }
+
+  /// The PtLoc with dense id \p LocId.
+  const PtLoc &location(unsigned LocId) const { return Locations[LocId]; }
+
+  /// Dense id of field \p Field of \p Obj (after collapsing).
+  unsigned locId(const ir::MemObject *Obj, unsigned Field) const;
+
+  /// All loc ids belonging to \p Obj.
+  std::vector<unsigned> locsOfObject(const ir::MemObject *Obj) const;
+
+  /// True if this loc stands for more than one concrete cell (array
+  /// element or collapsed overflow field); such locs must never be
+  /// strongly updated.
+  bool isCollapsedLoc(unsigned LocId) const { return Collapsed[LocId]; }
+
+  //===--------------------------------------------------------------------===//
+  // Points-to queries
+  //===--------------------------------------------------------------------===//
+
+  /// May-point-to set of a top-level variable, as sorted loc ids.
+  const std::vector<uint32_t> &pointsTo(const ir::Variable *V) const;
+
+  /// May-point-to set of any operand (globals resolve to their base loc).
+  std::vector<uint32_t> pointsTo(const ir::Operand &Op) const;
+
+  //===--------------------------------------------------------------------===//
+  // Allocation wrappers and heap cloning
+  //===--------------------------------------------------------------------===//
+
+  /// True if \p F is an allocation wrapper: every return value traces
+  /// (through copies only) to heap allocations that do not otherwise
+  /// escape or get accessed inside \p F.
+  bool isAllocWrapper(const ir::Function *F) const {
+    return Wrappers.count(F) != 0;
+  }
+
+  /// Clone objects allocated (conceptually) at call site \p Call; empty
+  /// unless the callee is an allocation wrapper and cloning is enabled.
+  const std::vector<ir::MemObject *> &clonesAt(const ir::CallInst *Call) const;
+
+  /// The heap objects of wrapper \p F that are replaced by clones at its
+  /// call sites; empty for non-wrappers.
+  const std::vector<ir::MemObject *> &
+  cloneOrigins(const ir::Function *F) const;
+
+  //===--------------------------------------------------------------------===//
+  // Statistics (Table 1)
+  //===--------------------------------------------------------------------===//
+
+  /// Number of solver nodes (variables + locations).
+  unsigned numNodes() const { return NumNodes; }
+
+private:
+  class Solver;
+
+  void numberLocations();
+  void detectWrappers();
+  void createClones();
+
+  ir::Module &M;
+  const CallGraph &CG;
+  PtaOptions Opts;
+
+  std::vector<PtLoc> Locations;
+  std::vector<bool> Collapsed;
+  // Obj id -> (first loc id, tracked field count).
+  std::vector<std::pair<unsigned, unsigned>> ObjLocBase;
+
+  std::unordered_map<const ir::Function *, std::vector<ir::MemObject *>>
+      Wrappers;
+  std::unordered_map<const ir::CallInst *, std::vector<ir::MemObject *>>
+      Clones;
+
+  std::unordered_map<const ir::Variable *, std::vector<uint32_t>> VarPts;
+  unsigned NumNodes = 0;
+
+  static const std::vector<ir::MemObject *> EmptyObjList;
+  static const std::vector<uint32_t> EmptyPts;
+};
+
+} // namespace analysis
+} // namespace usher
+
+#endif // USHER_ANALYSIS_POINTERANALYSIS_H

@@ -1,0 +1,190 @@
+//===- core/Definedness.cpp - Definedness resolution -----------------------===//
+//
+// Part of the Usher project, reproducing "Accelerating Dynamic Detection of
+// Uses of Undefined Values with Static Value-Flow Analysis" (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Definedness.h"
+
+#include <cassert>
+#include <unordered_set>
+
+using namespace usher;
+using namespace usher::core;
+using vfg::Edge;
+using vfg::EdgeKind;
+using vfg::VFG;
+
+namespace {
+
+/// A k-bounded stack of unmatched call sites, encoded in 64 bits.
+/// Layout: bits 48..49 count, bits 24..47 the site below the top,
+/// bits 0..23 the top site. Site ids are instruction ids (< 2^24).
+class Context {
+public:
+  static Context empty() { return Context(0); }
+
+  uint64_t raw() const { return Bits; }
+
+  Context pushed(uint32_t Site, unsigned K) const {
+    assert(Site < (1u << 24) && "call-site id exceeds encoding width");
+    unsigned Count = count();
+    if (K == 0)
+      return *this;
+    if (Count == 0)
+      return make(1, 0, Site);
+    if (Count == 1 && K >= 2)
+      return make(2, top(), Site);
+    if (K == 1)
+      return make(1, 0, Site);
+    // Count == 2 (== K): drop the bottom entry.
+    return make(2, top(), Site);
+  }
+
+  /// Attempts to match a return at \p Site. Returns false if the flow is
+  /// unrealizable (a pending call from a different site is on top).
+  bool popped(uint32_t Site, Context &Out) const {
+    unsigned Count = count();
+    if (Count == 0) {
+      // No pending call is remembered: the undefined value originated
+      // inside the callee (or deeper than the k window); exiting through
+      // any site is realizable.
+      Out = *this;
+      return true;
+    }
+    if (top() != Site)
+      return false;
+    if (Count == 1)
+      Out = Context(0);
+    else
+      Out = make(1, 0, below());
+    return true;
+  }
+
+private:
+  explicit Context(uint64_t Bits) : Bits(Bits) {}
+  static Context make(unsigned Count, uint32_t Below, uint32_t Top) {
+    return Context((static_cast<uint64_t>(Count) << 48) |
+                   (static_cast<uint64_t>(Below) << 24) | Top);
+  }
+  unsigned count() const { return static_cast<unsigned>(Bits >> 48); }
+  uint32_t top() const { return static_cast<uint32_t>(Bits & 0xFFFFFF); }
+  uint32_t below() const {
+    return static_cast<uint32_t>((Bits >> 24) & 0xFFFFFF);
+  }
+
+  uint64_t Bits;
+};
+
+} // namespace
+
+Definedness::Definedness(
+    const VFG &G, DefinednessOptions Opts,
+    const std::unordered_map<uint32_t, std::vector<Edge>> *Redirects) {
+  const unsigned K = Opts.ContextK;
+  const uint32_t N = G.numNodes();
+  Bottom.resize(N);
+
+  // Per-node set of contexts already explored; capped to bound state
+  // explosion — on overflow the node saturates to the universal (empty)
+  // context, which over-approximates every other context.
+  constexpr size_t MaxContextsPerNode = 64;
+  std::vector<std::unordered_set<uint64_t>> Seen(N);
+  std::vector<uint8_t> Saturated(N, 0);
+
+  struct State {
+    uint32_t Node;
+    Context Ctx;
+  };
+  std::vector<State> Work;
+
+  auto Reach = [&](uint32_t Node, Context Ctx) {
+    if (Saturated[Node])
+      return;
+    if (Seen[Node].size() >= MaxContextsPerNode) {
+      Saturated[Node] = 1;
+      Ctx = Context::empty();
+      if (!Seen[Node].insert(Ctx.raw()).second)
+        return;
+    } else if (!Seen[Node].insert(Ctx.raw()).second) {
+      return;
+    }
+    Bottom.set(Node);
+    Work.push_back({Node, Ctx});
+  };
+
+  Reach(VFG::RootF, Context::empty());
+  if (!Opts.AddressTakenAware) {
+    // The top-level-only variant does not reason about memory: every
+    // address-taken definition may hold an undefined value.
+    for (uint32_t Id = 2; Id != N; ++Id)
+      if (G.node(Id).Key.Sp == ssa::Space::Memory)
+        Reach(Id, Context::empty());
+  }
+
+  // The user lists record, for each edge (User depends on Node), the same
+  // kind/site label as the dependency edge; undefinedness flows from the
+  // depended-on node to the user.
+  while (!Work.empty()) {
+    State S = Work.back();
+    Work.pop_back();
+    // A redirected node's dependencies changed; flows *out of* it are
+    // unaffected, but flows into users that no longer depend on it must
+    // be suppressed.
+    for (const Edge &E : G.users(S.Node)) {
+      if (Redirects) {
+        auto It = Redirects->find(E.Node);
+        if (It != Redirects->end()) {
+          bool StillDepends = false;
+          for (const Edge &D : It->second) {
+            if (D.Node == S.Node && D.Kind == E.Kind &&
+                D.CallSite == E.CallSite) {
+              StillDepends = true;
+              break;
+            }
+          }
+          if (!StillDepends)
+            continue;
+        }
+      }
+      switch (E.Kind) {
+      case EdgeKind::Direct:
+        Reach(E.Node, S.Ctx);
+        break;
+      case EdgeKind::Call:
+        Reach(E.Node, K == 0 ? S.Ctx : S.Ctx.pushed(E.CallSite, K));
+        break;
+      case EdgeKind::Ret: {
+        if (K == 0) {
+          Reach(E.Node, S.Ctx);
+          break;
+        }
+        Context Out = Context::empty();
+        if (S.Ctx.popped(E.CallSite, Out))
+          Reach(E.Node, Out);
+        break;
+      }
+      }
+    }
+  }
+}
+
+BitSet core::computeCheckReaching(const VFG &G, const Definedness &Gamma) {
+  BitSet Reaching(G.numNodes());
+  std::vector<uint32_t> Work;
+  for (const VFG::CriticalUse &Use : G.criticalUses()) {
+    if (!Gamma.mayBeUndefined(Use.Node))
+      continue;
+    if (Reaching.set(Use.Node))
+      Work.push_back(Use.Node);
+  }
+  while (!Work.empty()) {
+    uint32_t Node = Work.back();
+    Work.pop_back();
+    for (const Edge &E : G.deps(Node))
+      if (!G.isRoot(E.Node) && Reaching.set(E.Node))
+        Work.push_back(E.Node);
+  }
+  return Reaching;
+}

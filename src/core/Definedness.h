@@ -1,0 +1,72 @@
+//===- core/Definedness.h - Definedness resolution --------------*- C++ -*-===//
+//
+// Part of the Usher project, reproducing "Accelerating Dynamic Detection of
+// Uses of Undefined Values with Static Value-Flow Analysis" (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Definedness resolution (Section 3.3): Gamma maps each VFG node to
+/// "bottom" (may be undefined: reachable from the F root) or "top"
+/// (provably defined). Reachability is context-sensitive: interprocedural
+/// edges carry call-site labels and flows that enter a callee through one
+/// call site may only exit through the same site, with a k-bounded stack
+/// of unmatched calls (the paper configures 1-callsite sensitivity).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef USHER_CORE_DEFINEDNESS_H
+#define USHER_CORE_DEFINEDNESS_H
+
+#include "support/BitSet.h"
+#include "vfg/VFG.h"
+
+namespace usher {
+namespace core {
+
+/// Options for definedness resolution.
+struct DefinednessOptions {
+  /// Unmatched call sites remembered along a flow (0 = context-
+  /// insensitive, 1 = the paper's configuration).
+  unsigned ContextK = 1;
+  /// When false, every memory-space node is pessimistically undefined:
+  /// this models the UsherTL variant, which analyzes top-level variables
+  /// only.
+  bool AddressTakenAware = true;
+};
+
+/// The Gamma function of Section 3.3.
+class Definedness {
+public:
+  /// Resolves definedness over \p G. \p Redirects optionally overrides
+  /// the dependency edges of selected nodes (used by the Opt II redundant
+  /// check elimination, which recomputes Gamma on a modified graph): a
+  /// node present in \p Redirects uses the given dependency list instead
+  /// of its VFG one.
+  Definedness(const vfg::VFG &G, DefinednessOptions Opts,
+              const std::unordered_map<uint32_t, std::vector<vfg::Edge>>
+                  *Redirects = nullptr);
+
+  /// True if \p Node may carry an undefined value (Gamma = bottom).
+  bool mayBeUndefined(uint32_t Node) const { return Bottom.test(Node); }
+
+  /// True if \p Node is provably defined (Gamma = top).
+  bool isDefined(uint32_t Node) const { return !Bottom.test(Node); }
+
+  /// Number of bottom nodes (statistics).
+  size_t numUndefinedNodes() const { return Bottom.count(); }
+
+private:
+  BitSet Bottom;
+};
+
+/// Computes the set of VFG nodes from which some needed runtime check is
+/// reachable along dependency edges — the paper's Table 1 "%B" column
+/// ("VFG nodes reaching at least one critical statement where a runtime
+/// check is needed"). \p Gamma decides which checks are needed.
+BitSet computeCheckReaching(const vfg::VFG &G, const Definedness &Gamma);
+
+} // namespace core
+} // namespace usher
+
+#endif // USHER_CORE_DEFINEDNESS_H

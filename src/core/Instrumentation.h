@@ -1,0 +1,72 @@
+//===- core/Instrumentation.h - Guided & full instrumentation ---*- C++ -*-===//
+//
+// Part of the Usher project, reproducing "Accelerating Dynamic Detection of
+// Uses of Undefined Values with Static Value-Flow Analysis" (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Guided instrumentation (Section 3.4, Figure 7): starting from the
+/// runtime checks that are actually needed, demand shadow operations
+/// backwards over the VFG. Nodes proven defined (Gamma = top) are handled
+/// by strong updates to their shadows and cut the demand; possibly-
+/// undefined nodes get full shadow propagation like MSan would emit.
+///
+/// Also provides the MSan model: full instrumentation of every statement
+/// and every critical operation, which is the paper's baseline.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef USHER_CORE_INSTRUMENTATION_H
+#define USHER_CORE_INSTRUMENTATION_H
+
+#include "core/Definedness.h"
+#include "core/InstrumentationPlan.h"
+
+#include <memory>
+
+namespace usher {
+namespace ssa {
+class MemorySSA;
+}
+
+namespace core {
+
+/// Options for the guided planner.
+struct PlannerOptions {
+  /// False models the UsherTL variant: memory is not reasoned about, so
+  /// every store and allocation is shadowed unconditionally and loads are
+  /// pessimistically undefined. Must match the Definedness option.
+  bool AddressTakenAware = true;
+  /// Apply Opt I (value-flow simplification of must-flow-from closures).
+  bool OptI = false;
+};
+
+/// Demand-driven planner implementing the deduction rules of Figure 7.
+class InstrumentationPlanner {
+public:
+  InstrumentationPlanner(const ir::Module &M, const ssa::MemorySSA &SSA,
+                         const vfg::VFG &G, const Definedness &Gamma,
+                         PlannerOptions Opts);
+  ~InstrumentationPlanner();
+
+  /// Computes the guided plan.
+  InstrumentationPlan run();
+
+  /// Number of must-flow-from closures simplified by Opt I (Table 1's
+  /// second-to-last column).
+  uint64_t numSimplifiedMFCs() const;
+
+private:
+  class Impl;
+  std::unique_ptr<Impl> PImpl;
+};
+
+/// Builds the MSan-style full instrumentation: every value shadowed, every
+/// statement's shadow executed, every critical operation checked.
+InstrumentationPlan buildFullInstrumentation(const ir::Module &M);
+
+} // namespace core
+} // namespace usher
+
+#endif // USHER_CORE_INSTRUMENTATION_H

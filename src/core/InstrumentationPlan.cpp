@@ -1,0 +1,43 @@
+//===- core/InstrumentationPlan.cpp - Shadow instrumentation plan ----------===//
+//
+// Part of the Usher project, reproducing "Accelerating Dynamic Detection of
+// Uses of Undefined Values with Static Value-Flow Analysis" (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/InstrumentationPlan.h"
+
+using namespace usher;
+using namespace usher::core;
+
+uint64_t InstrumentationPlan::countIf(bool CountChecks,
+                                      bool CountReads) const {
+  uint64_t N = 0;
+  auto CountOps = [&](const std::vector<ShadowOp> &Ops) {
+    for (const ShadowOp &Op : Ops) {
+      bool IsCheck = Op.K == ShadowOp::Kind::Check;
+      if (IsCheck != CountChecks)
+        continue;
+      N += CountReads ? Op.reads() : 1;
+    }
+  };
+  for (const auto &Ops : Before)
+    CountOps(Ops);
+  for (const auto &Ops : After)
+    CountOps(Ops);
+  for (const auto &[F, Ops] : Entry)
+    CountOps(Ops);
+  return N;
+}
+
+uint64_t InstrumentationPlan::countPropagationReads() const {
+  return countIf(/*CountChecks=*/false, /*CountReads=*/true);
+}
+
+uint64_t InstrumentationPlan::countChecks() const {
+  return countIf(/*CountChecks=*/true, /*CountReads=*/false);
+}
+
+uint64_t InstrumentationPlan::countShadowOps() const {
+  return countIf(/*CountChecks=*/false, /*CountReads=*/false);
+}

@@ -1,0 +1,173 @@
+//===- core/InstrumentationPlan.h - Shadow instrumentation plan -*- C++ -*-===//
+//
+// Part of the Usher project, reproducing "Accelerating Dynamic Detection of
+// Uses of Undefined Values with Static Value-Flow Analysis" (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The output of instrumentation planning: which shadow operations execute
+/// before/after each instruction, plus per-function entry operations. The
+/// plan is pure data; the runtime interpreter executes it, which makes the
+/// MSan-style full plan and every Usher variant directly comparable and
+/// lets property tests assert warning-set equivalence.
+///
+/// Shadow state at run time:
+///  - one boolean shadow per top-level variable per activation frame
+///    (initialized to F: locals are undefined on entry, like C);
+///  - one boolean shadow per concrete memory cell;
+///  - a bank of shadow transfer registers (sigma_g in the paper) used to
+///    relay shadows across calls and returns.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef USHER_CORE_INSTRUMENTATIONPLAN_H
+#define USHER_CORE_INSTRUMENTATIONPLAN_H
+
+#include "ir/IR.h"
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace usher {
+namespace core {
+
+/// A shadow r-value: either a literal definedness or the shadow of a
+/// top-level variable. Constants and global addresses read as literal T.
+struct ShadowVal {
+  bool IsLiteral = true;
+  bool Literal = true;
+  const ir::Variable *Var = nullptr;
+
+  static ShadowVal literal(bool Defined) {
+    ShadowVal V;
+    V.IsLiteral = true;
+    V.Literal = Defined;
+    return V;
+  }
+  static ShadowVal var(const ir::Variable *Var) {
+    ShadowVal V;
+    V.IsLiteral = false;
+    V.Var = Var;
+    return V;
+  }
+  /// The shadow of an operand: literal T for constants and global
+  /// addresses, the variable's shadow otherwise.
+  static ShadowVal operand(const ir::Operand &Op) {
+    return Op.isVar() ? var(Op.getVar()) : literal(true);
+  }
+
+  /// Number of shadow-variable reads this r-value performs.
+  unsigned reads() const { return IsLiteral ? 0 : 1; }
+};
+
+/// One shadow operation, attached before or after an instruction (or to a
+/// function entry).
+struct ShadowOp {
+  enum class Kind : uint8_t {
+    /// sigma(Dst) := Srcs[0]            (copy / strong update of a var).
+    SetVar,
+    /// sigma(Dst) := AND of all Srcs    (binary ops; Opt I's simplified
+    /// must-flow-from closures use more than two sources).
+    AndVar,
+    /// sigma(cell *Ptr) := Srcs[0]      (shadow of a store).
+    SetMemCell,
+    /// sigma(every cell of *Ptr's object) := Srcs[0] (allocation sites).
+    SetMemObject,
+    /// sigma(Dst) := sigma(cell *Ptr)   (shadow of a load).
+    LoadMem,
+    /// sigma_g[Index] := Srcs[0]        (argument shadow, before a call).
+    ArgOut,
+    /// sigma(Dst) := sigma_g[Index]     (parameter shadow, function entry).
+    ParamIn,
+    /// sigma_g[ret] := Srcs[0]          (return shadow, before a ret).
+    RetOut,
+    /// sigma(Dst) := sigma_g[ret]       (result shadow, after a call).
+    RetIn,
+    /// warn if sigma(Srcs[0]) == F      (runtime check at a critical op).
+    Check
+  };
+
+  Kind K;
+  const ir::Variable *Dst = nullptr;
+  ir::Operand Ptr;                ///< For SetMemCell/SetMemObject/LoadMem.
+  std::vector<ShadowVal> Srcs;
+  uint32_t Index = 0;             ///< Argument position for ArgOut/ParamIn.
+
+  /// Number of shadow reads this operation performs (the unit of the
+  /// paper's Figure 11 "#Propagations"). Reading a memory cell's shadow or
+  /// a transfer register counts as one read.
+  unsigned reads() const {
+    unsigned N = 0;
+    for (const ShadowVal &S : Srcs)
+      N += S.reads();
+    if (K == Kind::LoadMem || K == Kind::ParamIn || K == Kind::RetIn ||
+        K == Kind::Check)
+      ++N;
+    return N;
+  }
+};
+
+/// The full instrumentation of a module.
+class InstrumentationPlan {
+public:
+  explicit InstrumentationPlan(const ir::Module &M)
+      : Before(M.instructionCount()), After(M.instructionCount()) {}
+
+  const std::vector<ShadowOp> &before(const ir::Instruction *I) const {
+    return Before[I->getId()];
+  }
+  const std::vector<ShadowOp> &after(const ir::Instruction *I) const {
+    return After[I->getId()];
+  }
+  /// Shadow operations run when a frame for \p F is created (parameter
+  /// shadow transfers).
+  const std::vector<ShadowOp> &entry(const ir::Function *F) const {
+    static const std::vector<ShadowOp> Empty;
+    auto It = Entry.find(F);
+    return It == Entry.end() ? Empty : It->second;
+  }
+
+  void addBefore(const ir::Instruction *I, ShadowOp Op) {
+    Before[I->getId()].push_back(std::move(Op));
+  }
+  void addAfter(const ir::Instruction *I, ShadowOp Op) {
+    After[I->getId()].push_back(std::move(Op));
+  }
+  void addEntry(const ir::Function *F, ShadowOp Op) {
+    Entry[F].push_back(std::move(Op));
+  }
+
+  /// Static number of shadow-variable reads across the whole plan
+  /// (Figure 11's #Propagations). Checks are not counted here.
+  uint64_t countPropagationReads() const;
+
+  /// Static number of runtime checks (Figure 11's #Checks).
+  uint64_t countChecks() const;
+
+  /// Static number of shadow operations other than checks.
+  uint64_t countShadowOps() const;
+
+  /// Applies \p Fn to every operation list in the plan (used by the
+  /// shadow-code optimizer).
+  void forEachList(const std::function<void(std::vector<ShadowOp> &)> &Fn) {
+    for (auto &Ops : Before)
+      Fn(Ops);
+    for (auto &Ops : After)
+      Fn(Ops);
+    for (auto &[F, Ops] : Entry)
+      Fn(Ops);
+  }
+
+private:
+  uint64_t countIf(bool CountChecks, bool CountReads) const;
+
+  std::vector<std::vector<ShadowOp>> Before, After;
+  std::unordered_map<const ir::Function *, std::vector<ShadowOp>> Entry;
+};
+
+} // namespace core
+} // namespace usher
+
+#endif // USHER_CORE_INSTRUMENTATIONPLAN_H

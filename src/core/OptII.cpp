@@ -1,0 +1,144 @@
+//===- core/OptII.cpp - Redundant check elimination -------------------------===//
+//
+// Part of the Usher project, reproducing "Accelerating Dynamic Detection of
+// Uses of Undefined Values with Static Value-Flow Analysis" (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/OptII.h"
+
+#include "analysis/CallGraph.h"
+#include "analysis/PointerAnalysis.h"
+#include "ir/IR.h"
+#include "ssa/MemorySSA.h"
+
+#include <unordered_set>
+
+using namespace usher;
+using namespace usher::core;
+using namespace usher::ir;
+using ssa::DefDesc;
+using ssa::FunctionSSA;
+using ssa::Space;
+using vfg::Edge;
+using vfg::EdgeKind;
+using vfg::VFG;
+
+namespace {
+
+/// True if \p Loc stands for exactly one runtime cell: a non-collapsed
+/// field of a global, or of a stack object whose owner never recurses.
+bool isConcreteLoc(const analysis::PointerAnalysis &PA,
+                   const analysis::CallGraph &CG, uint32_t Loc) {
+  if (PA.isCollapsedLoc(Loc))
+    return false;
+  const MemObject *Obj = PA.location(Loc).Obj;
+  if (Obj->isGlobal())
+    return true;
+  if (!Obj->isStack())
+    return false;
+  const Instruction *Site = Obj->getAllocSite();
+  return Site && !CG.isRecursive(Site->getParent()->getParent());
+}
+
+/// The statement that computes \p Node, or null for entries and phis.
+const Instruction *definingStatement(const VFG &G, const ssa::MemorySSA &SSA,
+                                     uint32_t Node) {
+  if (G.isRoot(Node))
+    return nullptr;
+  const VFG::NodeData &N = G.node(Node);
+  const DefDesc &Desc = SSA.get(N.Fn).defOf(N.Key, N.Version);
+  return Desc.K == DefDesc::Kind::Inst ? Desc.I : nullptr;
+}
+
+} // namespace
+
+OptIIResult core::runRedundantCheckElimination(
+    const Module &M, const ssa::MemorySSA &SSA,
+    const analysis::PointerAnalysis &PA, const analysis::CallGraph &CG,
+    const VFG &G, const Definedness &BaseGamma) {
+  (void)M;
+  OptIIResult Result;
+  constexpr size_t MaxClosure = 128;
+
+  for (const VFG::CriticalUse &Use : G.criticalUses()) {
+    // Only checks that are actually performed can justify suppressing
+    // dominated re-detections.
+    if (BaseGamma.isDefined(Use.Node))
+      continue;
+    const Function *Fn = G.node(Use.Node).Fn;
+    const FunctionSSA &FS = SSA.get(Fn);
+
+    // Compute the must-flow-from closure X of the checked variable
+    // (Definition 2), plus concrete memory locations feeding loads in it
+    // (Algorithm 1, line 4).
+    std::unordered_set<uint32_t> Closure;
+    std::vector<uint32_t> Work{Use.Node};
+    bool TooBig = false;
+    while (!Work.empty() && !TooBig) {
+      uint32_t Node = Work.back();
+      Work.pop_back();
+      if (!Closure.insert(Node).second)
+        continue;
+      if (Closure.size() > MaxClosure) {
+        TooBig = true;
+        break;
+      }
+      const Instruction *I = definingStatement(G, SSA, Node);
+      if (!I)
+        continue;
+      if (isa<CopyInst>(I) || isa<BinOpInst>(I)) {
+        for (const Edge &E : G.deps(Node))
+          if (!G.isRoot(E.Node))
+            Work.push_back(E.Node);
+      } else if (isa<LoadInst>(I) &&
+                 G.node(Node).Key.Sp == Space::TopLevel) {
+        for (const Edge &E : G.deps(Node)) {
+          if (G.isRoot(E.Node))
+            continue;
+          const VFG::NodeData &Mem = G.node(E.Node);
+          if (Mem.Key.Sp == Space::Memory &&
+              isConcreteLoc(PA, CG, Mem.Key.Id))
+            Closure.insert(E.Node);
+        }
+      }
+    }
+    if (TooBig)
+      continue;
+
+    // R_x: users of the closure outside it whose defining statement is
+    // dominated by the checking statement.
+    std::unordered_set<uint32_t> Candidates;
+    for (uint32_t Member : Closure)
+      for (const Edge &E : G.users(Member))
+        if (!Closure.count(E.Node))
+          Candidates.insert(E.Node);
+
+    for (uint32_t R : Candidates) {
+      const Instruction *DefStmt = definingStatement(G, SSA, R);
+      if (!DefStmt || DefStmt->getParent()->getParent() != Fn)
+        continue;
+      if (!FS.getDomTree().dominates(Use.I, DefStmt))
+        continue;
+      // Redirect every dependency of R that lands in the closure to T.
+      auto It = Result.Redirects.find(R);
+      std::vector<Edge> NewDeps =
+          It != Result.Redirects.end() ? It->second : G.deps(R);
+      bool Changed = false;
+      for (Edge &E : NewDeps) {
+        if (Closure.count(E.Node)) {
+          E.Node = VFG::RootT;
+          E.Kind = EdgeKind::Direct;
+          E.CallSite = ~0u;
+          Changed = true;
+        }
+      }
+      if (Changed) {
+        if (It == Result.Redirects.end())
+          ++Result.NumRedirectedNodes;
+        Result.Redirects[R] = std::move(NewDeps);
+      }
+    }
+  }
+  return Result;
+}

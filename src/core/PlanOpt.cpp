@@ -1,0 +1,92 @@
+//===- core/PlanOpt.cpp - Shadow-code optimization --------------------------===//
+//
+// Part of the Usher project, reproducing "Accelerating Dynamic Detection of
+// Uses of Undefined Values with Static Value-Flow Analysis" (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/PlanOpt.h"
+
+#include "core/InstrumentationPlan.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+using namespace usher;
+using namespace usher::core;
+
+unsigned core::optimizeShadowPlan(InstrumentationPlan &Plan,
+                                  const ir::Module &M) {
+  (void)M;
+  // Liveness fixpoint over shadow state. Checks and memory-cell shadow
+  // writes are roots (cells are read through runtime pointers, so their
+  // writers are conservatively live); a variable-shadow write is live
+  // only while some live operation reads that variable's shadow.
+  std::unordered_set<const ShadowOp *> Dead;
+  bool Changed = true;
+  unsigned Removed = 0;
+
+  while (Changed) {
+    Changed = false;
+    std::unordered_set<const ir::Variable *> ReadVars;
+    std::unordered_set<uint32_t> LiveParamIndices;
+    bool AnyLiveRetIn = false;
+
+    Plan.forEachList([&](std::vector<ShadowOp> &Ops) {
+      for (const ShadowOp &Op : Ops) {
+        if (Dead.count(&Op))
+          continue;
+        for (const ShadowVal &SV : Op.Srcs)
+          if (!SV.IsLiteral)
+            ReadVars.insert(SV.Var);
+        if (Op.K == ShadowOp::Kind::ParamIn)
+          LiveParamIndices.insert(Op.Index);
+        AnyLiveRetIn |= Op.K == ShadowOp::Kind::RetIn;
+      }
+    });
+
+    Plan.forEachList([&](std::vector<ShadowOp> &Ops) {
+      for (const ShadowOp &Op : Ops) {
+        if (Dead.count(&Op))
+          continue;
+        bool Kill = false;
+        switch (Op.K) {
+        case ShadowOp::Kind::SetVar:
+        case ShadowOp::Kind::AndVar:
+        case ShadowOp::Kind::LoadMem:
+        case ShadowOp::Kind::ParamIn:
+        case ShadowOp::Kind::RetIn:
+          Kill = !ReadVars.count(Op.Dst);
+          break;
+        case ShadowOp::Kind::ArgOut:
+          Kill = !LiveParamIndices.count(Op.Index);
+          break;
+        case ShadowOp::Kind::RetOut:
+          Kill = !AnyLiveRetIn;
+          break;
+        case ShadowOp::Kind::SetMemCell:
+        case ShadowOp::Kind::SetMemObject:
+        case ShadowOp::Kind::Check:
+          break; // Roots.
+        }
+        if (Kill) {
+          Dead.insert(&Op);
+          Changed = true;
+        }
+      }
+    });
+  }
+
+  // Note: ShadowOp addresses stay stable during the fixpoint because only
+  // the erase below mutates the vectors.
+  Plan.forEachList([&](std::vector<ShadowOp> &Ops) {
+    size_t Before = Ops.size();
+    Ops.erase(std::remove_if(Ops.begin(), Ops.end(),
+                             [&](const ShadowOp &Op) {
+                               return Dead.count(&Op) != 0;
+                             }),
+              Ops.end());
+    Removed += static_cast<unsigned>(Before - Ops.size());
+  });
+  return Removed;
+}

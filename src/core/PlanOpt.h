@@ -1,0 +1,43 @@
+//===- core/PlanOpt.h - Shadow-code optimization ----------------*- C++ -*-===//
+//
+// Part of the Usher project, reproducing "Accelerating Dynamic Detection of
+// Uses of Undefined Values with Static Value-Flow Analysis" (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Dead-shadow-code elimination over an InstrumentationPlan. The paper's
+/// O1/O2 pipelines re-run the LLVM optimizer over the *instrumented*
+/// bitcode (Section 4.6, step 3), which deletes shadow computations whose
+/// results never reach a check; this pass models that step at the plan
+/// level. It is what narrows the MSan-vs-Usher gap at higher optimization
+/// levels: full instrumentation contains far more dead shadow code than a
+/// guided plan does.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef USHER_CORE_PLANOPT_H
+#define USHER_CORE_PLANOPT_H
+
+namespace usher {
+namespace ir {
+class Module;
+}
+
+namespace core {
+
+class InstrumentationPlan;
+
+/// Removes shadow operations whose written shadow state is provably never
+/// read by any surviving operation:
+///  - writes to a variable's shadow that no check, conjunction, transfer
+///    or memory-shadow write ever reads;
+///  - argument/return shadow transfers whose receiving side is dead.
+/// Memory-cell shadow writes are conservatively kept (cells are read
+/// through pointers). Returns the number of operations removed.
+unsigned optimizeShadowPlan(InstrumentationPlan &Plan, const ir::Module &M);
+
+} // namespace core
+} // namespace usher
+
+#endif // USHER_CORE_PLANOPT_H

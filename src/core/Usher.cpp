@@ -1,0 +1,152 @@
+//===- core/Usher.cpp - The Usher driver ------------------------------------===//
+//
+// Part of the Usher project, reproducing "Accelerating Dynamic Detection of
+// Uses of Undefined Values with Static Value-Flow Analysis" (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Usher.h"
+
+#include "core/OptII.h"
+#include "ir/IR.h"
+#include "support/Timer.h"
+
+using namespace usher;
+using namespace usher::core;
+using namespace usher::ir;
+
+const char *core::toolVariantName(ToolVariant V) {
+  switch (V) {
+  case ToolVariant::MSanFull:
+    return "MSAN";
+  case ToolVariant::UsherTL:
+    return "USHER-TL";
+  case ToolVariant::UsherTLAT:
+    return "USHER-TL+AT";
+  case ToolVariant::UsherOptI:
+    return "USHER-OPTI";
+  case ToolVariant::UsherFull:
+    return "USHER";
+  }
+  return "?";
+}
+
+static void collectModuleStats(const Module &M, UsherStatistics &Stats) {
+  Stats.NumInstructions = M.instructionCount();
+  for (const auto &F : M.functions())
+    Stats.NumTopLevelVars += F->variables().size();
+  uint64_t Uninit = 0, Total = 0;
+  for (const auto &Obj : M.objects()) {
+    if (Obj->getCloneOrigin())
+      continue; // Clones are analysis artifacts, not program objects.
+    ++Total;
+    if (!Obj->isInitialized())
+      ++Uninit;
+    switch (Obj->getRegion()) {
+    case Region::Stack:
+      ++Stats.NumStackObjects;
+      break;
+    case Region::Heap:
+      ++Stats.NumHeapObjects;
+      break;
+    case Region::Global:
+      ++Stats.NumGlobalObjects;
+      break;
+    }
+  }
+  Stats.PercentUninitObjects = Total ? 100.0 * Uninit / Total : 0.0;
+}
+
+UsherResult core::runUsher(Module &M, const UsherOptions &Opts) {
+  Timer Total;
+  UsherStatistics Stats;
+  collectModuleStats(M, Stats);
+
+  if (Opts.Variant == ToolVariant::MSanFull) {
+    UsherResult Result(buildFullInstrumentation(M));
+    Stats.AnalysisSeconds = Total.seconds();
+    Stats.StaticPropagations = Result.Plan.countPropagationReads();
+    Stats.StaticChecks = Result.Plan.countChecks();
+    Result.Stats = Stats;
+    return Result;
+  }
+
+  Timer Phase;
+  auto Record = [&](const char *Name) {
+    Stats.PhaseSeconds[Name] = Phase.seconds();
+    Phase.reset();
+  };
+
+  auto CG = std::make_unique<analysis::CallGraph>(M);
+  auto PA = std::make_unique<analysis::PointerAnalysis>(M, *CG, Opts.Pta);
+  Record("1.pointer-analysis");
+  auto MR = std::make_unique<analysis::ModRefAnalysis>(M, *CG, *PA);
+  auto SSA = std::make_unique<ssa::MemorySSA>(M, *PA, *MR);
+  Record("2.memory-ssa");
+  auto G = std::make_unique<vfg::VFG>(
+      vfg::VFGBuilder(M, *SSA, *PA, *CG, Opts.Vfg).build());
+  Record("3.vfg");
+
+  DefinednessOptions DefOpts;
+  DefOpts.ContextK = Opts.ContextK;
+  DefOpts.AddressTakenAware = Opts.Variant != ToolVariant::UsherTL;
+  auto Gamma = std::make_unique<Definedness>(*G, DefOpts);
+  Record("4.definedness");
+
+  // Opt II recomputes definedness on a graph with redirected edges; the
+  // resulting Gamma drives instrumentation over the *original* VFG so all
+  // shadow values stay correctly initialized (Algorithm 1).
+  if (Opts.Variant == ToolVariant::UsherFull) {
+    OptIIResult Opt2 =
+        runRedundantCheckElimination(M, *SSA, *PA, *CG, *G, *Gamma);
+    Stats.NumRedirectedNodes = Opt2.NumRedirectedNodes;
+    if (!Opt2.Redirects.empty())
+      Gamma = std::make_unique<Definedness>(*G, DefOpts, &Opt2.Redirects);
+    Record("5.opt2");
+  }
+
+  PlannerOptions POpts;
+  POpts.AddressTakenAware = Opts.Variant != ToolVariant::UsherTL;
+  POpts.OptI = Opts.Variant == ToolVariant::UsherOptI ||
+               Opts.Variant == ToolVariant::UsherFull;
+  InstrumentationPlanner Planner(M, *SSA, *G, *Gamma, POpts);
+  UsherResult Result(Planner.run());
+  Stats.NumSimplifiedMFCs = Planner.numSimplifiedMFCs();
+  Record("6.instrumentation");
+
+  // Statistics over the built analyses.
+  Stats.NumVFGNodes = G->numNodes();
+  Stats.NumVFGEdges = G->numEdges();
+  uint64_t StoreChis = G->numStrongStoreChis() + G->numSemiStrongStoreChis() +
+                       G->numWeakStoreChis();
+  if (StoreChis) {
+    Stats.PercentStrongStores = 100.0 * G->numStrongStoreChis() / StoreChis;
+    Stats.PercentWeakStores =
+        100.0 * (G->numSemiStrongStoreChis() + G->numWeakStoreChis()) /
+        StoreChis;
+  }
+  uint64_t HeapSites = 0, Cuts = 0;
+  for (const auto &Obj : M.objects())
+    if (Obj->isHeap() && !Obj->isArray())
+      ++HeapSites;
+  for (const auto &[ObjId, Count] : G->semiStrongCuts())
+    Cuts += Count;
+  Stats.SemiStrongCutsPerHeapSite =
+      HeapSites ? static_cast<double>(Cuts) / HeapSites : 0.0;
+  BitSet Reaching = computeCheckReaching(*G, *Gamma);
+  Stats.PercentReachingCheck =
+      G->numNodes() ? 100.0 * Reaching.count() / G->numNodes() : 0.0;
+  Stats.StaticPropagations = Result.Plan.countPropagationReads();
+  Stats.StaticChecks = Result.Plan.countChecks();
+  Stats.AnalysisSeconds = Total.seconds();
+  Stats.PeakRSSBytes = peakRSSBytes();
+
+  Result.Stats = std::move(Stats);
+  Result.CG = std::move(CG);
+  Result.PA = std::move(PA);
+  Result.MR = std::move(MR);
+  Result.SSA = std::move(SSA);
+  Result.G = std::move(G);
+  Result.Gamma = std::move(Gamma);
+  return Result;
+}

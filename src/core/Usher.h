@@ -1,0 +1,111 @@
+//===- core/Usher.h - The Usher driver --------------------------*- C++ -*-===//
+//
+// Part of the Usher project, reproducing "Accelerating Dynamic Detection of
+// Uses of Undefined Values with Static Value-Flow Analysis" (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Top-level entry point: runs the five-phase pipeline of Figure 3
+/// (pointer analysis, memory SSA construction, VFG building, definedness
+/// resolution, guided instrumentation with VFG-based optimizations) for a
+/// chosen tool variant, and collects the statistics behind Table 1.
+///
+/// The variants mirror the paper's evaluation:
+///  - MSanFull:   full instrumentation (the MSan baseline);
+///  - UsherTL:    top-level variables only, no Opt I / Opt II;
+///  - UsherTLAT:  top-level + address-taken variables;
+///  - UsherOptI:  UsherTLAT plus value-flow simplification;
+///  - UsherFull:  UsherOptI plus redundant check elimination.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef USHER_CORE_USHER_H
+#define USHER_CORE_USHER_H
+
+#include "analysis/CallGraph.h"
+#include "analysis/ModRef.h"
+#include "analysis/PointerAnalysis.h"
+#include "core/Definedness.h"
+#include "core/Instrumentation.h"
+#include "core/InstrumentationPlan.h"
+#include "ssa/MemorySSA.h"
+#include "vfg/VFG.h"
+
+#include <map>
+#include <memory>
+#include <string>
+
+namespace usher {
+namespace core {
+
+/// The tool variants compared in the paper's evaluation.
+enum class ToolVariant { MSanFull, UsherTL, UsherTLAT, UsherOptI, UsherFull };
+
+/// Returns the display name used in tables ("MSAN", "USHER-TL", ...).
+const char *toolVariantName(ToolVariant V);
+
+/// Pipeline configuration.
+struct UsherOptions {
+  ToolVariant Variant = ToolVariant::UsherFull;
+  /// Call-site sensitivity of definedness resolution (paper: 1).
+  unsigned ContextK = 1;
+  analysis::PtaOptions Pta;
+  vfg::VFGOptions Vfg;
+};
+
+/// Table 1 statistics plus phase timings.
+struct UsherStatistics {
+  double AnalysisSeconds = 0;
+  uint64_t PeakRSSBytes = 0;
+  uint64_t NumInstructions = 0;
+  uint64_t NumTopLevelVars = 0;
+  uint64_t NumStackObjects = 0;
+  uint64_t NumHeapObjects = 0;
+  uint64_t NumGlobalObjects = 0;
+  /// %F: percentage of address-taken objects uninitialized on allocation.
+  double PercentUninitObjects = 0;
+  /// S: semi-strong cuts per non-array heap allocation site.
+  double SemiStrongCutsPerHeapSite = 0;
+  /// %SU / %WU: store chis strongly updated / singleton-but-weak.
+  double PercentStrongStores = 0;
+  double PercentWeakStores = 0;
+  uint64_t NumVFGNodes = 0;
+  uint64_t NumVFGEdges = 0;
+  /// %B: VFG nodes reaching at least one needed runtime check.
+  double PercentReachingCheck = 0;
+  /// Opt I: simplified must-flow-from closures.
+  uint64_t NumSimplifiedMFCs = 0;
+  /// Opt II: nodes redirected to T.
+  uint64_t NumRedirectedNodes = 0;
+  /// Figure 11 numerators.
+  uint64_t StaticPropagations = 0;
+  uint64_t StaticChecks = 0;
+  /// Wall-clock seconds per pipeline phase.
+  std::map<std::string, double> PhaseSeconds;
+};
+
+/// Everything a run produces. The analyses are kept alive so examples and
+/// tests can inspect intermediate results (VFG, Gamma, points-to sets).
+struct UsherResult {
+  InstrumentationPlan Plan;
+  UsherStatistics Stats;
+
+  std::unique_ptr<analysis::CallGraph> CG;
+  std::unique_ptr<analysis::PointerAnalysis> PA;
+  std::unique_ptr<analysis::ModRefAnalysis> MR;
+  std::unique_ptr<ssa::MemorySSA> SSA;
+  std::unique_ptr<vfg::VFG> G;
+  std::unique_ptr<Definedness> Gamma;
+
+  explicit UsherResult(InstrumentationPlan Plan) : Plan(std::move(Plan)) {}
+};
+
+/// Runs the pipeline on \p M. The module must be verified and renumbered;
+/// heap cloning may add clone objects to it.
+UsherResult runUsher(ir::Module &M, const UsherOptions &Opts);
+
+} // namespace core
+} // namespace usher
+
+#endif // USHER_CORE_USHER_H

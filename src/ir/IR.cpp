@@ -1,0 +1,329 @@
+//===- ir/IR.cpp - TinyC intermediate representation ----------------------===//
+//
+// Part of the Usher project, reproducing "Accelerating Dynamic Detection of
+// Uses of Undefined Values with Static Value-Flow Analysis" (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/IR.h"
+
+#include "support/RawStream.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+using namespace usher;
+using namespace usher::ir;
+
+const char *ir::binOpcodeSpelling(BinOpcode Op) {
+  switch (Op) {
+  case BinOpcode::Add:
+    return "+";
+  case BinOpcode::Sub:
+    return "-";
+  case BinOpcode::Mul:
+    return "*";
+  case BinOpcode::Div:
+    return "/";
+  case BinOpcode::Rem:
+    return "%";
+  case BinOpcode::And:
+    return "&";
+  case BinOpcode::Or:
+    return "|";
+  case BinOpcode::Xor:
+    return "^";
+  case BinOpcode::Shl:
+    return "<<";
+  case BinOpcode::Shr:
+    return ">>";
+  case BinOpcode::CmpEQ:
+    return "==";
+  case BinOpcode::CmpNE:
+    return "!=";
+  case BinOpcode::CmpLT:
+    return "<";
+  case BinOpcode::CmpLE:
+    return "<=";
+  case BinOpcode::CmpGT:
+    return ">";
+  case BinOpcode::CmpGE:
+    return ">=";
+  }
+  return "?";
+}
+
+//===----------------------------------------------------------------------===//
+// Instruction
+//===----------------------------------------------------------------------===//
+
+void Instruction::collectOperands(std::vector<Operand> &Ops) const {
+  switch (K) {
+  case IKind::Copy:
+    Ops.push_back(cast<CopyInst>(this)->getSrc());
+    break;
+  case IKind::BinOp: {
+    const auto *B = cast<BinOpInst>(this);
+    Ops.push_back(B->getLHS());
+    Ops.push_back(B->getRHS());
+    break;
+  }
+  case IKind::Alloc:
+    break;
+  case IKind::FieldAddr: {
+    const auto *FA = cast<FieldAddrInst>(this);
+    Ops.push_back(FA->getBase());
+    Ops.push_back(FA->getIndex());
+    break;
+  }
+  case IKind::Load:
+    Ops.push_back(cast<LoadInst>(this)->getPtr());
+    break;
+  case IKind::Store: {
+    const auto *S = cast<StoreInst>(this);
+    Ops.push_back(S->getPtr());
+    Ops.push_back(S->getValue());
+    break;
+  }
+  case IKind::Call:
+    for (const Operand &Arg : cast<CallInst>(this)->getArgs())
+      Ops.push_back(Arg);
+    break;
+  case IKind::CondBr:
+    Ops.push_back(cast<CondBrInst>(this)->getCond());
+    break;
+  case IKind::Goto:
+    break;
+  case IKind::Ret: {
+    Operand V = cast<RetInst>(this)->getValue();
+    if (!V.isNone())
+      Ops.push_back(V);
+    break;
+  }
+  }
+}
+
+void Instruction::collectUsedVars(std::vector<Variable *> &Uses) const {
+  std::vector<Operand> Ops;
+  collectOperands(Ops);
+  for (const Operand &Op : Ops)
+    if (Op.isVar())
+      Uses.push_back(Op.getVar());
+}
+
+void Instruction::rewriteOperands(
+    const std::function<Operand(Operand)> &Fn) {
+  switch (K) {
+  case IKind::Copy: {
+    auto *C = cast<CopyInst>(this);
+    C->setSrc(Fn(C->getSrc()));
+    break;
+  }
+  case IKind::BinOp: {
+    auto *B = cast<BinOpInst>(this);
+    B->setLHS(Fn(B->getLHS()));
+    B->setRHS(Fn(B->getRHS()));
+    break;
+  }
+  case IKind::Alloc:
+    break;
+  case IKind::FieldAddr: {
+    auto *F = cast<FieldAddrInst>(this);
+    F->setBase(Fn(F->getBase()));
+    F->setIndex(Fn(F->getIndex()));
+    break;
+  }
+  case IKind::Load: {
+    auto *L = cast<LoadInst>(this);
+    L->setPtr(Fn(L->getPtr()));
+    break;
+  }
+  case IKind::Store: {
+    auto *S = cast<StoreInst>(this);
+    S->setPtr(Fn(S->getPtr()));
+    S->setValue(Fn(S->getValue()));
+    break;
+  }
+  case IKind::Call: {
+    auto *C = cast<CallInst>(this);
+    for (unsigned I = 0, E = C->getArgs().size(); I != E; ++I)
+      C->setArg(I, Fn(C->getArgs()[I]));
+    break;
+  }
+  case IKind::CondBr: {
+    auto *B = cast<CondBrInst>(this);
+    B->setCond(Fn(B->getCond()));
+    break;
+  }
+  case IKind::Goto:
+    break;
+  case IKind::Ret: {
+    auto *R = cast<RetInst>(this);
+    if (!R->getValue().isNone())
+      R->setValue(Fn(R->getValue()));
+    break;
+  }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// BasicBlock
+//===----------------------------------------------------------------------===//
+
+Instruction *BasicBlock::append(std::unique_ptr<Instruction> I) {
+  assert(I && "appending a null instruction");
+  I->setParent(this);
+  Insts.push_back(std::move(I));
+  return Insts.back().get();
+}
+
+Instruction *BasicBlock::insertAt(size_t Idx, std::unique_ptr<Instruction> I) {
+  assert(Idx <= Insts.size() && "insertion index out of range");
+  I->setParent(this);
+  auto It = Insts.insert(Insts.begin() + Idx, std::move(I));
+  return It->get();
+}
+
+Instruction *BasicBlock::getTerminator() const {
+  if (Insts.empty())
+    return nullptr;
+  Instruction *Last = Insts.back().get();
+  return Last->isTerminator() ? Last : nullptr;
+}
+
+void BasicBlock::getSuccessors(std::vector<BasicBlock *> &Succs) const {
+  Instruction *Term = getTerminator();
+  assert(Term && "querying successors of an unterminated block");
+  if (auto *CB = dyn_cast<CondBrInst>(Term)) {
+    Succs.push_back(CB->getTrueBB());
+    if (CB->getFalseBB() != CB->getTrueBB())
+      Succs.push_back(CB->getFalseBB());
+  } else if (auto *G = dyn_cast<GotoInst>(Term)) {
+    Succs.push_back(G->getTarget());
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Function
+//===----------------------------------------------------------------------===//
+
+Variable *Function::createVariable(const std::string &VarName, bool IsParam) {
+  auto V = std::make_unique<Variable>(VarName,
+                                      static_cast<unsigned>(Vars.size()), this,
+                                      IsParam);
+  Vars.push_back(std::move(V));
+  Variable *Result = Vars.back().get();
+  if (IsParam)
+    Params.push_back(Result);
+  return Result;
+}
+
+BasicBlock *Function::createBlock(const std::string &BlockName) {
+  auto BB = std::make_unique<BasicBlock>(
+      BlockName, static_cast<unsigned>(Blocks.size()), this);
+  Blocks.push_back(std::move(BB));
+  return Blocks.back().get();
+}
+
+size_t Function::instructionCount() const {
+  size_t N = 0;
+  for (const auto &BB : Blocks)
+    N += BB->size();
+  return N;
+}
+
+void Function::renumberBlocks() {
+  unsigned Id = 0;
+  for (auto &BB : Blocks)
+    BB->setId(Id++);
+}
+
+Variable *Function::findVariable(const std::string &VarName) const {
+  for (const auto &V : Vars)
+    if (V->getName() == VarName)
+      return V.get();
+  return nullptr;
+}
+
+bool Function::removeUnreachableBlocks() {
+  std::unordered_set<BasicBlock *> Reachable;
+  std::vector<BasicBlock *> Work{getEntry()};
+  while (!Work.empty()) {
+    BasicBlock *BB = Work.back();
+    Work.pop_back();
+    if (!Reachable.insert(BB).second)
+      continue;
+    std::vector<BasicBlock *> Succs;
+    BB->getSuccessors(Succs);
+    for (BasicBlock *S : Succs)
+      Work.push_back(S);
+  }
+  if (Reachable.size() == Blocks.size())
+    return false;
+  Blocks.erase(std::remove_if(Blocks.begin(), Blocks.end(),
+                              [&](const std::unique_ptr<BasicBlock> &BB) {
+                                return !Reachable.count(BB.get());
+                              }),
+               Blocks.end());
+  renumberBlocks();
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Module
+//===----------------------------------------------------------------------===//
+
+Function *Module::createFunction(const std::string &FnName) {
+  auto F = std::make_unique<Function>(FnName,
+                                      static_cast<unsigned>(Funcs.size()),
+                                      this);
+  Funcs.push_back(std::move(F));
+  return Funcs.back().get();
+}
+
+MemObject *Module::createObject(const std::string &ObjName, Region R,
+                                unsigned NumFields, bool Initialized,
+                                bool IsArray) {
+  auto Obj = std::make_unique<MemObject>(
+      ObjName, static_cast<unsigned>(Objects.size()), R, NumFields,
+      Initialized, IsArray);
+  Objects.push_back(std::move(Obj));
+  return Objects.back().get();
+}
+
+Function *Module::findFunction(const std::string &FnName) const {
+  for (const auto &F : Funcs)
+    if (F->getName() == FnName)
+      return F.get();
+  return nullptr;
+}
+
+MemObject *Module::findGlobal(const std::string &ObjName) const {
+  for (const auto &Obj : Objects)
+    if (Obj->isGlobal() && Obj->getName() == ObjName)
+      return Obj.get();
+  return nullptr;
+}
+
+void Module::purgeObjects(
+    const std::function<bool(const MemObject *)> &ShouldDrop) {
+  Objects.erase(std::remove_if(Objects.begin(), Objects.end(),
+                               [&](const std::unique_ptr<MemObject> &Obj) {
+                                 return ShouldDrop(Obj.get());
+                               }),
+                Objects.end());
+  // Object ids are dense indices; restore the invariant.
+  for (size_t Idx = 0; Idx != Objects.size(); ++Idx)
+    Objects[Idx]->setId(static_cast<unsigned>(Idx));
+}
+
+void Module::renumber() {
+  unsigned Id = 0;
+  for (auto &F : Funcs) {
+    F->renumberBlocks();
+    for (auto &BB : F->blocks())
+      for (auto &I : BB->instructions())
+        I->setId(Id++);
+  }
+  NumInsts = Id;
+}

@@ -1,0 +1,179 @@
+//===- ir/Printer.cpp - Textual TinyC output ------------------------------===//
+//
+// Part of the Usher project, reproducing "Accelerating Dynamic Detection of
+// Uses of Undefined Values with Static Value-Flow Analysis" (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Prints modules in the textual TinyC syntax accepted by the parser, so
+/// print -> parse round-trips to an equivalent module.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ir/IR.h"
+#include "support/RawStream.h"
+
+using namespace usher;
+using namespace usher::ir;
+
+static void printOperand(raw_ostream &OS, const Operand &Op) {
+  switch (Op.getKind()) {
+  case Operand::Kind::None:
+    OS << "<none>";
+    break;
+  case Operand::Kind::Const:
+    OS << Op.getConst();
+    break;
+  case Operand::Kind::Var:
+    OS << Op.getVar()->getName();
+    break;
+  case Operand::Kind::Global:
+    OS << Op.getGlobal()->getName();
+    break;
+  }
+}
+
+void Instruction::print(raw_ostream &OS) const {
+  switch (getKind()) {
+  case IKind::Copy: {
+    const auto *C = cast<CopyInst>(this);
+    OS << getDef()->getName() << " = ";
+    printOperand(OS, C->getSrc());
+    OS << ';';
+    break;
+  }
+  case IKind::BinOp: {
+    const auto *B = cast<BinOpInst>(this);
+    OS << getDef()->getName() << " = ";
+    printOperand(OS, B->getLHS());
+    OS << ' ' << binOpcodeSpelling(B->getOpcode()) << ' ';
+    printOperand(OS, B->getRHS());
+    OS << ';';
+    break;
+  }
+  case IKind::Alloc: {
+    const auto *A = cast<AllocInst>(this);
+    const MemObject *Obj = A->getObject();
+    OS << getDef()->getName() << " = alloc "
+       << (Obj->isHeap() ? "heap" : "stack") << ' ' << Obj->getNumFields()
+       << ' ' << (Obj->isInitialized() ? "init" : "uninit");
+    if (Obj->isArray())
+      OS << " array";
+    OS << ';';
+    break;
+  }
+  case IKind::FieldAddr: {
+    const auto *F = cast<FieldAddrInst>(this);
+    OS << getDef()->getName() << " = gep ";
+    printOperand(OS, F->getBase());
+    OS << ", ";
+    printOperand(OS, F->getIndex());
+    OS << ';';
+    break;
+  }
+  case IKind::Load: {
+    const auto *L = cast<LoadInst>(this);
+    OS << getDef()->getName() << " = *";
+    printOperand(OS, L->getPtr());
+    OS << ';';
+    break;
+  }
+  case IKind::Store: {
+    const auto *S = cast<StoreInst>(this);
+    OS << '*';
+    printOperand(OS, S->getPtr());
+    OS << " = ";
+    printOperand(OS, S->getValue());
+    OS << ';';
+    break;
+  }
+  case IKind::Call: {
+    const auto *C = cast<CallInst>(this);
+    if (getDef())
+      OS << getDef()->getName() << " = ";
+    OS << C->getCallee()->getName() << '(';
+    bool First = true;
+    for (const Operand &Arg : C->getArgs()) {
+      if (!First)
+        OS << ", ";
+      printOperand(OS, Arg);
+      First = false;
+    }
+    OS << ");";
+    break;
+  }
+  case IKind::CondBr: {
+    const auto *B = cast<CondBrInst>(this);
+    OS << "if ";
+    printOperand(OS, B->getCond());
+    OS << " goto " << B->getTrueBB()->getName() << "; goto "
+       << B->getFalseBB()->getName() << ';';
+    break;
+  }
+  case IKind::Goto:
+    OS << "goto " << cast<GotoInst>(this)->getTarget()->getName() << ';';
+    break;
+  case IKind::Ret: {
+    const auto *R = cast<RetInst>(this);
+    OS << "ret";
+    if (!R->getValue().isNone()) {
+      OS << ' ';
+      printOperand(OS, R->getValue());
+    }
+    OS << ';';
+    break;
+  }
+  }
+}
+
+void Module::print(raw_ostream &OS) const {
+  for (const auto &Obj : Objects) {
+    if (!Obj->isGlobal())
+      continue;
+    OS << "global " << Obj->getName() << '[' << Obj->getNumFields() << "] "
+       << (Obj->isInitialized() ? "init" : "uninit");
+    if (Obj->isArray())
+      OS << " array";
+    OS << ";\n";
+  }
+  for (const auto &F : Funcs) {
+    OS << "\nfunc " << F->getName() << '(';
+    bool First = true;
+    for (const Variable *P : F->params()) {
+      if (!First)
+        OS << ", ";
+      OS << P->getName();
+      First = false;
+    }
+    OS << ") {\n";
+    // Declare locals up front: the body may use a variable textually
+    // before its first assignment (e.g. when blocks are laid out in an
+    // order that differs from control flow).
+    bool AnyLocal = false;
+    for (const auto &V : F->variables())
+      AnyLocal |= !V->isParam();
+    if (AnyLocal) {
+      OS << "  var ";
+      bool FirstVar = true;
+      for (const auto &V : F->variables()) {
+        if (V->isParam())
+          continue;
+        if (!FirstVar)
+          OS << ", ";
+        OS << V->getName();
+        FirstVar = false;
+      }
+      OS << ";\n";
+    }
+    for (const auto &BB : F->blocks()) {
+      OS << BB->getName() << ":\n";
+      for (const auto &I : BB->instructions()) {
+        OS << "  ";
+        I->print(OS);
+        OS << '\n';
+      }
+    }
+    OS << "}\n";
+  }
+}

@@ -1,0 +1,83 @@
+//===- parser/Lexer.h - TinyC tokenizer -------------------------*- C++ -*-===//
+//
+// Part of the Usher project, reproducing "Accelerating Dynamic Detection of
+// Uses of Undefined Values with Static Value-Flow Analysis" (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tokenizer for the textual TinyC syntax. `//` starts a line comment.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef USHER_PARSER_LEXER_H
+#define USHER_PARSER_LEXER_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace usher {
+namespace parser {
+
+/// Token categories produced by the lexer.
+enum class TokenKind {
+  Eof,
+  Ident,
+  Int,
+  // Punctuation.
+  Assign,    // =
+  Semi,      // ;
+  Comma,     // ,
+  LParen,    // (
+  RParen,    // )
+  LBrace,    // {
+  RBrace,    // }
+  LBracket,  // [
+  RBracket,  // ]
+  Colon,     // :
+  Star,      // *
+  // Operators (other than Star, which doubles as dereference).
+  Plus,      // +
+  Minus,     // -
+  Slash,     // /
+  Percent,   // %
+  Amp,       // &
+  Pipe,      // |
+  Caret,     // ^
+  Shl,       // <<
+  Shr,       // >>
+  EqEq,      // ==
+  NotEq,     // !=
+  Less,      // <
+  LessEq,    // <=
+  Greater,   // >
+  GreaterEq, // >=
+  Error
+};
+
+/// A single token with source coordinates.
+struct Token {
+  TokenKind Kind = TokenKind::Eof;
+  std::string Text;
+  int64_t IntValue = 0;
+  unsigned Line = 0;
+  unsigned Col = 0;
+
+  bool is(TokenKind K) const { return Kind == K; }
+  /// True for an identifier spelled exactly \p Keyword.
+  bool isKeyword(std::string_view Keyword) const {
+    return Kind == TokenKind::Ident && Text == Keyword;
+  }
+};
+
+/// Tokenizes \p Source. On a lexical error a single Error token carrying a
+/// message is emitted at the offending position and lexing stops. The token
+/// stream always ends with an Eof token.
+std::vector<Token> tokenize(std::string_view Source);
+
+} // namespace parser
+} // namespace usher
+
+#endif // USHER_PARSER_LEXER_H

@@ -1,0 +1,66 @@
+//===- parser/Parser.h - TinyC text -> IR ------------------------*- C++ -*-===//
+//
+// Part of the Usher project, reproducing "Accelerating Dynamic Detection of
+// Uses of Undefined Values with Static Value-Flow Analysis" (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser for the textual TinyC syntax:
+///
+/// \code
+///   global buf[16] uninit array;
+///   func main() {
+///     p = alloc stack 4 uninit;
+///     q = gep p, 2;
+///     *q = 7;
+///     x = *q;
+///     if x goto done;
+///     x = x + 1;
+///   done:
+///     ret x;
+///   }
+/// \endcode
+///
+/// Functions may be referenced before their definition. Local variables are
+/// created implicitly on first assignment; *using* an unknown name is a
+/// parse error (this catches typos without requiring declarations).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef USHER_PARSER_PARSER_H
+#define USHER_PARSER_PARSER_H
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace usher {
+namespace ir {
+class Module;
+}
+
+namespace parser {
+
+/// The outcome of parsing: a module (possibly null) plus diagnostics.
+struct ParseResult {
+  std::unique_ptr<ir::Module> M;
+  std::vector<std::string> Errors;
+
+  bool succeeded() const { return M != nullptr && Errors.empty(); }
+};
+
+/// Parses \p Source into a renumbered TinyC module. On failure the result
+/// carries "line:col: message" diagnostics and a null module.
+ParseResult parseModule(std::string_view Source);
+
+/// Parses \p Source, verifying the result; aborts with diagnostics on any
+/// failure. Intended for tests, examples and embedded workloads where the
+/// source is trusted.
+std::unique_ptr<ir::Module> parseModuleOrAbort(std::string_view Source);
+
+} // namespace parser
+} // namespace usher
+
+#endif // USHER_PARSER_PARSER_H

@@ -1,0 +1,103 @@
+//===- runtime/Interpreter.h - Shadow-memory interpreter --------*- C++ -*-===//
+//
+// Part of the Usher project, reproducing "Accelerating Dynamic Detection of
+// Uses of Undefined Values with Static Value-Flow Analysis" (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A deterministic interpreter for TinyC that optionally executes an
+/// InstrumentationPlan alongside the program, exactly as an MSan-style
+/// runtime would: boolean shadows for top-level variables (per frame) and
+/// for memory cells, shadow transfer registers across calls, and runtime
+/// checks at critical operations.
+///
+/// Independently of any plan, the interpreter maintains an *oracle*: the
+/// precise definedness of every value. Oracle warnings are the ground
+/// truth that instrumented runs are compared against in tests, and the
+/// oracle is never charged to the modeled execution cost.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef USHER_RUNTIME_INTERPRETER_H
+#define USHER_RUNTIME_INTERPRETER_H
+
+#include "core/InstrumentationPlan.h"
+#include "runtime/CostModel.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace usher {
+namespace runtime {
+
+/// Why an execution stopped.
+enum class ExitReason {
+  Finished,       ///< main returned.
+  StepLimit,      ///< exceeded ExecLimits::MaxSteps.
+  Trap,           ///< wild pointer, out-of-range field, call-depth, ...
+};
+
+/// Resource limits for one execution.
+struct ExecLimits {
+  uint64_t MaxSteps = 200'000'000;
+  uint32_t MaxCallDepth = 4096;
+  uint32_t MaxInstances = 4'000'000;
+};
+
+/// A deduplicated runtime warning ("use of undefined value").
+struct Warning {
+  const ir::Instruction *At;
+  uint64_t Occurrences;
+};
+
+/// Everything one execution produced.
+struct ExecutionReport {
+  ExitReason Reason = ExitReason::Finished;
+  std::string TrapMessage;
+  int64_t MainResult = 0;
+
+  uint64_t Steps = 0;
+  double BaseCost = 0;
+  double ShadowCost = 0;
+  uint64_t DynShadowOps = 0; ///< Executed shadow operations (non-check).
+  uint64_t DynChecks = 0;    ///< Executed runtime checks.
+
+  /// Tool warnings (from plan checks), keyed by instruction id.
+  std::vector<Warning> ToolWarnings;
+  /// Ground-truth warnings: undefined values used at critical operations.
+  std::vector<Warning> OracleWarnings;
+
+  /// Modeled slowdown over native execution, in percent (the unit of
+  /// Figure 10). Zero when no plan was executed.
+  double slowdownPercent() const {
+    return BaseCost > 0 ? 100.0 * ShadowCost / BaseCost : 0.0;
+  }
+
+  /// True if a tool warning was recorded at \p I.
+  bool toolWarnedAt(const ir::Instruction *I) const;
+};
+
+/// Executes TinyC modules.
+class Interpreter {
+public:
+  /// Prepares to run \p M, optionally under \p Plan (null = native run).
+  /// Both must outlive the interpreter.
+  Interpreter(const ir::Module &M, const core::InstrumentationPlan *Plan,
+              CostModel Model = CostModel(), ExecLimits Limits = ExecLimits());
+  ~Interpreter();
+
+  /// Runs main() to completion (or a limit) and returns the report.
+  ExecutionReport run();
+
+private:
+  class Impl;
+  std::unique_ptr<Impl> PImpl;
+};
+
+} // namespace runtime
+} // namespace usher
+
+#endif // USHER_RUNTIME_INTERPRETER_H

@@ -1,0 +1,115 @@
+//===- support/BitSet.h - Dynamic bitset ------------------------*- C++ -*-===//
+//
+// Part of the Usher project, reproducing "Accelerating Dynamic Detection of
+// Uses of Undefined Values with Static Value-Flow Analysis" (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A dense dynamic bitset with the union/iteration operations the Andersen
+/// solver and mod/ref propagation need.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef USHER_SUPPORT_BITSET_H
+#define USHER_SUPPORT_BITSET_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace usher {
+
+/// Dense bitset over [0, size).
+class BitSet {
+public:
+  BitSet() = default;
+  explicit BitSet(size_t NumBits) { resize(NumBits); }
+
+  /// Grows (or shrinks) the universe; new bits start cleared.
+  void resize(size_t NumBits) {
+    Bits = NumBits;
+    Words.resize((NumBits + 63) / 64, 0);
+  }
+
+  size_t size() const { return Bits; }
+
+  bool test(size_t Idx) const {
+    assert(Idx < Bits && "bit index out of range");
+    return (Words[Idx >> 6] >> (Idx & 63)) & 1;
+  }
+
+  /// Sets the bit; returns true if it was previously clear.
+  bool set(size_t Idx) {
+    assert(Idx < Bits && "bit index out of range");
+    uint64_t Mask = 1ULL << (Idx & 63);
+    uint64_t &W = Words[Idx >> 6];
+    if (W & Mask)
+      return false;
+    W |= Mask;
+    return true;
+  }
+
+  void clear(size_t Idx) {
+    assert(Idx < Bits && "bit index out of range");
+    Words[Idx >> 6] &= ~(1ULL << (Idx & 63));
+  }
+
+  void clearAll() { Words.assign(Words.size(), 0); }
+
+  /// this |= Other; returns true if any bit changed.
+  bool unionWith(const BitSet &Other) {
+    assert(Bits == Other.Bits && "bitset size mismatch");
+    bool Changed = false;
+    for (size_t I = 0, E = Words.size(); I != E; ++I) {
+      uint64_t Old = Words[I];
+      Words[I] |= Other.Words[I];
+      Changed |= Words[I] != Old;
+    }
+    return Changed;
+  }
+
+  /// Number of set bits.
+  size_t count() const {
+    size_t N = 0;
+    for (uint64_t W : Words)
+      N += static_cast<size_t>(__builtin_popcountll(W));
+    return N;
+  }
+
+  bool empty() const {
+    for (uint64_t W : Words)
+      if (W)
+        return false;
+    return true;
+  }
+
+  /// Calls \p Fn(index) for every set bit in ascending order.
+  template <typename FnT> void forEach(FnT Fn) const {
+    for (size_t WI = 0, WE = Words.size(); WI != WE; ++WI) {
+      uint64_t W = Words[WI];
+      while (W) {
+        unsigned Bit = static_cast<unsigned>(__builtin_ctzll(W));
+        Fn(WI * 64 + Bit);
+        W &= W - 1;
+      }
+    }
+  }
+
+  /// Returns the set bits as a sorted vector.
+  std::vector<uint32_t> toVector() const {
+    std::vector<uint32_t> Result;
+    Result.reserve(count());
+    forEach([&](size_t Idx) { Result.push_back(static_cast<uint32_t>(Idx)); });
+    return Result;
+  }
+
+private:
+  size_t Bits = 0;
+  std::vector<uint64_t> Words;
+};
+
+} // namespace usher
+
+#endif // USHER_SUPPORT_BITSET_H

@@ -1,0 +1,58 @@
+//===- support/RNG.h - Deterministic pseudo-random numbers ------*- C++ -*-===//
+//
+// Part of the Usher project, reproducing "Accelerating Dynamic Detection of
+// Uses of Undefined Values with Static Value-Flow Analysis" (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A SplitMix64-based PRNG. Used by the random program generator and the
+/// property tests; deterministic across platforms so seeds are reproducible.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef USHER_SUPPORT_RNG_H
+#define USHER_SUPPORT_RNG_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace usher {
+
+/// Deterministic PRNG (SplitMix64). Not cryptographic; perfectly adequate
+/// for workload generation and property-test case selection.
+class RNG {
+public:
+  explicit RNG(uint64_t Seed) : State(Seed) {}
+
+  /// Returns the next 64-bit pseudo-random value.
+  uint64_t next() {
+    State += 0x9E3779B97F4A7C15ULL;
+    uint64_t Z = State;
+    Z = (Z ^ (Z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94D049BB133111EBULL;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Returns a value uniformly distributed in [0, Bound).
+  uint64_t below(uint64_t Bound) {
+    assert(Bound > 0 && "below() with zero bound");
+    return next() % Bound;
+  }
+
+  /// Returns a value uniformly distributed in [Lo, Hi] inclusive.
+  int64_t range(int64_t Lo, int64_t Hi) {
+    assert(Lo <= Hi && "range() with inverted bounds");
+    return Lo + static_cast<int64_t>(below(static_cast<uint64_t>(Hi - Lo + 1)));
+  }
+
+  /// Returns true with probability Percent / 100.
+  bool chance(unsigned Percent) { return below(100) < Percent; }
+
+private:
+  uint64_t State;
+};
+
+} // namespace usher
+
+#endif // USHER_SUPPORT_RNG_H

@@ -1,0 +1,17 @@
+//===- support/Statistic.cpp - Named statistic counters ------------------===//
+//
+// Part of the Usher project, reproducing "Accelerating Dynamic Detection of
+// Uses of Undefined Values with Static Value-Flow Analysis" (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Statistic.h"
+
+#include "support/RawStream.h"
+
+using namespace usher;
+
+void StatisticRegistry::print(raw_ostream &OS) const {
+  for (const auto &[Name, Value] : Counters)
+    OS << Name << " = " << Value << '\n';
+}

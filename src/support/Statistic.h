@@ -1,0 +1,58 @@
+//===- support/Statistic.h - Named statistic counters -----------*- C++ -*-===//
+//
+// Part of the Usher project, reproducing "Accelerating Dynamic Detection of
+// Uses of Undefined Values with Static Value-Flow Analysis" (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A tiny registry of named counters, in the spirit of llvm::Statistic but
+/// without global constructors: counters live in an explicit registry object
+/// that analyses thread through their contexts.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef USHER_SUPPORT_STATISTIC_H
+#define USHER_SUPPORT_STATISTIC_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace usher {
+
+class raw_ostream;
+
+/// Collects named counters during an analysis run.
+class StatisticRegistry {
+public:
+  /// Adds \p Delta to the counter named \p Name, creating it at zero first.
+  void add(const std::string &Name, uint64_t Delta = 1) {
+    Counters[Name] += Delta;
+  }
+
+  /// Sets the counter named \p Name to \p Value.
+  void set(const std::string &Name, uint64_t Value) { Counters[Name] = Value; }
+
+  /// Returns the value of the counter named \p Name, or 0 if absent.
+  uint64_t get(const std::string &Name) const {
+    auto It = Counters.find(Name);
+    return It == Counters.end() ? 0 : It->second;
+  }
+
+  /// Prints all counters, sorted by name, one per line.
+  void print(raw_ostream &OS) const;
+
+  /// Removes all counters.
+  void clear() { Counters.clear(); }
+
+  /// Returns the underlying counter map (sorted by name).
+  const std::map<std::string, uint64_t> &counters() const { return Counters; }
+
+private:
+  std::map<std::string, uint64_t> Counters;
+};
+
+} // namespace usher
+
+#endif // USHER_SUPPORT_STATISTIC_H

@@ -1,0 +1,516 @@
+//===- vfg/VFG.cpp - Value-flow graph construction -------------------------===//
+//
+// Part of the Usher project, reproducing "Accelerating Dynamic Detection of
+// Uses of Undefined Values with Static Value-Flow Analysis" (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+
+#include "vfg/VFG.h"
+
+#include "analysis/CallGraph.h"
+#include "analysis/PointerAnalysis.h"
+#include "ir/IR.h"
+#include "support/RawStream.h"
+
+#include <cassert>
+#include <unordered_set>
+
+using namespace usher;
+using namespace usher::vfg;
+using namespace usher::ir;
+using ssa::ChiKind;
+using ssa::DefDesc;
+using ssa::FunctionSSA;
+using ssa::InstSSA;
+using ssa::MemDef;
+using ssa::Space;
+using ssa::VarKey;
+
+//===----------------------------------------------------------------------===//
+// VFG queries
+//===----------------------------------------------------------------------===//
+
+uint32_t VFG::nodeId(const Function *Fn, VarKey Key, uint32_t Version) const {
+  uint32_t Id = findNode(Fn, Key, Version);
+  assert(Id != ~0u && "VFG node does not exist");
+  return Id;
+}
+
+uint32_t VFG::findNode(const Function *Fn, VarKey Key,
+                       uint32_t Version) const {
+  auto It = NodeIds.find(NodeRef{Fn, Key, Version});
+  return It == NodeIds.end() ? ~0u : It->second;
+}
+
+UpdateKind VFG::storeUpdateKind(const Instruction *I, uint32_t Loc) const {
+  uint64_t Key = (static_cast<uint64_t>(I->getId()) << 32) | Loc;
+  auto It = StoreKinds.find(Key);
+  assert(It != StoreKinds.end() && "no chi recorded for this store/loc");
+  return It->second;
+}
+
+void VFG::dumpDot(raw_ostream &OS) const {
+  OS << "digraph VFG {\n  rankdir=BT;\n";
+  for (uint32_t Id = 0; Id != numNodes(); ++Id) {
+    OS << "  n" << Id << " [label=\"";
+    if (Id == RootT) {
+      OS << "T";
+    } else if (Id == RootF) {
+      OS << "F";
+    } else {
+      const NodeData &N = Nodes[Id];
+      OS << N.Fn->getName() << ':';
+      if (N.Key.Sp == Space::TopLevel)
+        OS << "tl" << N.Key.Id;
+      else
+        OS << "mem" << N.Key.Id;
+      OS << 'v' << N.Version;
+    }
+    OS << "\"];\n";
+  }
+  for (uint32_t Id = 0; Id != numNodes(); ++Id) {
+    for (const Edge &E : Deps[Id]) {
+      OS << "  n" << Id << " -> n" << E.Node;
+      if (E.Kind == EdgeKind::Call)
+        OS << " [color=blue, label=\"c" << E.CallSite << "\"]";
+      else if (E.Kind == EdgeKind::Ret)
+        OS << " [color=red, label=\"r" << E.CallSite << "\"]";
+      OS << ";\n";
+    }
+  }
+  OS << "}\n";
+}
+
+//===----------------------------------------------------------------------===//
+// VFGBuilder
+//===----------------------------------------------------------------------===//
+
+uint32_t VFGBuilder::getNode(const Function *Fn, VarKey Key,
+                             uint32_t Version) {
+  VFG::NodeRef Ref{Fn, Key, Version};
+  auto It = G.NodeIds.find(Ref);
+  if (It != G.NodeIds.end())
+    return It->second;
+  uint32_t Id = static_cast<uint32_t>(G.Nodes.size());
+  G.Nodes.push_back({Fn, Key, Version});
+  G.Deps.emplace_back();
+  G.Users.emplace_back();
+  G.NodeIds.emplace(Ref, Id);
+  return Id;
+}
+
+void VFGBuilder::addDep(uint32_t From, uint32_t To, EdgeKind Kind,
+                        uint32_t CallSite) {
+  for (const Edge &E : G.Deps[From])
+    if (E.Node == To && E.Kind == Kind && E.CallSite == CallSite)
+      return;
+  G.Deps[From].push_back({To, Kind, CallSite});
+  G.Users[To].push_back({From, Kind, CallSite});
+  ++G.NumEdges;
+}
+
+uint32_t VFGBuilder::operandNode(const Function *Fn, const InstSSA &Info,
+                                 const Operand &Op) {
+  if (Op.isConst() || Op.isGlobal())
+    return VFG::RootT; // Constants and global addresses are always defined.
+  assert(Op.isVar() && "unexpected operand kind");
+  for (const ssa::TLUse &Use : Info.TLUses)
+    if (Use.Var == Op.getVar())
+      return getNode(Fn, {Space::TopLevel, Op.getVar()->getId()},
+                     Use.Version);
+  assert(false && "operand variable has no recorded SSA use");
+  return VFG::RootT;
+}
+
+/// Returns true when the stored-through pointer's value is a phi-free
+/// chain of copies and field-address computations from \p Anchor's def:
+/// the pointer then necessarily targets the instance allocated by the
+/// *most recent* execution of the anchor (geps change the field, never
+/// the instance; the chi's location already identifies the field).
+static bool ptrDerivedFromAnchor(const FunctionSSA &FS, const Variable *Var,
+                                 uint32_t Version,
+                                 const Instruction *Anchor) {
+  for (unsigned Steps = 0; Steps < 64; ++Steps) {
+    const DefDesc &Desc = FS.defOf({Space::TopLevel, Var->getId()}, Version);
+    if (Desc.K != DefDesc::Kind::Inst)
+      return false;
+    if (Desc.I == Anchor)
+      return true;
+    Operand Next;
+    if (const auto *C = dyn_cast<CopyInst>(Desc.I))
+      Next = C->getSrc();
+    else if (const auto *G = dyn_cast<FieldAddrInst>(Desc.I))
+      Next = G->getBase();
+    else
+      return false;
+    if (!Next.isVar())
+      return false;
+    const InstSSA *StepInfo = FS.instInfo(Desc.I);
+    assert(StepInfo && "chain step in reachable code lacks SSA info");
+    Var = Next.getVar();
+    Version = ~0u;
+    for (const ssa::TLUse &Use : StepInfo->TLUses)
+      if (Use.Var == Var)
+        Version = Use.Version;
+    assert(Version != ~0u && "chain source has no recorded use");
+  }
+  return false;
+}
+
+bool VFGBuilder::safeBypass(const FunctionSSA &FS, uint32_t Loc,
+                            uint32_t FromVersion, uint32_t AnchorNewVersion,
+                            const Instruction *Anchor) {
+  VarKey Key{Space::Memory, Loc};
+  std::unordered_set<uint32_t> Visited;
+  std::vector<uint32_t> Work{FromVersion};
+  while (!Work.empty()) {
+    uint32_t V = Work.back();
+    Work.pop_back();
+    if (V == AnchorNewVersion || !Visited.insert(V).second)
+      continue;
+    const DefDesc &Desc = FS.defOf(Key, V);
+    switch (Desc.K) {
+    case DefDesc::Kind::Entry:
+      return false; // Escaped above the anchor: should not happen when the
+                    // anchor dominates, but be conservative.
+    case DefDesc::Kind::Phi: {
+      const ssa::PhiNode &Phi = FS.phisIn(Desc.PhiBlock)[Desc.PhiIdx];
+      for (const auto &[Pred, InVersion] : Phi.Incoming)
+        Work.push_back(InVersion);
+      break;
+    }
+    case DefDesc::Kind::Inst: {
+      const auto *St = dyn_cast<StoreInst>(Desc.I);
+      if (!St)
+        return false; // A call or another allocation intervenes.
+      // The intervening store must itself definitely write the current
+      // instance, so that our store's bypass cannot hide its value.
+      const std::vector<uint32_t> &Pts = PA.pointsTo(St->getPtr());
+      if (Pts.size() != 1 || Pts[0] != Loc)
+        return false;
+      if (!St->getPtr().isVar())
+        return false;
+      const InstSSA *StInfo = FS.instInfo(St);
+      uint32_t PtrVersion = ~0u;
+      for (const ssa::TLUse &Use : StInfo->TLUses)
+        if (Use.Var == St->getPtr().getVar())
+          PtrVersion = Use.Version;
+      if (!ptrDerivedFromAnchor(FS, St->getPtr().getVar(), PtrVersion,
+                                Anchor))
+        return false;
+      // Continue above this store's chi.
+      for (const MemDef &Chi : StInfo->Chis)
+        if (Chi.Loc == Loc)
+          Work.push_back(Chi.OldVersion);
+      break;
+    }
+    }
+  }
+  return true;
+}
+
+void VFGBuilder::buildStoreChis(const Function &F, const StoreInst &St,
+                                const InstSSA &Info) {
+  const FunctionSSA &FS = SSA.get(&F);
+  const std::vector<uint32_t> &Pts = PA.pointsTo(St.getPtr());
+  uint32_t ValueNode = operandNode(&F, Info, St.getValue());
+
+  for (const MemDef &Chi : Info.Chis) {
+    assert(Chi.Kind == ChiKind::Store && "non-store chi at a store");
+    uint32_t NewNode = getNode(&F, {Space::Memory, Chi.Loc}, Chi.NewVersion);
+    addDep(NewNode, ValueNode, EdgeKind::Direct);
+
+    const MemObject *Obj = PA.location(Chi.Loc).Obj;
+    bool Singleton = Pts.size() == 1 && !PA.isCollapsedLoc(Chi.Loc);
+    uint64_t StatKey = (static_cast<uint64_t>(St.getId()) << 32) | Chi.Loc;
+
+    // Traditional strong update: one concrete cell.
+    if (Opts.StrongUpdates && Singleton && !Obj->isHeap()) {
+      bool OneInstance = Obj->isGlobal();
+      if (Obj->isStack()) {
+        const Function *AllocFn = Obj->getAllocSite()
+                                      ? Obj->getAllocSite()
+                                            ->getParent()
+                                            ->getParent()
+                                      : nullptr;
+        OneInstance = AllocFn && !CG->isRecursive(AllocFn);
+      }
+      if (OneInstance) {
+        G.StoreKinds[StatKey] = UpdateKind::Strong;
+        ++G.NumStrong;
+        continue; // Old version killed: no edge to Chi.OldVersion.
+      }
+    }
+
+    // Semi-strong update: singleton abstract heap object whose unique
+    // allocation anchor dominates this store, the pointer provably holds
+    // the freshest instance, and the bypassed chain only writes that
+    // instance.
+    if (Opts.SemiStrongUpdates && Singleton && Obj->isHeap()) {
+      Instruction *Anchor = Obj->getAllocSite();
+      if (Anchor && Anchor->getParent()->getParent() == &F &&
+          Anchor->getDef() && FS.getDomTree().dominates(Anchor, &St) &&
+          St.getPtr().isVar()) {
+        uint32_t PtrVersion = ~0u;
+        for (const ssa::TLUse &Use : Info.TLUses)
+          if (Use.Var == St.getPtr().getVar())
+            PtrVersion = Use.Version;
+        const InstSSA *AnchorInfo = FS.instInfo(Anchor);
+        const MemDef *AnchorChi = nullptr;
+        for (const MemDef &AChi : AnchorInfo->Chis)
+          if (AChi.Loc == Chi.Loc)
+            AnchorChi = &AChi;
+        if (AnchorChi &&
+            ptrDerivedFromAnchor(FS, St.getPtr().getVar(), PtrVersion,
+                                 Anchor) &&
+            safeBypass(FS, Chi.Loc, Chi.OldVersion, AnchorChi->NewVersion,
+                       Anchor)) {
+          // Redirect the old-version edge to the version *before* the
+          // allocation, bypassing the allocation's undefinedness.
+          uint32_t BypassNode =
+              getNode(&F, {Space::Memory, Chi.Loc}, AnchorChi->OldVersion);
+          addDep(NewNode, BypassNode, EdgeKind::Direct);
+          G.StoreKinds[StatKey] = UpdateKind::SemiStrong;
+          ++G.NumSemi;
+          ++G.SemiStrongCuts[Obj->getId()];
+          continue;
+        }
+      }
+    }
+
+    // Weak update: merge with the previous version.
+    uint32_t OldNode = getNode(&F, {Space::Memory, Chi.Loc}, Chi.OldVersion);
+    addDep(NewNode, OldNode, EdgeKind::Direct);
+    G.StoreKinds[StatKey] = UpdateKind::Weak;
+    ++G.NumWeak;
+  }
+}
+
+void VFGBuilder::buildCall(const Function &F, const CallInst &Call,
+                           const InstSSA &Info) {
+  const Function *Callee = Call.getCallee();
+  const FunctionSSA &CalleeSSA = SSA.get(Callee);
+  uint32_t CallSite = Call.getId();
+
+  // Actual -> formal for top-level parameters.
+  const auto &Params = Callee->params();
+  for (size_t Idx = 0; Idx != Params.size(); ++Idx) {
+    uint32_t Formal =
+        getNode(Callee, {Space::TopLevel, Params[Idx]->getId()}, 0);
+    uint32_t Actual = operandNode(&F, Info, Call.getArgs()[Idx]);
+    addDep(Formal, Actual, EdgeKind::Call, CallSite);
+  }
+
+  // Collect the callee's reachable returns once.
+  std::vector<std::pair<const RetInst *, const InstSSA *>> Rets;
+  for (const auto &BB : Callee->blocks())
+    for (const auto &I : BB->instructions())
+      if (const auto *R = dyn_cast<RetInst>(I.get()))
+        if (const InstSSA *RInfo = CalleeSSA.instInfo(R))
+          Rets.push_back({R, RInfo});
+
+  // Return value -> call result.
+  if (Call.getDef()) {
+    uint32_t Result = getNode(&F, {Space::TopLevel, Call.getDef()->getId()},
+                              Info.TLDefVersion);
+    for (const auto &[R, RInfo] : Rets) {
+      if (R->getValue().isNone()) {
+        // Capturing the result of a void return yields an undefined value.
+        addDep(Result, VFG::RootF, EdgeKind::Ret, CallSite);
+      } else {
+        addDep(Result, operandNode(Callee, *RInfo, R->getValue()),
+               EdgeKind::Ret, CallSite);
+      }
+    }
+  }
+
+  // Version of every location visible just before the call.
+  std::unordered_map<uint32_t, uint32_t> VersionAtCall;
+  for (const ssa::MemUse &Mu : Info.Mus)
+    VersionAtCall[Mu.Loc] = Mu.Version;
+  for (const MemDef &Chi : Info.Chis)
+    VersionAtCall.emplace(Chi.Loc, Chi.OldVersion);
+
+  // Caller state -> callee virtual input parameters. Wrapper origins have
+  // no caller-side version (they are cloned away) and take no input.
+  for (uint32_t Loc : CalleeSSA.formalIns()) {
+    auto It = VersionAtCall.find(Loc);
+    if (It == VersionAtCall.end())
+      continue;
+    uint32_t FormalIn = getNode(Callee, {Space::Memory, Loc}, 0);
+    addDep(FormalIn, getNode(&F, {Space::Memory, Loc}, It->second),
+           EdgeKind::Call, CallSite);
+  }
+
+  // Chis at the call: clone allocations behave like allocation sites; mod
+  // chis receive the callee's virtual output parameters.
+  const Function *OwnFn = &F;
+  for (const MemDef &Chi : Info.Chis) {
+    uint32_t NewNode =
+        getNode(OwnFn, {Space::Memory, Chi.Loc}, Chi.NewVersion);
+    if (Chi.Kind == ChiKind::CloneAlloc) {
+      const MemObject *Clone = PA.location(Chi.Loc).Obj;
+      addDep(NewNode, Clone->isInitialized() ? VFG::RootT : VFG::RootF,
+             EdgeKind::Direct);
+      addDep(NewNode,
+             getNode(OwnFn, {Space::Memory, Chi.Loc}, Chi.OldVersion),
+             EdgeKind::Direct);
+      continue;
+    }
+    assert(Chi.Kind == ChiKind::CallMod && "unexpected chi kind at call");
+    for (const auto &[R, RInfo] : Rets) {
+      for (const ssa::MemUse &Mu : RInfo->Mus) {
+        if (Mu.Loc == Chi.Loc) {
+          addDep(NewNode, getNode(Callee, {Space::Memory, Chi.Loc},
+                                  Mu.Version),
+                 EdgeKind::Ret, CallSite);
+          break;
+        }
+      }
+    }
+  }
+}
+
+void VFGBuilder::buildInstruction(const Function &F, const Instruction &I,
+                                  const InstSSA &Info) {
+  switch (I.getKind()) {
+  case Instruction::IKind::Copy: {
+    const auto *C = cast<CopyInst>(&I);
+    uint32_t Def = getNode(&F, {Space::TopLevel, C->getDef()->getId()},
+                           Info.TLDefVersion);
+    addDep(Def, operandNode(&F, Info, C->getSrc()), EdgeKind::Direct);
+    break;
+  }
+  case Instruction::IKind::BinOp: {
+    const auto *B = cast<BinOpInst>(&I);
+    uint32_t Def = getNode(&F, {Space::TopLevel, B->getDef()->getId()},
+                           Info.TLDefVersion);
+    addDep(Def, operandNode(&F, Info, B->getLHS()), EdgeKind::Direct);
+    addDep(Def, operandNode(&F, Info, B->getRHS()), EdgeKind::Direct);
+    break;
+  }
+  case Instruction::IKind::FieldAddr: {
+    const auto *FA = cast<FieldAddrInst>(&I);
+    uint32_t Def = getNode(&F, {Space::TopLevel, FA->getDef()->getId()},
+                           Info.TLDefVersion);
+    addDep(Def, operandNode(&F, Info, FA->getBase()), EdgeKind::Direct);
+    addDep(Def, operandNode(&F, Info, FA->getIndex()), EdgeKind::Direct);
+    break;
+  }
+  case Instruction::IKind::Alloc: {
+    const auto *A = cast<AllocInst>(&I);
+    // The pointer itself is defined; each field of the fresh object is
+    // defined (alloc_T) or undefined (alloc_F), merged with the other
+    // instances of the abstract object.
+    uint32_t Def = getNode(&F, {Space::TopLevel, A->getDef()->getId()},
+                           Info.TLDefVersion);
+    addDep(Def, VFG::RootT, EdgeKind::Direct);
+    uint32_t InitRoot =
+        A->getObject()->isInitialized() ? VFG::RootT : VFG::RootF;
+    for (const MemDef &Chi : Info.Chis) {
+      uint32_t NewNode =
+          getNode(&F, {Space::Memory, Chi.Loc}, Chi.NewVersion);
+      addDep(NewNode, InitRoot, EdgeKind::Direct);
+      addDep(NewNode, getNode(&F, {Space::Memory, Chi.Loc}, Chi.OldVersion),
+             EdgeKind::Direct);
+    }
+    break;
+  }
+  case Instruction::IKind::Load: {
+    const auto *L = cast<LoadInst>(&I);
+    uint32_t Def = getNode(&F, {Space::TopLevel, L->getDef()->getId()},
+                           Info.TLDefVersion);
+    for (const ssa::MemUse &Mu : Info.Mus)
+      addDep(Def, getNode(&F, {Space::Memory, Mu.Loc}, Mu.Version),
+             EdgeKind::Direct);
+    if (L->getPtr().isVar())
+      G.CriticalUses.push_back(
+          {&I, L->getPtr().getVar(),
+           operandNode(&F, Info, L->getPtr())});
+    break;
+  }
+  case Instruction::IKind::Store: {
+    const auto *St = cast<StoreInst>(&I);
+    buildStoreChis(F, *St, Info);
+    if (St->getPtr().isVar())
+      G.CriticalUses.push_back(
+          {&I, St->getPtr().getVar(),
+           operandNode(&F, Info, St->getPtr())});
+    break;
+  }
+  case Instruction::IKind::Call:
+    buildCall(F, *cast<CallInst>(&I), Info);
+    break;
+  case Instruction::IKind::CondBr: {
+    const auto *B = cast<CondBrInst>(&I);
+    if (B->getCond().isVar())
+      G.CriticalUses.push_back(
+          {&I, B->getCond().getVar(),
+           operandNode(&F, Info, B->getCond())});
+    break;
+  }
+  case Instruction::IKind::Goto:
+  case Instruction::IKind::Ret:
+    // Returns contribute edges at their call sites; mus at returns are
+    // read by buildCall through the callee's SSA info.
+    break;
+  }
+}
+
+void VFGBuilder::buildFunction(const Function &F) {
+  const FunctionSSA &FS = SSA.get(&F);
+
+  for (const auto &BB : F.blocks()) {
+    if (!FS.getCFG().isReachable(BB->getId()))
+      continue;
+    // Phi nodes.
+    for (const ssa::PhiNode &Phi : FS.phisIn(BB.get())) {
+      uint32_t Result = getNode(&F, Phi.Var, Phi.ResultVersion);
+      for (const auto &[Pred, Version] : Phi.Incoming)
+        addDep(Result, getNode(&F, Phi.Var, Version), EdgeKind::Direct);
+    }
+    for (const auto &I : BB->instructions()) {
+      const InstSSA *Info = FS.instInfo(I.get());
+      assert(Info && "reachable instruction lacks SSA info");
+      buildInstruction(F, *I, *Info);
+    }
+  }
+}
+
+VFG VFGBuilder::build() {
+  // Nodes 0 and 1 are the T and F roots.
+  G.Nodes.resize(2);
+  G.Deps.resize(2);
+  G.Users.resize(2);
+
+  for (const auto &F : M.functions())
+    buildFunction(*F);
+
+  // Entry (version 0) nodes referenced anywhere now get their root edges.
+  // Formal parameters and virtual input parameters already received call
+  // edges above; everything else is rooted here.
+  const Function *Main = M.findFunction("main");
+  for (uint32_t Id = 2; Id != G.numNodes(); ++Id) {
+    const VFG::NodeData &N = G.Nodes[Id];
+    if (N.Version != 0)
+      continue;
+    if (N.Key.Sp == Space::TopLevel) {
+      const Variable *V =
+          N.Fn->variables()[N.Key.Id].get();
+      if (!V->isParam())
+        addDep(Id, VFG::RootF, EdgeKind::Direct);
+      // Parameters: call edges only; a never-called function stays T.
+    } else if (N.Fn == Main) {
+      // Program start: globals are defined iff declared `init`; stack and
+      // heap locations have no live instances yet, hence no undefined
+      // value can be read from them before their allocation runs.
+      const MemObject *Obj = PA.location(N.Key.Id).Obj;
+      if (Obj->isGlobal())
+        addDep(Id, Obj->isInitialized() ? VFG::RootT : VFG::RootF,
+               EdgeKind::Direct);
+      else
+        addDep(Id, VFG::RootT, EdgeKind::Direct);
+    }
+  }
+  return std::move(G);
+}

@@ -1,0 +1,216 @@
+//===- vfg/VFG.h - Value-flow graph ------------------------------*- C++ -*-===//
+//
+// Part of the Usher project, reproducing "Accelerating Dynamic Detection of
+// Uses of Undefined Values with Static Value-Flow Analysis" (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The value-flow graph of Section 3.2: one node per SSA definition (both
+/// top-level and address-taken) plus the two roots T (defined) and F
+/// (undefined). An edge v -> w is a *dependency* edge: the value of v
+/// depends on the value of w; undefinedness flows from F against the edge
+/// direction. Interprocedural edges carry a call-site label so definedness
+/// resolution can match calls and returns (Section 3.3).
+///
+/// Stores are translated with three update flavors (the paper's key
+/// mechanism):
+///  - strong:      the pointer uniquely targets one concrete cell; the old
+///                 version is killed.
+///  - semi-strong: the pointer uniquely targets one abstract heap object
+///                 whose unique allocation site dominates the store; the
+///                 edge to the old version is redirected to the version
+///                 before the allocation, bypassing the allocation's F.
+///  - weak:        everything else; old and new values merge.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef USHER_VFG_VFG_H
+#define USHER_VFG_VFG_H
+
+#include "ssa/MemorySSA.h"
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace usher {
+
+class raw_ostream;
+
+namespace ir {
+class Function;
+class Instruction;
+class Module;
+class Variable;
+} // namespace ir
+
+namespace analysis {
+class CallGraph;
+class PointerAnalysis;
+} // namespace analysis
+
+namespace vfg {
+
+/// Edge labels for context-sensitive reachability.
+enum class EdgeKind : uint8_t {
+  Direct, ///< Intraprocedural value flow.
+  Call,   ///< Into a callee (actual -> formal); labeled with the call site.
+  Ret     ///< Out of a callee (return -> result); labeled with the call site.
+};
+
+/// One dependency edge.
+struct Edge {
+  uint32_t Node;             ///< The node depended on / the dependent user.
+  EdgeKind Kind;
+  uint32_t CallSite = ~0u;   ///< Instruction id of the CallInst, if labeled.
+};
+
+/// How a particular store's chi was translated.
+enum class UpdateKind : uint8_t { Strong, SemiStrong, Weak };
+
+/// The value-flow graph of a whole program.
+class VFG {
+public:
+  /// Ids of the two root nodes.
+  static constexpr uint32_t RootT = 0;
+  static constexpr uint32_t RootF = 1;
+
+  /// Payload of a non-root node: a versioned SSA variable of one function.
+  struct NodeData {
+    const ir::Function *Fn = nullptr;
+    ssa::VarKey Key{ssa::Space::TopLevel, 0};
+    uint32_t Version = 0;
+  };
+
+  /// A use of a top-level variable at a critical operation.
+  struct CriticalUse {
+    const ir::Instruction *I;
+    const ir::Variable *Var;
+    uint32_t Node;
+  };
+
+  uint32_t numNodes() const { return static_cast<uint32_t>(Nodes.size()); }
+  bool isRoot(uint32_t Id) const { return Id == RootT || Id == RootF; }
+  const NodeData &node(uint32_t Id) const { return Nodes[Id]; }
+
+  /// Dependency edges of \p Id (what its value is computed from).
+  const std::vector<Edge> &deps(uint32_t Id) const { return Deps[Id]; }
+
+  /// Reverse edges of \p Id (who consumes its value).
+  const std::vector<Edge> &users(uint32_t Id) const { return Users[Id]; }
+
+  /// Id of an existing node; asserts that it exists.
+  uint32_t nodeId(const ir::Function *Fn, ssa::VarKey Key,
+                  uint32_t Version) const;
+
+  /// Id of a node, or ~0u if it was never created.
+  uint32_t findNode(const ir::Function *Fn, ssa::VarKey Key,
+                    uint32_t Version) const;
+
+  /// All uses of top-level variables at critical operations.
+  const std::vector<CriticalUse> &criticalUses() const {
+    return CriticalUses;
+  }
+
+  /// Update flavor of the chi for \p Loc at store \p I.
+  UpdateKind storeUpdateKind(const ir::Instruction *I, uint32_t Loc) const;
+
+  /// Number of semi-strong cuts performed, per allocation anchor object id
+  /// (the S column of Table 1 aggregates this).
+  const std::unordered_map<uint32_t, uint32_t> &semiStrongCuts() const {
+    return SemiStrongCuts;
+  }
+
+  /// Counts of stores by update flavor (for Table 1's %SU / %WU).
+  uint64_t numStrongStoreChis() const { return NumStrong; }
+  uint64_t numSemiStrongStoreChis() const { return NumSemi; }
+  uint64_t numWeakStoreChis() const { return NumWeak; }
+  uint64_t numEdges() const { return NumEdges; }
+
+  /// Writes the graph in Graphviz dot syntax (for the explorer example).
+  void dumpDot(raw_ostream &OS) const;
+
+private:
+  friend class VFGBuilder;
+
+  struct NodeRef {
+    const ir::Function *Fn;
+    ssa::VarKey Key;
+    uint32_t Version;
+    bool operator==(const NodeRef &O) const {
+      return Fn == O.Fn && Key == O.Key && Version == O.Version;
+    }
+  };
+  struct NodeRefHash {
+    size_t operator()(const NodeRef &R) const {
+      size_t H = std::hash<const void *>()(R.Fn);
+      H ^= ssa::VarKeyHash()(R.Key) + 0x9E3779B9 + (H << 6) + (H >> 2);
+      H ^= R.Version + 0x9E3779B9 + (H << 6) + (H >> 2);
+      return H;
+    }
+  };
+
+  std::vector<NodeData> Nodes;
+  std::vector<std::vector<Edge>> Deps;
+  std::vector<std::vector<Edge>> Users;
+  std::unordered_map<NodeRef, uint32_t, NodeRefHash> NodeIds;
+  std::vector<CriticalUse> CriticalUses;
+  std::unordered_map<uint64_t, UpdateKind> StoreKinds; // (instId<<32)|loc
+  std::unordered_map<uint32_t, uint32_t> SemiStrongCuts;
+  uint64_t NumStrong = 0, NumSemi = 0, NumWeak = 0, NumEdges = 0;
+};
+
+/// Options controlling VFG construction.
+struct VFGOptions {
+  /// Apply the semi-strong update rule of Section 3.2.
+  bool SemiStrongUpdates = true;
+  /// Apply traditional strong updates at stores.
+  bool StrongUpdates = true;
+};
+
+/// Builds the VFG for a module from its memory SSA form.
+class VFGBuilder {
+public:
+  VFGBuilder(const ir::Module &M, const ssa::MemorySSA &SSA,
+             const analysis::PointerAnalysis &PA,
+             const analysis::CallGraph &CG, VFGOptions Opts = VFGOptions())
+      : M(M), SSA(SSA), PA(PA), CG(&CG), Opts(Opts) {}
+
+  /// Constructs the whole-program VFG.
+  VFG build();
+
+private:
+  uint32_t getNode(const ir::Function *Fn, ssa::VarKey Key, uint32_t Version);
+  void addDep(uint32_t From, uint32_t To, EdgeKind Kind,
+              uint32_t CallSite = ~0u);
+  uint32_t operandNode(const ir::Function *Fn, const ssa::InstSSA &Info,
+                       const ir::Operand &Op);
+
+  void buildFunction(const ir::Function &F);
+  void buildInstruction(const ir::Function &F, const ir::Instruction &I,
+                        const ssa::InstSSA &Info);
+  void buildStoreChis(const ir::Function &F, const ir::StoreInst &St,
+                      const ssa::InstSSA &Info);
+  void buildCall(const ir::Function &F, const ir::CallInst &Call,
+                 const ssa::InstSSA &Info);
+
+  /// True if bypassing the chi chain from \p FromVersion back to the
+  /// allocation anchor's chi is sound (every bypassed def writes the
+  /// current instance); see the semi-strong discussion in DESIGN.md.
+  bool safeBypass(const ssa::FunctionSSA &FS, uint32_t Loc,
+                  uint32_t FromVersion, uint32_t AnchorNewVersion,
+                  const ir::Instruction *Anchor);
+
+  const ir::Module &M;
+  const ssa::MemorySSA &SSA;
+  const analysis::PointerAnalysis &PA;
+  const analysis::CallGraph *CG;
+  VFGOptions Opts;
+  VFG G;
+};
+
+} // namespace vfg
+} // namespace usher
+
+#endif // USHER_VFG_VFG_H

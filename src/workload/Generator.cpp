@@ -1,0 +1,555 @@
+//===- workload/Generator.cpp - Random TinyC program generator -------------===//
+//
+// Part of the Usher project, reproducing "Accelerating Dynamic Detection of
+// Uses of Undefined Values with Static Value-Flow Analysis" (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workload/Generator.h"
+
+#include "ir/IR.h"
+#include "ir/IRBuilder.h"
+#include "ir/Verifier.h"
+#include "support/RNG.h"
+
+#include <cassert>
+#include <string>
+#include <vector>
+
+using namespace usher;
+using namespace usher::workload;
+using namespace usher::ir;
+
+namespace {
+
+/// Object layouts the generator allocates. Field 0 is always an integer;
+/// when a layout has a pointer slot it is the last field, pointing to the
+/// layout one level down (bounded chains, so generation terminates).
+struct Shape {
+  unsigned NumFields;
+  int PtrSlot;       ///< Field index holding a pointer, or -1.
+  unsigned Pointee;  ///< Shape index the pointer slot points to.
+};
+
+/// What a pointer-typed variable points at.
+enum class PtrKind : uint8_t {
+  None,      ///< Integer-typed variable.
+  ObjBase,   ///< Base of an object with a known shape.
+  IntCell,   ///< A single integer field.
+  PtrCell    ///< A single pointer field (pointee shape known).
+};
+
+struct VarInfo {
+  Variable *V;
+  PtrKind Kind = PtrKind::None;
+  unsigned Shape = 0;   ///< For ObjBase: own shape; for PtrCell: pointee.
+  bool NeedsGuard = false; ///< Pointer loaded from memory: may be null.
+  bool MaybeUndef = false; ///< Integer that may be undefined.
+};
+
+struct FnPlan {
+  Function *F = nullptr;
+  std::vector<int> ParamShape; ///< -1 = integer parameter.
+  int RetShape = -1;           ///< -1 = integer return (or -2 = void).
+  bool WrapperStyle = false;
+};
+
+class Generator {
+public:
+  Generator(uint64_t Seed, const GeneratorOptions &Opts)
+      : Rng(Seed), Opts(Opts), M(std::make_unique<Module>()), B(*M) {}
+
+  std::unique_ptr<Module> run();
+
+private:
+  // -- Variable pool helpers ----------------------------------------------
+  Variable *freshVar(const std::string &Hint) {
+    return CurFn->F->createVariable(Hint + std::to_string(VarCounter++));
+  }
+  VarInfo &defineInt(Variable *V, bool MaybeUndef) {
+    Pool.push_back({V, PtrKind::None, 0, false, MaybeUndef});
+    return Pool.back();
+  }
+  VarInfo &definePtr(Variable *V, PtrKind K, unsigned Shape,
+                     bool NeedsGuard) {
+    Pool.push_back({V, K, Shape, NeedsGuard, false});
+    return Pool.back();
+  }
+
+  /// A random integer operand; sometimes a possibly-undefined variable.
+  Operand intOperand();
+  /// A random integer variable matching \p WantUndef, or null.
+  Variable *pickIntVar(bool AllowUndef);
+  /// A random pointer variable satisfying \p Pred, or null.
+  template <typename PredT> const VarInfo *pickPtr(PredT Pred);
+
+  /// Ensures a dereferenceable ObjBase pointer of \p Shape exists,
+  /// allocating one if necessary.
+  const VarInfo *ensureObjPtr(unsigned Shape);
+
+  // -- Emission ------------------------------------------------------------
+  void emitStraightStmt();
+  void emitAlloc(bool ForceHeap = false);
+  void emitGuardedDeref(const VarInfo &P);
+  void emitSegment(unsigned Depth);
+  void emitBody(const FnPlan &Plan);
+  void emitWrapperBody(const FnPlan &Plan);
+  void emitRet(const FnPlan &Plan);
+  void emitCall(bool WantResult);
+
+  BasicBlock *newBlock(const std::string &Hint) {
+    return CurFn->F->createBlock(Hint + std::to_string(BlockCounter++));
+  }
+
+  RNG Rng;
+  GeneratorOptions Opts;
+  std::unique_ptr<Module> M;
+  IRBuilder B;
+
+  std::vector<Shape> Shapes;
+  std::vector<FnPlan> Plans;
+  FnPlan *CurFn = nullptr;
+  size_t CurFnIndex = 0; ///< Callees must have a smaller index.
+  std::vector<VarInfo> Pool;
+  unsigned VarCounter = 0, BlockCounter = 0, ObjCounter = 0;
+};
+
+} // namespace
+
+Operand Generator::intOperand() {
+  if (Rng.chance(30))
+    return Operand::constant(Rng.range(-8, 64));
+  if (Variable *V = pickIntVar(Rng.chance(Opts.UndefUsePercent)))
+    return Operand::var(V);
+  return Operand::constant(Rng.range(0, 9));
+}
+
+Variable *Generator::pickIntVar(bool AllowUndef) {
+  std::vector<const VarInfo *> Candidates;
+  for (const VarInfo &VI : Pool)
+    if (VI.Kind == PtrKind::None && (AllowUndef || !VI.MaybeUndef))
+      Candidates.push_back(&VI);
+  if (Candidates.empty())
+    return nullptr;
+  return Candidates[Rng.below(Candidates.size())]->V;
+}
+
+template <typename PredT> const VarInfo *Generator::pickPtr(PredT Pred) {
+  std::vector<const VarInfo *> Candidates;
+  for (const VarInfo &VI : Pool)
+    if (VI.Kind != PtrKind::None && Pred(VI))
+      Candidates.push_back(&VI);
+  if (Candidates.empty())
+    return nullptr;
+  return Candidates[Rng.below(Candidates.size())];
+}
+
+const VarInfo *Generator::ensureObjPtr(unsigned Shape) {
+  const VarInfo *Existing = pickPtr([&](const VarInfo &VI) {
+    return VI.Kind == PtrKind::ObjBase && VI.Shape == Shape &&
+           !VI.NeedsGuard;
+  });
+  if (Existing)
+    return Existing;
+  const struct Shape &S = Shapes[Shape];
+  Variable *P = freshVar("p");
+  bool Uninit = Rng.chance(Opts.UninitAllocPercent);
+  B.createAlloc(P, Rng.chance(50) ? Region::Heap : Region::Stack,
+                S.NumFields, !Uninit, /*IsArray=*/false,
+                "obj" + std::to_string(ObjCounter++));
+  definePtr(P, PtrKind::ObjBase, Shape, false);
+  return &Pool.back();
+}
+
+void Generator::emitAlloc(bool ForceHeap) {
+  unsigned Shape = static_cast<unsigned>(Rng.below(Shapes.size()));
+  const struct Shape &S = Shapes[Shape];
+  Variable *P = freshVar("p");
+  bool Uninit = Rng.chance(Opts.UninitAllocPercent);
+  bool IsArray = !ForceHeap && S.PtrSlot < 0 && Rng.chance(15);
+  B.createAlloc(P,
+                ForceHeap || Rng.chance(40) ? Region::Heap : Region::Stack,
+                S.NumFields, !Uninit, IsArray,
+                "obj" + std::to_string(ObjCounter++));
+  definePtr(P, PtrKind::ObjBase, Shape, false);
+}
+
+void Generator::emitGuardedDeref(const VarInfo &P) {
+  // if p goto use; goto join; use: x = *p; goto join; join:
+  assert(P.NeedsGuard && "guard emitted for a safe pointer");
+  BasicBlock *UseBB = newBlock("use");
+  BasicBlock *JoinBB = newBlock("join");
+  B.createCondBr(Operand::var(P.V), UseBB, JoinBB);
+  B.setInsertPoint(UseBB);
+  Variable *X = freshVar("g");
+  B.createLoad(X, Operand::var(P.V));
+  // The loaded value's type depends on what the pointer targets; treat
+  // object bases and int cells as integers (field 0 is always an int).
+  B.createGoto(JoinBB);
+  B.setInsertPoint(JoinBB);
+  if (P.Kind == PtrKind::PtrCell) {
+    // *p is itself a pointer (or null/undefined): needs its own guard.
+    definePtr(X, PtrKind::ObjBase, P.Shape, /*NeedsGuard=*/true);
+  } else {
+    defineInt(X, /*MaybeUndef=*/true);
+  }
+}
+
+void Generator::emitStraightStmt() {
+  switch (Rng.below(11)) {
+  case 0: { // Constant copy.
+    Variable *X = freshVar("c");
+    B.createCopy(X, Operand::constant(Rng.range(-4, 99)));
+    defineInt(X, false);
+    break;
+  }
+  case 1: { // Variable copy (int or pointer).
+    if (Rng.chance(35)) {
+      if (const VarInfo *P = pickPtr([](const VarInfo &) { return true; })) {
+        Variable *X = freshVar("q");
+        B.createCopy(X, Operand::var(P->V));
+        definePtr(X, P->Kind, P->Shape, P->NeedsGuard);
+        break;
+      }
+    }
+    if (Variable *Y = pickIntVar(Rng.chance(Opts.UndefUsePercent))) {
+      Variable *X = freshVar("v");
+      B.createCopy(X, Operand::var(Y));
+      defineInt(X, false); // May dynamically hold an undefined value.
+    }
+    break;
+  }
+  case 2: { // Binary operation.
+    static const BinOpcode Ops[] = {
+        BinOpcode::Add, BinOpcode::Sub,   BinOpcode::Mul,   BinOpcode::And,
+        BinOpcode::Or,  BinOpcode::Xor,   BinOpcode::Shr,   BinOpcode::CmpEQ,
+        BinOpcode::CmpLT, BinOpcode::Rem, BinOpcode::CmpGE, BinOpcode::Div};
+    Variable *X = freshVar("t");
+    B.createBinOp(X, Ops[Rng.below(std::size(Ops))], intOperand(),
+                  intOperand());
+    defineInt(X, false);
+    break;
+  }
+  case 3:
+    emitAlloc();
+    break;
+  case 4: { // Field address (constant or masked dynamic index).
+    const VarInfo *P = pickPtr([](const VarInfo &VI) {
+      return VI.Kind == PtrKind::ObjBase && !VI.NeedsGuard;
+    });
+    if (!P)
+      break;
+    // Copy what we need: define*() below may reallocate the pool.
+    Variable *BaseVar = P->V;
+    const struct Shape &S = Shapes[P->Shape];
+    Variable *Q = freshVar("f");
+    if (S.PtrSlot < 0 && S.NumFields >= 2 && Rng.chance(30)) {
+      // Dynamic index, masked below the largest power of two that fits,
+      // so it stays in bounds even when the index value is undefined.
+      unsigned Mask = 1;
+      while (Mask * 2 <= S.NumFields)
+        Mask *= 2;
+      Variable *Idx = freshVar("ix");
+      B.createBinOp(Idx, BinOpcode::And, intOperand(),
+                    Operand::constant(static_cast<int64_t>(Mask - 1)));
+      defineInt(Idx, false);
+      B.createFieldAddr(Q, Operand::var(BaseVar), Operand::var(Idx));
+      definePtr(Q, PtrKind::IntCell, 0, false);
+      break;
+    }
+    unsigned Field = static_cast<unsigned>(Rng.below(S.NumFields));
+    B.createFieldAddr(Q, Operand::var(BaseVar), Field);
+    if (S.PtrSlot >= 0 && Field == static_cast<unsigned>(S.PtrSlot))
+      definePtr(Q, PtrKind::PtrCell, S.Pointee, false);
+    else
+      definePtr(Q, PtrKind::IntCell, 0, false);
+    break;
+  }
+  case 5: { // Load.
+    const VarInfo *P =
+        pickPtr([](const VarInfo &VI) { return !VI.NeedsGuard; });
+    if (!P)
+      break;
+    if (P->Kind == PtrKind::PtrCell) {
+      Variable *X = freshVar("l");
+      B.createLoad(X, Operand::var(P->V));
+      definePtr(X, PtrKind::ObjBase, P->Shape, /*NeedsGuard=*/true);
+    } else {
+      Variable *X = freshVar("l");
+      B.createLoad(X, Operand::var(P->V));
+      defineInt(X, false); // Oracle decides actual definedness.
+    }
+    break;
+  }
+  case 6:
+  case 7: { // Store.
+    const VarInfo *P =
+        pickPtr([](const VarInfo &VI) { return !VI.NeedsGuard; });
+    if (!P)
+      break;
+    if (P->Kind == PtrKind::PtrCell) {
+      // Store a pointer of the matching shape (loads re-check with a
+      // guard, so a guarded pointer value is fine to store).
+      const VarInfo *V = pickPtr([&](const VarInfo &VI) {
+        return VI.Kind == PtrKind::ObjBase && VI.Shape == P->Shape;
+      });
+      if (V)
+        B.createStore(Operand::var(P->V), Operand::var(V->V));
+      else
+        B.createStore(Operand::var(P->V), Operand::constant(0));
+    } else {
+      B.createStore(Operand::var(P->V), intOperand());
+    }
+    break;
+  }
+  case 8: { // Guarded dereference of a loaded pointer.
+    const VarInfo *P =
+        pickPtr([](const VarInfo &VI) { return VI.NeedsGuard; });
+    if (P) {
+      VarInfo Copy = *P; // emitGuardedDeref may grow the pool.
+      emitGuardedDeref(Copy);
+    }
+    break;
+  }
+  case 9: { // A fresh, never-assigned integer (undefined until written).
+    Variable *X = freshVar("u");
+    defineInt(X, /*MaybeUndef=*/true);
+    break;
+  }
+  case 10: { // Take the address of a global object (always shape 0).
+    const auto &Objects = M->objects();
+    std::vector<MemObject *> Globals;
+    for (const auto &Obj : Objects)
+      if (Obj->isGlobal())
+        Globals.push_back(Obj.get());
+    if (Globals.empty())
+      break;
+    MemObject *G = Globals[Rng.below(Globals.size())];
+    Variable *P = freshVar("gp");
+    B.createCopy(P, Operand::global(G));
+    definePtr(P, PtrKind::ObjBase, 0, false);
+    break;
+  }
+  }
+}
+
+void Generator::emitCall(bool WantResult) {
+  if (CurFnIndex == 0)
+    return;
+  const FnPlan &Callee = Plans[Rng.below(CurFnIndex)];
+  std::vector<Operand> Args;
+  for (int PS : Callee.ParamShape) {
+    if (PS < 0) {
+      Args.push_back(intOperand());
+    } else {
+      const VarInfo *P = ensureObjPtr(static_cast<unsigned>(PS));
+      Args.push_back(Operand::var(P->V));
+    }
+  }
+  Variable *Def = nullptr;
+  if (WantResult && Callee.RetShape != -2)
+    Def = freshVar("r");
+  B.createCall(Def, Callee.F, std::move(Args));
+  if (!Def)
+    return;
+  if (Callee.RetShape >= 0)
+    definePtr(Def, PtrKind::ObjBase, static_cast<unsigned>(Callee.RetShape),
+              false);
+  else
+    defineInt(Def, false);
+}
+
+void Generator::emitSegment(unsigned Depth) {
+  unsigned Kind = static_cast<unsigned>(Rng.below(Depth < 2 ? 4 : 2));
+  switch (Kind) {
+  case 0:
+  case 1: { // Straight-line statements, with occasional calls.
+    unsigned N = 1 + static_cast<unsigned>(
+                         Rng.below(Opts.MaxStmtsPerSegment));
+    for (unsigned I = 0; I != N; ++I) {
+      if (Rng.chance(12))
+        emitCall(Rng.chance(70));
+      else
+        emitStraightStmt();
+    }
+    break;
+  }
+  case 2: { // If-diamond on a (possibly undefined) condition.
+    Variable *C = pickIntVar(Rng.chance(Opts.UndefUsePercent));
+    Operand Cond = C ? Operand::var(C) : intOperand();
+    BasicBlock *ThenBB = newBlock("then");
+    BasicBlock *ElseBB = newBlock("else");
+    BasicBlock *JoinBB = newBlock("join");
+    B.createCondBr(Cond, ThenBB, ElseBB);
+    size_t PoolMark = Pool.size();
+    B.setInsertPoint(ThenBB);
+    emitSegment(Depth + 1);
+    B.createGoto(JoinBB);
+    // Variables defined inside one arm may be undefined along the other;
+    // mark them so later uses know.
+    for (size_t I = PoolMark; I != Pool.size(); ++I)
+      if (Pool[I].Kind == PtrKind::None)
+        Pool[I].MaybeUndef = true;
+      else
+        Pool[I].NeedsGuard = true;
+    size_t ThenEnd = Pool.size();
+    B.setInsertPoint(ElseBB);
+    emitSegment(Depth + 1);
+    B.createGoto(JoinBB);
+    for (size_t I = ThenEnd; I != Pool.size(); ++I)
+      if (Pool[I].Kind == PtrKind::None)
+        Pool[I].MaybeUndef = true;
+      else
+        Pool[I].NeedsGuard = true;
+    B.setInsertPoint(JoinBB);
+    break;
+  }
+  case 3: { // Bounded counter loop.
+    Variable *I = freshVar("i");
+    B.createCopy(I, Operand::constant(0));
+    defineInt(I, false);
+    int64_t Trip = Rng.range(1, Opts.MaxLoopTrip);
+    BasicBlock *HeaderBB = newBlock("head");
+    BasicBlock *BodyBB = newBlock("body");
+    BasicBlock *ExitBB = newBlock("exit");
+    B.createGoto(HeaderBB);
+    B.setInsertPoint(HeaderBB);
+    Variable *C = freshVar("c");
+    B.createBinOp(C, BinOpcode::CmpLT, Operand::var(I),
+                  Operand::constant(Trip));
+    defineInt(C, false);
+    B.createCondBr(Operand::var(C), BodyBB, ExitBB);
+    size_t PoolMark = Pool.size();
+    B.setInsertPoint(BodyBB);
+    emitSegment(Depth + 1);
+    B.createBinOp(I, BinOpcode::Add, Operand::var(I), Operand::constant(1));
+    B.createGoto(HeaderBB);
+    // Loop-local definitions may not have happened yet on later reads
+    // outside (or in the first iteration via back paths).
+    for (size_t Idx = PoolMark; Idx != Pool.size(); ++Idx)
+      if (Pool[Idx].Kind == PtrKind::None)
+        Pool[Idx].MaybeUndef = true;
+      else
+        Pool[Idx].NeedsGuard = true;
+    B.setInsertPoint(ExitBB);
+    break;
+  }
+  }
+}
+
+void Generator::emitRet(const FnPlan &Plan) {
+  if (Plan.RetShape == -2) {
+    B.createRet(Operand());
+    return;
+  }
+  if (Plan.RetShape >= 0) {
+    const VarInfo *P = ensureObjPtr(static_cast<unsigned>(Plan.RetShape));
+    B.createRet(Operand::var(P->V));
+    return;
+  }
+  if (Variable *V = pickIntVar(/*AllowUndef=*/Rng.chance(20)))
+    B.createRet(Operand::var(V));
+  else
+    B.createRet(Operand::constant(Rng.range(0, 9)));
+}
+
+void Generator::emitWrapperBody(const FnPlan &Plan) {
+  // The classic xmalloc pattern: allocate, optionally fail, return.
+  assert(Plan.RetShape >= 0 && "wrapper must return a pointer");
+  const struct Shape &S = Shapes[Plan.RetShape];
+  Variable *P = freshVar("p");
+  bool Uninit = Rng.chance(70);
+  B.createAlloc(P, Region::Heap, S.NumFields, !Uninit, false,
+                "wrapobj" + std::to_string(ObjCounter++));
+  definePtr(P, PtrKind::ObjBase, static_cast<unsigned>(Plan.RetShape),
+            false);
+  B.createRet(Operand::var(P));
+}
+
+void Generator::emitBody(const FnPlan &Plan) {
+  Pool.clear();
+  VarCounter = 0;
+  BlockCounter = 0;
+  B.setInsertPoint(Plan.F->createBlock("entry"));
+
+  for (size_t Idx = 0; Idx != Plan.F->params().size(); ++Idx) {
+    int PS = Plan.ParamShape[Idx];
+    if (PS < 0)
+      defineInt(Plan.F->params()[Idx], false);
+    else
+      definePtr(Plan.F->params()[Idx], PtrKind::ObjBase,
+                static_cast<unsigned>(PS), false);
+  }
+
+  if (Plan.WrapperStyle) {
+    emitWrapperBody(Plan);
+    return;
+  }
+
+  unsigned Segments =
+      1 + static_cast<unsigned>(Rng.below(Opts.MaxSegmentsPerFn));
+  for (unsigned I = 0; I != Segments; ++I)
+    emitSegment(0);
+  emitRet(Plan);
+}
+
+std::unique_ptr<Module> Generator::run() {
+  // Shape table: ints only, one pointer level, two pointer levels.
+  Shapes.push_back({1 + static_cast<unsigned>(Rng.below(4)), -1, 0});
+  Shapes.push_back(
+      {2 + static_cast<unsigned>(Rng.below(3)),
+       static_cast<int>(1 + Rng.below(2)), 0});
+  Shapes[1].PtrSlot = static_cast<int>(Shapes[1].NumFields - 1);
+  Shapes.push_back({3, 2, 1});
+
+  // A couple of global objects, laid out like shape 0 (integers only) so
+  // pointers to them can be field-addressed safely.
+  unsigned NumGlobals = 1 + static_cast<unsigned>(Rng.below(3));
+  for (unsigned I = 0; I != NumGlobals; ++I)
+    M->createObject("g" + std::to_string(I), Region::Global,
+                    Shapes[0].NumFields,
+                    /*Initialized=*/Rng.chance(60), /*IsArray=*/false);
+
+  // Plan the functions: callees first, main last.
+  for (unsigned I = 0; I != Opts.NumFunctions; ++I) {
+    FnPlan Plan;
+    Plan.F = M->createFunction("f" + std::to_string(I));
+    Plan.WrapperStyle = I == 0 && Rng.chance(60);
+    unsigned NumParams =
+        Plan.WrapperStyle ? 0 : static_cast<unsigned>(Rng.below(4));
+    for (unsigned P = 0; P != NumParams; ++P) {
+      bool IsPtr = Rng.chance(35);
+      Plan.ParamShape.push_back(
+          IsPtr ? static_cast<int>(Rng.below(Shapes.size())) : -1);
+      Plan.F->createVariable("a" + std::to_string(P), /*IsParam=*/true);
+    }
+    if (Plan.WrapperStyle)
+      Plan.RetShape = static_cast<int>(Rng.below(Shapes.size()));
+    else if (Rng.chance(25))
+      Plan.RetShape = static_cast<int>(Rng.below(Shapes.size()));
+    else
+      Plan.RetShape = Rng.chance(15) ? -2 : -1;
+    Plans.push_back(Plan);
+  }
+  {
+    FnPlan MainPlan;
+    MainPlan.F = M->createFunction("main");
+    MainPlan.RetShape = -1;
+    Plans.push_back(MainPlan);
+  }
+
+  for (size_t I = 0; I != Plans.size(); ++I) {
+    CurFn = &Plans[I];
+    CurFnIndex = I;
+    emitBody(Plans[I]);
+  }
+
+  M->renumber();
+  verifyModuleOrAbort(*M);
+  return std::move(M);
+}
+
+std::unique_ptr<Module> workload::generateProgram(uint64_t Seed,
+                                                  GeneratorOptions Opts) {
+  return Generator(Seed, Opts).run();
+}

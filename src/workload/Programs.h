@@ -1,0 +1,39 @@
+//===- workload/Programs.h - Benchmark program sources ----------*- C++ -*-===//
+//
+// Part of the Usher project, reproducing "Accelerating Dynamic Detection of
+// Uses of Undefined Values with Static Value-Flow Analysis" (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// TinyC sources of the 15 SPEC CPU2000-like benchmarks, one per
+/// translation unit under programs/. See Spec2000.h for the rationale.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef USHER_WORKLOAD_PROGRAMS_H
+#define USHER_WORKLOAD_PROGRAMS_H
+
+namespace usher {
+namespace workload {
+
+extern const char *kSource164Gzip;
+extern const char *kSource175Vpr;
+extern const char *kSource176Gcc;
+extern const char *kSource177Mesa;
+extern const char *kSource179Art;
+extern const char *kSource181Mcf;
+extern const char *kSource183Equake;
+extern const char *kSource186Crafty;
+extern const char *kSource188Ammp;
+extern const char *kSource197Parser;
+extern const char *kSource253Perlbmk;
+extern const char *kSource254Gap;
+extern const char *kSource255Vortex;
+extern const char *kSource256Bzip2;
+extern const char *kSource300Twolf;
+
+} // namespace workload
+} // namespace usher
+
+#endif // USHER_WORKLOAD_PROGRAMS_H

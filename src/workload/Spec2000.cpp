@@ -1,0 +1,58 @@
+//===- workload/Spec2000.cpp - SPEC CPU2000-like benchmark suite -----------===//
+//
+// Part of the Usher project, reproducing "Accelerating Dynamic Detection of
+// Uses of Undefined Values with Static Value-Flow Analysis" (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workload/Spec2000.h"
+
+#include "ir/IR.h"
+#include "parser/Parser.h"
+#include "workload/Programs.h"
+
+using namespace usher;
+using namespace usher::workload;
+
+const std::vector<BenchmarkProgram> &workload::spec2000Suite() {
+  // Expected results are pinned: the interpreter is deterministic, so
+  // every run must reproduce them exactly, which guards the whole
+  // pipeline against semantic regressions.
+  static const std::vector<BenchmarkProgram> Suite = {
+      {"164.gzip", "LZ77 sliding-window match search", //
+       kSource164Gzip, 319961, 0},
+      {"175.vpr", "placement refinement by randomized swaps", //
+       kSource175Vpr, 786531, 0},
+      {"176.gcc", "expression tree build/fold/eval with wrappers", //
+       kSource176Gcc, 861181, 0},
+      {"177.mesa", "fixed-point 4x4 vertex transform pipeline", //
+       kSource177Mesa, 846268, 0},
+      {"179.art", "winner-take-all neural classification", //
+       kSource179Art, 282831, 0},
+      {"181.mcf", "relaxation sweeps over a linked arc list", //
+       kSource181Mcf, 337984, 0},
+      {"183.equake", "CSR sparse matvec time stepping", //
+       kSource183Equake, 507305, 0},
+      {"186.crafty", "bitboard move generation and popcounts", //
+       kSource186Crafty, 596323, 0},
+      {"188.ammp", "particle dynamics over linked structs", //
+       kSource188Ammp, 994389, 0},
+      {"197.parser", "tokenizer + dictionary with the ppmatch bug", //
+       kSource197Parser, 234193, 1},
+      {"253.perlbmk", "stack-machine bytecode interpreter", //
+       kSource253Perlbmk, 615924, 0},
+      {"254.gap", "big-integer multiply-accumulate chains", //
+       kSource254Gap, 570850, 0},
+      {"255.vortex", "hashed object store with chained records", //
+       kSource255Vortex, 447668, 0},
+      {"256.bzip2", "counting sort + run statistics per block", //
+       kSource256Bzip2, 664912, 0},
+      {"300.twolf", "simulated annealing of 2D cell positions", //
+       kSource300Twolf, 364358, 0},
+  };
+  return Suite;
+}
+
+std::unique_ptr<ir::Module> workload::loadBenchmark(const BenchmarkProgram &B) {
+  return parser::parseModuleOrAbort(B.Source);
+}

@@ -1,0 +1,55 @@
+//===- workload/Spec2000.h - SPEC CPU2000-like benchmark suite --*- C++ -*-===//
+//
+// Part of the Usher project, reproducing "Accelerating Dynamic Detection of
+// Uses of Undefined Values with Static Value-Flow Analysis" (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper evaluates on the 15 SPEC CPU2000 C programs, which are not
+/// redistributable. This suite substitutes 15 TinyC programs, one per SPEC
+/// benchmark, each imitating the original's dominant behaviour (documented
+/// per program): pointer density, heap/stack/global mix, fraction of
+/// uninitialized allocations, call structure, and the presence of the one
+/// true bug the paper reports (197.parser's ppmatch). The paper's trends
+/// are driven by these shape properties, not by the exact SPEC sources.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef USHER_WORKLOAD_SPEC2000_H
+#define USHER_WORKLOAD_SPEC2000_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace usher {
+namespace ir {
+class Module;
+}
+
+namespace workload {
+
+/// One benchmark: TinyC source plus its expected behaviour, used as a
+/// self-check by tests and the benchmark harness.
+struct BenchmarkProgram {
+  std::string Name;        ///< SPEC-style name, e.g. "164.gzip".
+  std::string Description; ///< What the program imitates.
+  const char *Source;      ///< TinyC text.
+  int64_t ExpectedResult;  ///< main()'s return value.
+  /// Number of distinct critical statements that use an undefined value
+  /// (0 for every benchmark except 197.parser, matching the paper).
+  unsigned ExpectedBugSites;
+};
+
+/// The 15 benchmarks in SPEC numbering order.
+const std::vector<BenchmarkProgram> &spec2000Suite();
+
+/// Parses and verifies one benchmark.
+std::unique_ptr<ir::Module> loadBenchmark(const BenchmarkProgram &B);
+
+} // namespace workload
+} // namespace usher
+
+#endif // USHER_WORKLOAD_SPEC2000_H

@@ -1,0 +1,157 @@
+//===- workload/programs/Ammp.cpp - 188.ammp-like workload -----------------===//
+//
+// Part of the Usher project, reproducing "Accelerating Dynamic Detection of
+// Uses of Undefined Values with Static Value-Flow Analysis" (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Imitates 188.ammp: molecular dynamics over particle structs. Particles
+/// are wrapper-allocated uninitialized, constructed field by field, and
+/// their force field is recomputed (overwritten) every step before use.
+/// Heavy on per-object stores — the strong/semi-strong update machinery
+/// is what keeps this cheap under Usher.
+///
+//===----------------------------------------------------------------------===//
+
+#include "workload/Programs.h"
+
+const char *usher::workload::kSource188Ammp = R"TINYC(
+// 188.ammp: leapfrog-style particle updates.
+// Particle layout: [0]=x, [1]=v, [2]=f, [3]=next pointer.
+global energy[1] init;
+
+func newparticle() {
+  p = alloc heap 4 uninit;
+  ret p;
+}
+
+// The force field ([2]) is deliberately left uninitialized: forces()
+// recomputes it every step before integrate() reads it, which is correct
+// dynamically but impossible to prove with weak array/chain updates —
+// the kind of residue real MD codes leave for the analysis.
+func mkparticle(head, x0, v0) {
+  p = newparticle();
+  px = gep p, 0;
+  *px = x0;
+  pv = gep p, 1;
+  *pv = v0;
+  pn = gep p, 3;
+  *pn = head;
+  ret p;
+}
+
+// Pairwise-ish force: each particle is pulled toward the chain average.
+func forces(head, avg) {
+  cur = head;
+fhead:
+  if cur goto fbody;
+  ret 0;
+fbody:
+  px = gep cur, 0;
+  x = *px;
+  d = avg - x;
+  f = d / 4;
+  pf = gep cur, 2;
+  *pf = f;
+  pn = gep cur, 3;
+  cur = *pn;
+  goto fhead;
+}
+
+func integrate(head) {
+  cur = head;
+  sum = 0;
+ihead:
+  if cur goto ibody;
+  ret sum;
+ibody:
+  pf = gep cur, 2;
+  f = *pf;
+  pv = gep cur, 1;
+  v = *pv;
+  v = v + f;
+  // Velocity clamp: branches on force-derived data every step.
+  fast = 900 < v;
+  if fast goto slow;
+  goto writev;
+slow:
+  v = 900;
+writev:
+  *pv = v;
+  px = gep cur, 0;
+  x = *px;
+  x = x + v;
+  x = x & 65535;
+  *px = x;
+  sum = sum + x;
+  pn = gep cur, 3;
+  cur = *pn;
+  goto ihead;
+}
+
+func chainavg(head, n) {
+  cur = head;
+  s = 0;
+ahead:
+  if cur goto abody;
+  goto adone;
+abody:
+  px = gep cur, 0;
+  x = *px;
+  s = s + x;
+  pn = gep cur, 3;
+  cur = *pn;
+  goto ahead;
+adone:
+  zero = n == 0;
+  if zero goto retzero;
+  a = s / n;
+  ret a;
+retzero:
+  ret 0;
+}
+
+func main() {
+  seed = 41;
+  head = 0;
+  i = 0;
+  n = 96;
+bhead:
+  c = i < n;
+  if c goto bbody;
+  goto simulate;
+bbody:
+  seed = seed * 1103515245;
+  seed = seed + 12345;
+  x0 = seed >> 16;
+  x0 = x0 & 8191;
+  seed = seed * 1103515245;
+  seed = seed + 12345;
+  v0 = seed >> 16;
+  v0 = v0 & 63;
+  head = mkparticle(head, x0, v0);
+  i = i + 1;
+  goto bhead;
+simulate:
+  step = 0;
+  acc = 0;
+shead:
+  c2 = step < 800;
+  if c2 goto sbody;
+  goto sdone;
+sbody:
+  avg = chainavg(head, n);
+  t = forces(head, avg);
+  e = integrate(head);
+  acc = acc * 3;
+  acc = acc + e;
+  acc = acc & 1048575;
+  step = step + 1;
+  goto shead;
+sdone:
+  *energy = acc;
+  ev = *energy;
+  ret ev;
+}
+)TINYC";

@@ -1,0 +1,141 @@
+//===- workload/programs/Art.cpp - 179.art-like workload -------------------===//
+//
+// Part of the Usher project, reproducing "Accelerating Dynamic Detection of
+// Uses of Undefined Values with Static Value-Flow Analysis" (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Imitates 179.art: an adaptive-resonance-style classifier. Each epoch
+/// computes the dot product of an input vector with every category's
+/// weight row, picks the winner and nudges its weights toward the input.
+/// Weight and input arrays dominate; everything is initialized up front.
+///
+//===----------------------------------------------------------------------===//
+
+#include "workload/Programs.h"
+
+const char *usher::workload::kSource179Art = R"TINYC(
+// 179.art: winner-take-all classification over fixed-point weight rows.
+global winnerhist[8] init;
+
+func dot(w, base, x, n) {
+  s = 0;
+  i = 0;
+dhead:
+  c = i < n;
+  if c goto dbody;
+  ret s;
+dbody:
+  idx = base + i;
+  pw = gep w, idx;
+  wv = *pw;
+  px = gep x, i;
+  xv = *px;
+  t = wv * xv;
+  t = t >> 6;
+  s = s + t;
+  i = i + 1;
+  goto dhead;
+}
+
+func main() {
+  ncat = 8;
+  dim = 32;
+  wsize = 256;
+  w = alloc heap 256 init array;
+  i = 0;
+whead:
+  c = i < wsize;
+  if c goto wbody;
+  goto train;
+wbody:
+  v = i * 29;
+  v = v + 3;
+  v = v & 127;
+  p = gep w, i;
+  *p = v;
+  i = i + 1;
+  goto whead;
+train:
+  x = alloc stack 32 uninit array;
+  seed = 11;
+  epoch = 0;
+  acc = 0;
+ehead:
+  c2 = epoch < 900;
+  if c2 goto ebody;
+  goto edone;
+ebody:
+  k = 0;
+xfill:
+  c3 = k < dim;
+  if c3 goto xbody;
+  goto classify;
+xbody:
+  seed = seed * 1103515245;
+  seed = seed + 12345;
+  r = seed >> 16;
+  r = r & 127;
+  pk = gep x, k;
+  *pk = r;
+  k = k + 1;
+  goto xfill;
+classify:
+  bestcat = 0;
+  bestscore = 0;
+  cat = 0;
+chead:
+  c4 = cat < ncat;
+  if c4 goto cbody;
+  goto adapt;
+cbody:
+  base = cat * dim;
+  s = dot(w, base, x, dim);
+  better = bestscore < s;
+  if better goto newbest;
+  goto cnext;
+newbest:
+  bestscore = s;
+  bestcat = cat;
+cnext:
+  cat = cat + 1;
+  goto chead;
+adapt:
+  ph = gep winnerhist, bestcat;
+  h = *ph;
+  h = h + 1;
+  *ph = h;
+  j = 0;
+  wbase = bestcat * dim;
+ahead:
+  c5 = j < dim;
+  if c5 goto abody;
+  goto enext;
+abody:
+  idx2 = wbase + j;
+  pw2 = gep w, idx2;
+  wv = *pw2;
+  px2 = gep x, j;
+  xv = *px2;
+  d = xv - wv;
+  d = d / 8;
+  wv = wv + d;
+  *pw2 = wv;
+  j = j + 1;
+  goto ahead;
+enext:
+  acc = acc * 3;
+  acc = acc + bestscore;
+  acc = acc + bestcat;
+  acc = acc & 1048575;
+  epoch = epoch + 1;
+  goto ehead;
+edone:
+  p0 = gep winnerhist, 0;
+  h0 = *p0;
+  acc = acc + h0;
+  acc = acc & 1048575;
+  ret acc;
+}
+)TINYC";

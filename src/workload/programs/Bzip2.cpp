@@ -1,0 +1,147 @@
+//===- workload/programs/Bzip2.cpp - 256.bzip2-like workload ---------------===//
+//
+// Part of the Usher project, reproducing "Accelerating Dynamic Detection of
+// Uses of Undefined Values with Static Value-Flow Analysis" (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Imitates 256.bzip2: block transform by counting sort plus run-length
+/// statistics, repeated over blocks. Array-heavy with write-before-read
+/// workspaces (count tables zeroed each block).
+///
+//===----------------------------------------------------------------------===//
+
+#include "workload/Programs.h"
+
+const char *usher::workload::kSource256Bzip2 = R"TINYC(
+// 256.bzip2: counting sort + run statistics per block.
+global blocks[1] init;
+
+// Counting sort of src[0..n) (values in [0,64)) into dst using counts.
+func csort(src, dst, counts, n) {
+  i = 0;
+czero:
+  c = i < 64;
+  if c goto czbody;
+  goto ccount;
+czbody:
+  p = gep counts, i;
+  *p = 0;
+  i = i + 1;
+  goto czero;
+ccount:
+  j = 0;
+cchead:
+  c2 = j < n;
+  if c2 goto ccbody;
+  goto cprefix;
+ccbody:
+  ps = gep src, j;
+  v = *ps;
+  pc = gep counts, v;
+  k = *pc;
+  k = k + 1;
+  *pc = k;
+  j = j + 1;
+  goto cchead;
+cprefix:
+  run = 0;
+  m = 0;
+cphead:
+  c3 = m < 64;
+  if c3 goto cpbody;
+  goto cplace;
+cpbody:
+  pm = gep counts, m;
+  cnt = *pm;
+  *pm = run;
+  run = run + cnt;
+  m = m + 1;
+  goto cphead;
+cplace:
+  j2 = 0;
+plhead:
+  c4 = j2 < n;
+  if c4 goto plbody;
+  ret 0;
+plbody:
+  ps2 = gep src, j2;
+  v2 = *ps2;
+  pc2 = gep counts, v2;
+  pos = *pc2;
+  pd = gep dst, pos;
+  *pd = v2;
+  pos = pos + 1;
+  *pc2 = pos;
+  j2 = j2 + 1;
+  goto plhead;
+}
+
+// Number of runs in sorted data (compression potential metric).
+func runs(dst, n) {
+  nruns = 0;
+  prev = -1;
+  i = 0;
+rhead:
+  c = i < n;
+  if c goto rbody;
+  ret nruns;
+rbody:
+  p = gep dst, i;
+  v = *p;
+  same = v == prev;
+  if same goto rnext;
+  nruns = nruns + 1;
+  prev = v;
+rnext:
+  i = i + 1;
+  goto rhead;
+}
+
+func main() {
+  n = 256;
+  src = alloc heap 256 uninit array;
+  dst = alloc heap 256 uninit array;
+  counts = alloc heap 64 uninit array;
+  seed = 73;
+  block = 0;
+  acc = 0;
+bhead:
+  c = block < 520;
+  if c goto bbody;
+  goto bdone;
+bbody:
+  i = 0;
+fhead:
+  c2 = i < n;
+  if c2 goto fbody;
+  goto dosort;
+fbody:
+  seed = seed * 1103515245;
+  seed = seed + 12345;
+  r = seed >> 16;
+  r = r & 63;
+  p = gep src, i;
+  *p = r;
+  i = i + 1;
+  goto fhead;
+dosort:
+  t = csort(src, dst, counts, n);
+  nr = runs(dst, n);
+  p0 = gep dst, 0;
+  first = *p0;
+  acc = acc * 3;
+  acc = acc + nr;
+  acc = acc + first;
+  acc = acc & 1048575;
+  block = block + 1;
+  goto bhead;
+bdone:
+  *blocks = block;
+  bl = *blocks;
+  acc = acc + bl;
+  acc = acc & 1048575;
+  ret acc;
+}
+)TINYC";

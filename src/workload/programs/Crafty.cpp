@@ -1,0 +1,91 @@
+//===- workload/programs/Crafty.cpp - 186.crafty-like workload -------------===//
+//
+// Part of the Usher project, reproducing "Accelerating Dynamic Detection of
+// Uses of Undefined Values with Static Value-Flow Analysis" (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Imitates 186.crafty: chess bitboard manipulation. Almost entirely
+/// top-level integer computation (shifts, masks, popcounts) with a small
+/// attack table — the case where even the top-level-only analysis
+/// discharges most instrumentation.
+///
+//===----------------------------------------------------------------------===//
+
+#include "workload/Programs.h"
+
+const char *usher::workload::kSource186Crafty = R"TINYC(
+// 186.crafty: bitboard move generation and popcount scoring.
+global nodes[1] init;
+
+func popcount(b) {
+  n = 0;
+phead:
+  if b goto pbody;
+  ret n;
+pbody:
+  b1 = b - 1;
+  b = b & b1;
+  n = n + 1;
+  goto phead;
+}
+
+// Knight attack pattern from a square, via shifted masks.
+func knightmoves(sq) {
+  one = 1;
+  bb = one << sq;
+  m = 0;
+  t = bb << 17;
+  m = m | t;
+  t = bb << 15;
+  m = m | t;
+  t = bb << 10;
+  m = m | t;
+  t = bb << 6;
+  m = m | t;
+  t = bb >> 17;
+  m = m | t;
+  t = bb >> 15;
+  m = m | t;
+  t = bb >> 10;
+  m = m | t;
+  t = bb >> 6;
+  m = m | t;
+  ret m;
+}
+
+func main() {
+  seed = 31;
+  iter = 0;
+  score = 0;
+  visited = 0;
+ihead:
+  c = iter < 26000;
+  if c goto ibody;
+  goto done;
+ibody:
+  seed = seed * 1103515245;
+  seed = seed + 12345;
+  sq = seed >> 16;
+  sq = sq & 63;
+  moves = knightmoves(sq);
+  seed = seed * 1103515245;
+  seed = seed + 12345;
+  occ = seed >> 13;
+  legal = moves & occ;
+  cnt = popcount(legal);
+  score = score * 3;
+  score = score + cnt;
+  score = score & 1048575;
+  visited = visited + 1;
+  iter = iter + 1;
+  goto ihead;
+done:
+  *nodes = visited;
+  nv = *nodes;
+  score = score + nv;
+  score = score & 1048575;
+  ret score;
+}
+)TINYC";

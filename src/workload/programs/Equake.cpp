@@ -1,0 +1,164 @@
+//===- workload/programs/Equake.cpp - 183.equake-like workload -------------===//
+//
+// Part of the Usher project, reproducing "Accelerating Dynamic Detection of
+// Uses of Undefined Values with Static Value-Flow Analysis" (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Imitates 183.equake: repeated sparse matrix-vector products in a time-
+/// stepping loop, using CSR-style parallel arrays (row starts, column
+/// indices, values). The result vector is allocated uninitialized each
+/// outer iteration and fully written by the product — a pattern only the
+/// address-taken analysis can discharge.
+///
+//===----------------------------------------------------------------------===//
+
+#include "workload/Programs.h"
+
+const char *usher::workload::kSource183Equake = R"TINYC(
+// 183.equake: CSR sparse matvec time stepping.
+global steps[1] init;
+
+// y = A * x over rows [0, n).
+func spmv(rowstart, colidx, vals, x, y, n) {
+  row = 0;
+rhead:
+  c = row < n;
+  if c goto rbody;
+  ret 0;
+rbody:
+  prs = gep rowstart, row;
+  lo = *prs;
+  row1 = row + 1;
+  prs2 = gep rowstart, row1;
+  hi = *prs2;
+  sum = 0;
+  k = lo;
+khead:
+  c2 = k < hi;
+  if c2 goto kbody;
+  goto krow;
+kbody:
+  pc = gep colidx, k;
+  col = *pc;
+  pv = gep vals, k;
+  av = *pv;
+  px = gep x, col;
+  xv = *px;
+  t = av * xv;
+  t = t >> 7;
+  sum = sum + t;
+  k = k + 1;
+  goto khead;
+krow:
+  py = gep y, row;
+  *py = sum;
+  row = row + 1;
+  goto rhead;
+}
+
+func main() {
+  n = 96;
+  nnz = 480;
+  rowstart = alloc heap 97 init array;
+  colidx = alloc heap 480 init array;
+  vals = alloc heap 480 init array;
+  i = 0;
+shead:
+  c = i < 97;
+  if c goto sbody;
+  goto fillnz;
+sbody:
+  v = i * 5;
+  p = gep rowstart, i;
+  *p = v;
+  i = i + 1;
+  goto shead;
+fillnz:
+  seed = 23;
+  k = 0;
+nhead:
+  c2 = k < nnz;
+  if c2 goto nbody;
+  goto timeloop;
+nbody:
+  seed = seed * 1103515245;
+  seed = seed + 12345;
+  col = seed >> 16;
+  col = col & 95;
+  pc = gep colidx, k;
+  *pc = col;
+  seed = seed * 1103515245;
+  seed = seed + 12345;
+  av = seed >> 16;
+  av = av & 255;
+  pv = gep vals, k;
+  *pv = av;
+  k = k + 1;
+  goto nhead;
+timeloop:
+  x = alloc heap 96 init array;
+  j = 0;
+xhead:
+  c3 = j < n;
+  if c3 goto xbody;
+  goto iterate;
+xbody:
+  px = gep x, j;
+  t = j * 11;
+  t = t & 255;
+  *px = t;
+  j = j + 1;
+  goto xhead;
+iterate:
+  t2 = 0;
+  acc = 0;
+thead:
+  c4 = t2 < 450;
+  if c4 goto tbody;
+  goto tdone;
+tbody:
+  y = alloc heap 96 uninit array;
+  z = spmv(rowstart, colidx, vals, x, y, n);
+  // Fold y back into x with damping.
+  m = 0;
+fold:
+  c5 = m < n;
+  if c5 goto fbody;
+  goto tnext;
+fbody:
+  py = gep y, m;
+  yv = *py;
+  // Excitation clamp: a data-dependent branch on the freshly computed
+  // (statically unprovable) vector keeps this benchmark check-heavy.
+  hot = 1800 < yv;
+  if hot goto clamp;
+  goto mix;
+clamp:
+  yv = 1800;
+mix:
+  px2 = gep x, m;
+  xv = *px2;
+  nv = xv + yv;
+  nv = nv / 2;
+  nv = nv & 1023;
+  *px2 = nv;
+  m = m + 1;
+  goto fold;
+tnext:
+  acc = acc * 3;
+  p0 = gep x, 0;
+  x0 = *p0;
+  acc = acc + x0;
+  acc = acc & 1048575;
+  t2 = t2 + 1;
+  goto thead;
+tdone:
+  *steps = t2;
+  st = *steps;
+  acc = acc + st;
+  acc = acc & 1048575;
+  ret acc;
+}
+)TINYC";

@@ -1,0 +1,174 @@
+//===- workload/programs/Gap.cpp - 254.gap-like workload -------------------===//
+//
+// Part of the Usher project, reproducing "Accelerating Dynamic Detection of
+// Uses of Undefined Values with Static Value-Flow Analysis" (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Imitates 254.gap: computer-algebra big-integer arithmetic. Numbers are
+/// digit arrays (base 10000) in wrapper-allocated uninitialized workspace
+/// that is zeroed, accumulated into, and normalized. A high fraction of
+/// uninitialized allocations with few strong updates — the paper notes gap
+/// (49% uninitialized, 16% strong updates) benefits least from the
+/// address-taken analysis.
+///
+//===----------------------------------------------------------------------===//
+
+#include "workload/Programs.h"
+
+const char *usher::workload::kSource254Gap = R"TINYC(
+// 254.gap: schoolbook big-number multiply-accumulate chains.
+global mulcount[1] init;
+
+// Allocation wrapper for digit workspaces (32 digits, base 10000).
+func newnum() {
+  p = alloc heap 32 uninit;
+  ret p;
+}
+
+// dst[0..n) = 0.
+func zero(dst, n) {
+  i = 0;
+zhead:
+  c = i < n;
+  if c goto zbody;
+  ret 0;
+zbody:
+  p = gep dst, i;
+  *p = 0;
+  i = i + 1;
+  goto zhead;
+}
+
+// dst = a * b (n/2-digit inputs, n-digit output), schoolbook.
+func mul(dst, a, b, n) {
+  half = n / 2;
+  t = zero(dst, n);
+  i = 0;
+mihead:
+  c = i < half;
+  if c goto mibody;
+  goto minorm;
+mibody:
+  pa = gep a, i;
+  av = *pa;
+  j = 0;
+mjhead:
+  c2 = j < half;
+  if c2 goto mjbody;
+  goto minext;
+mjbody:
+  pb = gep b, j;
+  bv = *pb;
+  prod = av * bv;
+  k = i + j;
+  pd = gep dst, k;
+  dv = *pd;
+  dv = dv + prod;
+  *pd = dv;
+  j = j + 1;
+  goto mjhead;
+minext:
+  i = i + 1;
+  goto mihead;
+minorm:
+  // Carry normalization to base 10000.
+  carry = 0;
+  k2 = 0;
+nhead:
+  c3 = k2 < n;
+  if c3 goto nbody;
+  ret carry;
+nbody:
+  pd2 = gep dst, k2;
+  dv2 = *pd2;
+  dv2 = dv2 + carry;
+  low = dv2 % 10000;
+  carry = dv2 / 10000;
+  *pd2 = low;
+  k2 = k2 + 1;
+  goto nhead;
+}
+
+// Digest of dst[0..n).
+func digest(dst, n, acc) {
+  i = 0;
+dhead:
+  c = i < n;
+  if c goto dbody;
+  ret acc;
+dbody:
+  p = gep dst, i;
+  v = *p;
+  // Sparse digits are skipped: a branch on workspace contents.
+  iszero = v == 0;
+  if iszero goto dnext;
+  acc = acc * 3;
+  acc = acc + v;
+  acc = acc & 1048575;
+dnext:
+  i = i + 1;
+  goto dhead;
+}
+
+func main() {
+  n = 32;
+  half = 16;
+  a = newnum();
+  b = newnum();
+  seed = 67;
+  i = 0;
+fhead:
+  c = i < half;
+  if c goto fbody;
+  goto work;
+fbody:
+  seed = seed * 1103515245;
+  seed = seed + 12345;
+  r = seed >> 16;
+  r = r % 10000;
+  neg = r < 0;
+  if neg goto fixr;
+  goto keep;
+fixr:
+  r = 0 - r;
+keep:
+  pa = gep a, i;
+  *pa = r;
+  r2 = r ^ 31;
+  r2 = r2 % 10000;
+  pb = gep b, i;
+  *pb = r2;
+  i = i + 1;
+  goto fhead;
+work:
+  acc = 0;
+  round = 0;
+  nmul = 0;
+whead:
+  c2 = round < 380;
+  if c2 goto wbody;
+  goto wdone;
+wbody:
+  dst = newnum();
+  carry = mul(dst, a, b, n);
+  acc = digest(dst, n, acc);
+  acc = acc + carry;
+  acc = acc & 1048575;
+  // Feed some result digits back into the inputs.
+  p0 = gep dst, 3;
+  d3 = *p0;
+  pa2 = gep a, 0;
+  *pa2 = d3;
+  nmul = nmul + 1;
+  round = round + 1;
+  goto whead;
+wdone:
+  *mulcount = nmul;
+  mc = *mulcount;
+  acc = acc + mc;
+  acc = acc & 1048575;
+  ret acc;
+}
+)TINYC";

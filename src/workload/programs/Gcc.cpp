@@ -1,0 +1,165 @@
+//===- workload/programs/Gcc.cpp - 176.gcc-like workload -------------------===//
+//
+// Part of the Usher project, reproducing "Accelerating Dynamic Detection of
+// Uses of Undefined Values with Static Value-Flow Analysis" (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Imitates 176.gcc: building, constant-folding and evaluating expression
+/// trees. Heap tree nodes come from an allocation-wrapper (newnode), the
+/// call graph is wide and shallow, and dispatch runs through opcode
+/// if-chains — the paper's gcc is dominated by exactly this kind of
+/// pointer-rich, call-heavy churn.
+///
+//===----------------------------------------------------------------------===//
+
+#include "workload/Programs.h"
+
+const char *usher::workload::kSource176Gcc = R"TINYC(
+// 176.gcc: expression tree construction, folding and evaluation.
+// Node layout: [0]=op (0=num,1=add,2=mul,3=sub), [1]=value, [2]=left,
+// [3]=right.
+global foldstat[2] init;
+
+// Allocation wrapper (heap cloning applies here).
+func newnode() {
+  p = alloc heap 4 uninit;
+  ret p;
+}
+
+func mknum(v) {
+  p = newnode();
+  op = gep p, 0;
+  *op = 0;
+  val = gep p, 1;
+  *val = v;
+  ret p;
+}
+
+func mkbin(op, l, r) {
+  p = newnode();
+  f0 = gep p, 0;
+  *f0 = op;
+  f2 = gep p, 2;
+  *f2 = l;
+  f3 = gep p, 3;
+  *f3 = r;
+  // Constant folding: if both children are numbers, fold in place.
+  lo = gep l, 0;
+  lop = *lo;
+  ro = gep r, 0;
+  rop = *ro;
+  ln = lop == 0;
+  if ln goto checkr;
+  ret p;
+checkr:
+  rn = rop == 0;
+  if rn goto dofold;
+  ret p;
+dofold:
+  lv = gep l, 1;
+  a = *lv;
+  rv = gep r, 1;
+  b = *rv;
+  isadd = op == 1;
+  if isadd goto fadd;
+  ismul = op == 2;
+  if ismul goto fmul;
+  res = a - b;
+  goto folded;
+fadd:
+  res = a + b;
+  goto folded;
+fmul:
+  res = a * b;
+  res = res & 65535;
+folded:
+  *f0 = 0;
+  f1 = gep p, 1;
+  *f1 = res;
+  pf = gep foldstat, 0;
+  fc = *pf;
+  fc = fc + 1;
+  *pf = fc;
+  ret p;
+}
+
+// Iterative evaluation using an explicit node stack (post-order via a
+// second pass is avoided: folded trees are at most depth 3 here).
+func eval(p) {
+  o = gep p, 0;
+  op = *o;
+  isnum = op == 0;
+  if isnum goto num;
+  l = gep p, 2;
+  lp = *l;
+  r = gep p, 3;
+  rp = *r;
+  a = eval(lp);
+  b = eval(rp);
+  isadd = op == 1;
+  if isadd goto eadd;
+  ismul = op == 2;
+  if ismul goto emul;
+  v = a - b;
+  ret v;
+eadd:
+  v = a + b;
+  ret v;
+emul:
+  v = a * b;
+  v = v & 65535;
+  ret v;
+num:
+  vptr = gep p, 1;
+  v = *vptr;
+  ret v;
+}
+
+func main() {
+  seed = 99;
+  stmt = 0;
+  acc = 0;
+ghead:
+  c = stmt < 9000;
+  if c goto gbody;
+  goto gdone;
+gbody:
+  seed = seed * 1103515245;
+  seed = seed + 12345;
+  r1 = seed >> 16;
+  r1 = r1 & 255;
+  seed = seed * 1103515245;
+  seed = seed + 12345;
+  r2 = seed >> 16;
+  r2 = r2 & 255;
+  seed = seed * 1103515245;
+  seed = seed + 12345;
+  opsel = seed >> 16;
+  opsel = opsel & 3;
+  iszero = opsel == 0;
+  if iszero goto fixop;
+  goto haveop;
+fixop:
+  opsel = 1;
+haveop:
+  n1 = mknum(r1);
+  n2 = mknum(r2);
+  t1 = mkbin(opsel, n1, n2);
+  n3 = mknum(stmt);
+  t2 = mkbin(1, t1, n3);
+  v = eval(t2);
+  acc = acc * 7;
+  acc = acc + v;
+  acc = acc & 1048575;
+  stmt = stmt + 1;
+  goto ghead;
+gdone:
+  pf = gep foldstat, 0;
+  folds = *pf;
+  acc = acc + folds;
+  acc = acc & 1048575;
+  ret acc;
+}
+)TINYC";

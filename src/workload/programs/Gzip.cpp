@@ -1,0 +1,123 @@
+//===- workload/programs/Gzip.cpp - 164.gzip-like workload -----------------===//
+//
+// Part of the Usher project, reproducing "Accelerating Dynamic Detection of
+// Uses of Undefined Values with Static Value-Flow Analysis" (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Imitates 164.gzip: LZ77-style longest-match search over a sliding
+/// window. Dominated by byte-array loads with dynamic indices; the input
+/// buffer is allocated uninitialized and filled by a PRNG, so its contents
+/// are only *dynamically* defined (arrays collapse to weak updates, which
+/// keeps the value-flow analysis honest).
+///
+//===----------------------------------------------------------------------===//
+
+#include "workload/Programs.h"
+
+const char *usher::workload::kSource164Gzip = R"TINYC(
+// 164.gzip: sliding-window match finder + match-length output stream.
+global crc[1] init;
+
+// Fill buf[0..n) with pseudo-random bytes; returns the final seed.
+func fill(buf, n, seed) {
+  i = 0;
+fhead:
+  c = i < n;
+  if c goto fbody;
+  ret seed;
+fbody:
+  seed = seed * 1103515245;
+  seed = seed + 12345;
+  r = seed >> 16;
+  r = r & 255;
+  p = gep buf, i;
+  *p = r;
+  i = i + 1;
+  goto fhead;
+}
+
+// Length of the common prefix of buf[a..] and buf[b..], capped at max.
+func matchlen(buf, a, b, max) {
+  len = 0;
+mhead:
+  c = len < max;
+  if c goto mchk;
+  ret len;
+mchk:
+  ia = a + len;
+  ib = b + len;
+  pa = gep buf, ia;
+  pb = gep buf, ib;
+  va = *pa;
+  vb = *pb;
+  eq = va == vb;
+  if eq goto mcont;
+  ret len;
+mcont:
+  len = len + 1;
+  goto mhead;
+}
+
+func main() {
+  n = 420;
+  buf = alloc heap 420 uninit array;
+  s = fill(buf, n, 42);
+  out = alloc heap 420 uninit array;
+  outn = 0;
+  i = 48;
+  limit = n - 8;
+zhead:
+  c = i < limit;
+  if c goto zscan;
+  goto zfinish;
+zscan:
+  best = 0;
+  j = i - 48;
+shead:
+  c2 = j < i;
+  if c2 goto stry;
+  goto sdone;
+stry:
+  l = matchlen(buf, j, i, 8);
+  c4 = best < l;
+  if c4 goto supd;
+  goto snext;
+supd:
+  best = l;
+snext:
+  j = j + 1;
+  goto shead;
+sdone:
+  po = gep out, outn;
+  *po = best;
+  outn = outn + 1;
+  c5 = best < 2;
+  if c5 goto zstep;
+  i = i + best;
+  goto zhead;
+zstep:
+  i = i + 1;
+  goto zhead;
+zfinish:
+  k = 0;
+  sum = s & 255;
+chead:
+  c6 = k < outn;
+  if c6 goto cbody;
+  goto call_done;
+cbody:
+  pk = gep out, k;
+  v = *pk;
+  sum = sum * 3;
+  sum = sum + v;
+  sum = sum & 1048575;
+  k = k + 1;
+  goto chead;
+call_done:
+  *crc = sum;
+  r = *crc;
+  ret r;
+}
+)TINYC";

@@ -1,0 +1,119 @@
+//===- workload/programs/Mesa.cpp - 177.mesa-like workload -----------------===//
+//
+// Part of the Usher project, reproducing "Accelerating Dynamic Detection of
+// Uses of Undefined Values with Static Value-Flow Analysis" (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Imitates 177.mesa: a fixed-point geometry pipeline transforming vertex
+/// streams through a 4x4 matrix, with clipping decisions on the results.
+/// Pure array number-crunching with dynamic indexing.
+///
+//===----------------------------------------------------------------------===//
+
+#include "workload/Programs.h"
+
+const char *usher::workload::kSource177Mesa = R"TINYC(
+// 177.mesa: fixed-point 4x4 vertex transform + trivial clip test.
+global clipped[1] init;
+
+// out[0..4) = m (4x4, row major) * in[0..4), in Q8 fixed point.
+func xform(m, vin, vout) {
+  row = 0;
+xhead:
+  c = row < 4;
+  if c goto xrow;
+  ret 0;
+xrow:
+  sum = 0;
+  col = 0;
+xcol:
+  c2 = col < 4;
+  if c2 goto xmadd;
+  goto xstore;
+xmadd:
+  idx = row * 4;
+  idx = idx + col;
+  pm = gep m, idx;
+  mv = *pm;
+  pi = gep vin, col;
+  iv = *pi;
+  t = mv * iv;
+  t = t >> 8;
+  sum = sum + t;
+  col = col + 1;
+  goto xcol;
+xstore:
+  po = gep vout, row;
+  *po = sum;
+  row = row + 1;
+  goto xhead;
+}
+
+func main() {
+  m = alloc heap 16 init array;
+  i = 0;
+mhead:
+  c = i < 16;
+  if c goto mbody;
+  goto verts;
+mbody:
+  v = i * 13;
+  v = v + 7;
+  v = v & 511;
+  p = gep m, i;
+  *p = v;
+  i = i + 1;
+  goto mhead;
+verts:
+  vin = alloc stack 4 init array;
+  vout = alloc stack 4 uninit array;
+  seed = 5;
+  n = 0;
+  acc = 0;
+  nclip = 0;
+vhead:
+  c2 = n < 9000;
+  if c2 goto vbody;
+  goto vdone;
+vbody:
+  k = 0;
+fillv:
+  c3 = k < 4;
+  if c3 goto fbody;
+  goto doxform;
+fbody:
+  seed = seed * 1103515245;
+  seed = seed + 12345;
+  r = seed >> 16;
+  r = r & 1023;
+  pk = gep vin, k;
+  *pk = r;
+  k = k + 1;
+  goto fillv;
+doxform:
+  t = xform(m, vin, vout);
+  pw = gep vout, 3;
+  w = *pw;
+  big = 200000 < w;
+  if big goto clip;
+  px = gep vout, 0;
+  x = *px;
+  acc = acc * 3;
+  acc = acc + x;
+  acc = acc & 1048575;
+  goto vnext;
+clip:
+  nclip = nclip + 1;
+vnext:
+  n = n + 1;
+  goto vhead;
+vdone:
+  *clipped = nclip;
+  cl = *clipped;
+  acc = acc + cl;
+  acc = acc & 1048575;
+  ret acc;
+}
+)TINYC";

@@ -1,0 +1,114 @@
+//===- workload/programs/Parser.cpp - 197.parser-like workload -------------===//
+//
+// Part of the Usher project, reproducing "Accelerating Dynamic Detection of
+// Uses of Undefined Values with Static Value-Flow Analysis" (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Imitates 197.parser: tokenizing a pseudo-random character stream and
+/// scoring tokens against a small dictionary. Contains one genuine use of
+/// an undefined value in ppmatch() — the paper reports exactly one true
+/// bug in 197.parser's ppmatch(), detected by all tools; this reproduces
+/// it: `cost` is only assigned on the strict path but branched on
+/// unconditionally.
+///
+//===----------------------------------------------------------------------===//
+
+#include "workload/Programs.h"
+
+const char *usher::workload::kSource197Parser = R"TINYC(
+// 197.parser: tokenizer + dictionary scoring, with the ppmatch bug.
+global classcounts[4] init;
+global dict[64] init;
+
+// Classify a character code: 0 letter, 1 digit, 2 space, 3 punct.
+func classify(ch) {
+  c = ch & 127;
+  isletter = c < 52;
+  if isletter goto letter;
+  isdigit = c < 72;
+  if isdigit goto digit;
+  isspace = c < 100;
+  if isspace goto space;
+  ret 3;
+letter:
+  ret 0;
+digit:
+  ret 1;
+space:
+  ret 2;
+}
+
+// Post-processing match cost. BUG (planted, mirroring the real one the
+// paper found in 197.parser's ppmatch): `cost` is assigned only on the
+// strict path but read on every path.
+func ppmatch(tok, strict) {
+  base = tok & 63;
+  if strict goto setcost;
+  goto check;
+setcost:
+  cost = base & 7;
+check:
+  high = 4 < cost;
+  if high goto expensive;
+  ret base;
+expensive:
+  r = base + 1;
+  ret r;
+}
+
+func main() {
+  seed = 53;
+  i = 0;
+  words = 0;
+  curlen = 0;
+  acc = 0;
+thead:
+  c = i < 30000;
+  if c goto tbody;
+  goto report;
+tbody:
+  seed = seed * 1103515245;
+  seed = seed + 12345;
+  ch = seed >> 16;
+  ch = ch & 127;
+  cls = classify(ch);
+  pc = gep classcounts, cls;
+  n = *pc;
+  n = n + 1;
+  *pc = n;
+  isword = cls == 0;
+  if isword goto inword;
+  // Token boundary: score the finished word.
+  haslen = 0 < curlen;
+  if haslen goto score;
+  goto tnext;
+score:
+  strict = curlen & 1;
+  m = ppmatch(curlen, strict);
+  slot = m & 63;
+  pd = gep dict, slot;
+  d = *pd;
+  d = d + 1;
+  *pd = d;
+  acc = acc * 3;
+  acc = acc + m;
+  acc = acc & 1048575;
+  words = words + 1;
+  curlen = 0;
+  goto tnext;
+inword:
+  curlen = curlen + 1;
+tnext:
+  i = i + 1;
+  goto thead;
+report:
+  p0 = gep classcounts, 0;
+  letters = *p0;
+  acc = acc + letters;
+  acc = acc + words;
+  acc = acc & 1048575;
+  ret acc;
+}
+)TINYC";

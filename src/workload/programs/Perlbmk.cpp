@@ -1,0 +1,203 @@
+//===- workload/programs/Perlbmk.cpp - 253.perlbmk-like workload -----------===//
+//
+// Part of the Usher project, reproducing "Accelerating Dynamic Detection of
+// Uses of Undefined Values with Static Value-Flow Analysis" (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Imitates 253.perlbmk: a bytecode interpreter with an operand stack and
+/// a scalar table. Nearly every computed value feeds a branch (the opcode
+/// dispatch chain), and the stack is an uninitialized array written and
+/// read under dynamic indices — so most of the VFG reaches a check and
+/// little instrumentation can be pruned. The paper reports perlbmk as the
+/// worst case for both MSan and Usher; this program reproduces why.
+///
+//===----------------------------------------------------------------------===//
+
+#include "workload/Programs.h"
+
+const char *usher::workload::kSource253Perlbmk = R"TINYC(
+// 253.perlbmk: stack-machine interpreter with a scalar table.
+global scalars[32] init;
+
+// Run the program once; returns the top of stack at exit.
+func exec(prog, proglen, stk, seedarg) {
+  pc = 0;
+  sp = 0;
+  seed = seedarg;
+xhead:
+  c = pc < proglen;
+  if c goto xbody;
+  goto xdone;
+xbody:
+  pp = gep prog, pc;
+  opcode = *pp;
+  op = opcode & 7;
+  arg = opcode >> 3;
+  arg = arg & 31;
+  ispush = op == 0;
+  if ispush goto dopush;
+  isadd = op == 1;
+  if isadd goto doadd;
+  isdup = op == 2;
+  if isdup goto dodup;
+  isstore = op == 3;
+  if isstore goto dostore;
+  isload = op == 4;
+  if isload goto doload;
+  isxor = op == 5;
+  if isxor goto doxor;
+  isswap = op == 6;
+  if isswap goto doswap;
+  // default: drop.
+  canpop = 0 < sp;
+  if canpop goto dodrop;
+  goto xnext;
+dodrop:
+  sp = sp - 1;
+  goto xnext;
+dopush:
+  ps = gep stk, sp;
+  *ps = arg;
+  sp = sp + 1;
+  goto xnext;
+doadd:
+  two = 1 < sp;
+  if two goto addok;
+  goto xnext;
+addok:
+  sp1 = sp - 1;
+  pa = gep stk, sp1;
+  a = *pa;
+  sp2 = sp - 2;
+  pb = gep stk, sp2;
+  b = *pb;
+  v = a + b;
+  v = v & 65535;
+  *pb = v;
+  sp = sp1;
+  goto xnext;
+dodup:
+  one = 0 < sp;
+  if one goto dupok;
+  goto xnext;
+dupok:
+  full = sp < 63;
+  if full goto dupok2;
+  goto xnext;
+dupok2:
+  sp1b = sp - 1;
+  pt = gep stk, sp1b;
+  t = *pt;
+  pu = gep stk, sp;
+  *pu = t;
+  sp = sp + 1;
+  goto xnext;
+dostore:
+  one2 = 0 < sp;
+  if one2 goto storeok;
+  goto xnext;
+storeok:
+  sp1c = sp - 1;
+  pv = gep stk, sp1c;
+  v2 = *pv;
+  pg = gep scalars, arg;
+  *pg = v2;
+  sp = sp1c;
+  goto xnext;
+doload:
+  full2 = sp < 63;
+  if full2 goto loadok;
+  goto xnext;
+loadok:
+  pg2 = gep scalars, arg;
+  v3 = *pg2;
+  pw = gep stk, sp;
+  *pw = v3;
+  sp = sp + 1;
+  goto xnext;
+doxor:
+  two2 = 1 < sp;
+  if two2 goto xorok;
+  goto xnext;
+xorok:
+  sp1d = sp - 1;
+  pa2 = gep stk, sp1d;
+  a2 = *pa2;
+  sp2b = sp - 2;
+  pb2 = gep stk, sp2b;
+  b2 = *pb2;
+  v4 = a2 ^ b2;
+  *pb2 = v4;
+  sp = sp1d;
+  goto xnext;
+doswap:
+  two3 = 1 < sp;
+  if two3 goto swapok;
+  goto xnext;
+swapok:
+  sp1e = sp - 1;
+  pa3 = gep stk, sp1e;
+  a3 = *pa3;
+  sp2c = sp - 2;
+  pb3 = gep stk, sp2c;
+  b3 = *pb3;
+  *pa3 = b3;
+  *pb3 = a3;
+  goto xnext;
+xnext:
+  pc = pc + 1;
+  goto xhead;
+xdone:
+  empty = sp == 0;
+  if empty goto retzero;
+  spt = sp - 1;
+  ptop = gep stk, spt;
+  top = *ptop;
+  ret top;
+retzero:
+  ret 0;
+}
+
+func main() {
+  proglen = 160;
+  prog = alloc heap 160 uninit array;
+  seed = 61;
+  i = 0;
+ghead:
+  c = i < proglen;
+  if c goto gbody;
+  goto runit;
+gbody:
+  seed = seed * 1103515245;
+  seed = seed + 12345;
+  opc = seed >> 16;
+  opc = opc & 255;
+  pp = gep prog, i;
+  *pp = opc;
+  i = i + 1;
+  goto ghead;
+runit:
+  stk = alloc heap 64 uninit array;
+  run = 0;
+  acc = 0;
+rhead:
+  c2 = run < 1500;
+  if c2 goto rbody;
+  goto rdone;
+rbody:
+  top = exec(prog, proglen, stk, run);
+  acc = acc * 3;
+  acc = acc + top;
+  acc = acc & 1048575;
+  run = run + 1;
+  goto rhead;
+rdone:
+  p0 = gep scalars, 0;
+  s0 = *p0;
+  acc = acc + s0;
+  acc = acc & 1048575;
+  ret acc;
+}
+)TINYC";

@@ -1,0 +1,196 @@
+//===- workload/programs/Twolf.cpp - 300.twolf-like workload ---------------===//
+//
+// Part of the Usher project, reproducing "Accelerating Dynamic Detection of
+// Uses of Undefined Values with Static Value-Flow Analysis" (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Imitates 300.twolf: standard-cell placement by simulated annealing
+/// over 2D coordinates with wirelength cost across a netlist. Mixed
+/// array traffic (coordinates, netlist) with accept/reject branching.
+///
+//===----------------------------------------------------------------------===//
+
+#include "workload/Programs.h"
+
+const char *usher::workload::kSource300Twolf = R"TINYC(
+// 300.twolf: annealing of 2D cell positions against a two-pin netlist.
+global temperature[1] init;
+
+// Half-perimeter wirelength of one net (two pins).
+func netcost(xs, ys, a, b) {
+  pa = gep xs, a;
+  xa = *pa;
+  pb = gep xs, b;
+  xb = *pb;
+  dx = xa - xb;
+  neg = dx < 0;
+  if neg goto flipx;
+  goto ydist;
+flipx:
+  dx = 0 - dx;
+ydist:
+  qa = gep ys, a;
+  ya = *qa;
+  qb = gep ys, b;
+  yb = *qb;
+  dy = ya - yb;
+  neg2 = dy < 0;
+  if neg2 goto flipy;
+  goto total;
+flipy:
+  dy = 0 - dy;
+total:
+  d = dx + dy;
+  ret d;
+}
+
+// Total cost of all nets touching the given cell.
+func cellcost(xs, ys, nets, nnets, cell) {
+  cost = 0;
+  i = 0;
+chead:
+  c = i < nnets;
+  if c goto cbody;
+  ret cost;
+cbody:
+  i2 = i * 2;
+  pa = gep nets, i2;
+  a = *pa;
+  i21 = i2 + 1;
+  pb = gep nets, i21;
+  b = *pb;
+  hita = a == cell;
+  if hita goto add;
+  hitb = b == cell;
+  if hitb goto add;
+  goto cnext;
+add:
+  d = netcost(xs, ys, a, b);
+  cost = cost + d;
+cnext:
+  i = i + 1;
+  goto chead;
+}
+
+func main() {
+  ncells = 48;
+  nnets = 64;
+  xs = alloc heap 48 uninit array;
+  ys = alloc heap 48 uninit array;
+  nets = alloc heap 128 init array;
+  i = 0;
+phead:
+  c = i < ncells;
+  if c goto pbody;
+  goto mknets;
+pbody:
+  x = i * 19;
+  x = x & 63;
+  px = gep xs, i;
+  *px = x;
+  y = i * 7;
+  y = y & 63;
+  py = gep ys, i;
+  *py = y;
+  i = i + 1;
+  goto phead;
+mknets:
+  seed = 79;
+  k = 0;
+nhead:
+  c2 = k < 128;
+  if c2 goto nbody;
+  goto anneal;
+nbody:
+  seed = seed * 1103515245;
+  seed = seed + 12345;
+  cell = seed >> 16;
+  cell = cell % 48;
+  pn = gep nets, k;
+  *pn = cell;
+  k = k + 1;
+  goto nhead;
+anneal:
+  temp = 64;
+  move = 0;
+  accepted = 0;
+mhead:
+  c3 = move < 2600;
+  if c3 goto mbody;
+  goto report;
+mbody:
+  seed = seed * 1103515245;
+  seed = seed + 12345;
+  cell2 = seed >> 16;
+  cell2 = cell2 % 48;
+  seed = seed * 1103515245;
+  seed = seed + 12345;
+  nx = seed >> 16;
+  nx = nx & 63;
+  seed = seed * 1103515245;
+  seed = seed + 12345;
+  ny = seed >> 16;
+  ny = ny & 63;
+  before = cellcost(xs, ys, nets, nnets, cell2);
+  px2 = gep xs, cell2;
+  ox = *px2;
+  py2 = gep ys, cell2;
+  oy = *py2;
+  *px2 = nx;
+  *py2 = ny;
+  after = cellcost(xs, ys, nets, nnets, cell2);
+  delta = after - before;
+  improve = delta < 0;
+  if improve goto accept;
+  lucky = delta < temp;
+  if lucky goto accept;
+  *px2 = ox;
+  *py2 = oy;
+  goto mnext;
+accept:
+  accepted = accepted + 1;
+mnext:
+  cool = move & 255;
+  notzero = cool == 0;
+  if notzero goto docool;
+  goto mstep;
+docool:
+  hot = 1 < temp;
+  if hot goto shrink;
+  goto mstep;
+shrink:
+  temp = temp - 1;
+mstep:
+  move = move + 1;
+  goto mhead;
+report:
+  *temperature = temp;
+  fin = *temperature;
+  total = 0;
+  j = 0;
+thead:
+  c4 = j < nnets;
+  if c4 goto tbody;
+  goto done;
+tbody:
+  j2 = j * 2;
+  pa2 = gep nets, j2;
+  a2 = *pa2;
+  j21 = j2 + 1;
+  pb2 = gep nets, j21;
+  b2 = *pb2;
+  d2 = netcost(xs, ys, a2, b2);
+  total = total * 3;
+  total = total + d2;
+  total = total & 1048575;
+  j = j + 1;
+  goto thead;
+done:
+  total = total + fin;
+  total = total + accepted;
+  total = total & 1048575;
+  ret total;
+}
+)TINYC";

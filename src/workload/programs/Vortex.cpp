@@ -1,0 +1,190 @@
+//===- workload/programs/Vortex.cpp - 255.vortex-like workload -------------===//
+//
+// Part of the Usher project, reproducing "Accelerating Dynamic Detection of
+// Uses of Undefined Values with Static Value-Flow Analysis" (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Imitates 255.vortex: an object-oriented database. Records live in hash
+/// buckets chained through pointer fields; the workload interleaves
+/// inserts, lookups, and record-to-record field copies. Store-dominated
+/// with long pointer chains and a large global root table.
+///
+//===----------------------------------------------------------------------===//
+
+#include "workload/Programs.h"
+
+const char *usher::workload::kSource255Vortex = R"TINYC(
+// 255.vortex: hashed object store with chained records.
+// Record layout: [0]=key, [1]=payload a, [2]=payload b, [3]=next ptr.
+global buckets[32] init;
+global dbsize[1] init;
+
+func newrecord() {
+  p = alloc heap 4 uninit;
+  ret p;
+}
+
+// Inserts key with payloads; returns the record.
+func insert(key, a, b) {
+  r = newrecord();
+  f0 = gep r, 0;
+  *f0 = key;
+  f1 = gep r, 1;
+  *f1 = a;
+  f2 = gep r, 2;
+  *f2 = b;
+  slot = key & 31;
+  pb = gep buckets, slot;
+  head = *pb;
+  f3 = gep r, 3;
+  *f3 = head;
+  *pb = r;
+  pd = gep dbsize, 0;
+  n = *pd;
+  n = n + 1;
+  *pd = n;
+  ret r;
+}
+
+// Returns payload a of the first record with this key, or -1.
+func lookup(key) {
+  slot = key & 31;
+  pb = gep buckets, slot;
+  cur = *pb;
+lhead:
+  if cur goto lbody;
+  ret -1;
+lbody:
+  pk = gep cur, 0;
+  k = *pk;
+  hit = k == key;
+  if hit goto found;
+  pn = gep cur, 3;
+  cur = *pn;
+  goto lhead;
+found:
+  pa = gep cur, 1;
+  a = *pa;
+  ret a;
+}
+
+// Copies payloads from the record of src to the record of dst (if both
+// exist); returns 1 on success.
+func update(dstkey, srckey) {
+  sslot = srckey & 31;
+  psb = gep buckets, sslot;
+  scur = *psb;
+ushead:
+  if scur goto uscheck;
+  ret 0;
+uscheck:
+  psk = gep scur, 0;
+  sk = *psk;
+  shit = sk == srckey;
+  if shit goto findd;
+  psn = gep scur, 3;
+  scur = *psn;
+  goto ushead;
+findd:
+  dslot = dstkey & 31;
+  pdb = gep buckets, dslot;
+  dcur = *pdb;
+udhead:
+  if dcur goto udcheck;
+  ret 0;
+udcheck:
+  pdk = gep dcur, 0;
+  dk = *pdk;
+  dhit = dk == dstkey;
+  if dhit goto copyit;
+  pdn = gep dcur, 3;
+  dcur = *pdn;
+  goto udhead;
+copyit:
+  // Generic attribute access: the payload field index is data-dependent,
+  // like vortex's schema-driven field dereferences.
+  fidx = srckey & 1;
+  fidx = fidx + 1;
+  psa = gep scur, fidx;
+  sa = *psa;
+  pda = gep dcur, fidx;
+  *pda = sa;
+  psb2 = gep scur, 2;
+  sb = *psb2;
+  pdb2 = gep dcur, 2;
+  *pdb2 = sb;
+  ret 1;
+}
+
+func main() {
+  seed = 71;
+  i = 0;
+  acc = 0;
+ihead:
+  c = i < 700;
+  if c goto ibody;
+  goto query;
+ibody:
+  seed = seed * 1103515245;
+  seed = seed + 12345;
+  key = seed >> 16;
+  key = key & 1023;
+  a = key * 3;
+  b = i;
+  r = insert(key, a, b);
+  i = i + 1;
+  goto ihead;
+query:
+  q = 0;
+  hits = 0;
+qhead:
+  c2 = q < 4000;
+  if c2 goto qbody;
+  goto updates;
+qbody:
+  seed = seed * 1103515245;
+  seed = seed + 12345;
+  key2 = seed >> 16;
+  key2 = key2 & 1023;
+  v = lookup(key2);
+  miss = v == -1;
+  if miss goto qnext;
+  hits = hits + 1;
+  acc = acc * 3;
+  acc = acc + v;
+  acc = acc & 1048575;
+qnext:
+  q = q + 1;
+  goto qhead;
+updates:
+  u = 0;
+  good = 0;
+uhead:
+  c3 = u < 1500;
+  if c3 goto ubody;
+  goto report;
+ubody:
+  seed = seed * 1103515245;
+  seed = seed + 12345;
+  k1 = seed >> 16;
+  k1 = k1 & 1023;
+  seed = seed * 1103515245;
+  seed = seed + 12345;
+  k2 = seed >> 16;
+  k2 = k2 & 1023;
+  ok = update(k1, k2);
+  good = good + ok;
+  u = u + 1;
+  goto uhead;
+report:
+  pd = gep dbsize, 0;
+  n = *pd;
+  acc = acc + n;
+  acc = acc + hits;
+  acc = acc + good;
+  acc = acc & 1048575;
+  ret acc;
+}
+)TINYC";

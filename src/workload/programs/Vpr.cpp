@@ -1,0 +1,143 @@
+//===- workload/programs/Vpr.cpp - 175.vpr-like workload -------------------===//
+//
+// Part of the Usher project, reproducing "Accelerating Dynamic Detection of
+// Uses of Undefined Values with Static Value-Flow Analysis" (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Imitates 175.vpr: FPGA placement by iterative improvement. A linear
+/// placement array is perturbed by random swaps; a local cost delta
+/// decides acceptance. The placement array is calloc-style (initialized),
+/// so a precise value-flow analysis can discharge most of its shadow work.
+///
+//===----------------------------------------------------------------------===//
+
+#include "workload/Programs.h"
+
+const char *usher::workload::kSource175Vpr = R"TINYC(
+// 175.vpr: placement refinement by randomized pairwise swaps.
+global acceptcount[1] init;
+global rejectcount[1] init;
+
+// Cost contribution of position i: |v[i] - v[i-1]| + |v[i] - v[i+1]|.
+func localcost(v, i, n) {
+  cost = 0;
+  pi = gep v, i;
+  vi = *pi;
+  c1 = 0 < i;
+  if c1 goto haveleft;
+  goto tryright;
+haveleft:
+  il = i - 1;
+  pl = gep v, il;
+  vl = *pl;
+  d = vi - vl;
+  neg = d < 0;
+  if neg goto flipl;
+  cost = cost + d;
+  goto tryright;
+flipl:
+  d = 0 - d;
+  cost = cost + d;
+tryright:
+  ir = i + 1;
+  c2 = ir < n;
+  if c2 goto haveright;
+  ret cost;
+haveright:
+  pr = gep v, ir;
+  vr = *pr;
+  e = vi - vr;
+  neg2 = e < 0;
+  if neg2 goto flipr;
+  cost = cost + e;
+  ret cost;
+flipr:
+  e = 0 - e;
+  cost = cost + e;
+  ret cost;
+}
+
+func main() {
+  n = 64;
+  v = alloc heap 64 uninit array;
+  i = 0;
+ihead:
+  c = i < n;
+  if c goto ibody;
+  goto anneal;
+ibody:
+  t = i * 37;
+  t = t & 63;
+  p = gep v, i;
+  *p = t;
+  i = i + 1;
+  goto ihead;
+anneal:
+  seed = 7;
+  moves = 0;
+  acc = 0;
+  rej = 0;
+mhead:
+  c2 = moves < 16000;
+  if c2 goto mbody;
+  goto report;
+mbody:
+  seed = seed * 1103515245;
+  seed = seed + 12345;
+  a = seed >> 16;
+  a = a & 63;
+  seed = seed * 1103515245;
+  seed = seed + 12345;
+  b = seed >> 16;
+  b = b & 63;
+  before = localcost(v, a, n);
+  bb = localcost(v, b, n);
+  before = before + bb;
+  pa = gep v, a;
+  pb = gep v, b;
+  va = *pa;
+  vb = *pb;
+  *pa = vb;
+  *pb = va;
+  after = localcost(v, a, n);
+  ab = localcost(v, b, n);
+  after = after + ab;
+  good = after < before;
+  if good goto keep;
+  same = after == before;
+  if same goto keep;
+  *pa = va;
+  *pb = vb;
+  rej = rej + 1;
+  goto mnext;
+keep:
+  acc = acc + 1;
+mnext:
+  moves = moves + 1;
+  goto mhead;
+report:
+  *acceptcount = acc;
+  *rejectcount = rej;
+  total = 0;
+  k = 0;
+thead:
+  c3 = k < n;
+  if c3 goto tbody;
+  goto done;
+tbody:
+  pk = gep v, k;
+  vk = *pk;
+  total = total * 5;
+  total = total + vk;
+  total = total & 1048575;
+  k = k + 1;
+  goto thead;
+done:
+  aa = *acceptcount;
+  total = total + aa;
+  total = total & 1048575;
+  ret total;
+}
+)TINYC";

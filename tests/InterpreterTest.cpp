@@ -1,0 +1,331 @@
+//===- tests/InterpreterTest.cpp - Runtime semantics unit tests ------------===//
+//
+// Part of the Usher project, reproducing "Accelerating Dynamic Detection of
+// Uses of Undefined Values with Static Value-Flow Analysis" (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Instrumentation.h"
+#include "parser/Parser.h"
+#include "runtime/Interpreter.h"
+
+#include <gtest/gtest.h>
+
+using namespace usher;
+using runtime::ExecutionReport;
+using runtime::ExitReason;
+using runtime::Interpreter;
+
+namespace {
+
+ExecutionReport runNative(const char *Src,
+                          runtime::ExecLimits Limits = {}) {
+  auto M = parser::parseModuleOrAbort(Src);
+  return Interpreter(*M, nullptr, runtime::CostModel(), Limits).run();
+}
+
+//===----------------------------------------------------------------------===//
+// Arithmetic semantics
+//===----------------------------------------------------------------------===//
+
+TEST(InterpreterSemantics, BasicArithmetic) {
+  ExecutionReport R = runNative(R"(
+    func main() {
+      a = 10;
+      b = 3;
+      s = a + b;
+      d = a - b;
+      m = a * b;
+      q = a / b;
+      r = a % b;
+      x = s + d;
+      x = x + m;
+      x = x + q;
+      x = x + r;
+      ret x;
+    }
+  )");
+  EXPECT_EQ(R.MainResult, 13 + 7 + 30 + 3 + 1);
+}
+
+TEST(InterpreterSemantics, DivisionByZeroYieldsZero) {
+  ExecutionReport R = runNative(R"(
+    func main() {
+      a = 7;
+      b = 0;
+      q = a / b;
+      r = a % b;
+      x = q + r;
+      ret x;
+    }
+  )");
+  EXPECT_EQ(R.Reason, ExitReason::Finished);
+  EXPECT_EQ(R.MainResult, 0);
+}
+
+TEST(InterpreterSemantics, ShiftsMaskTheCount) {
+  ExecutionReport R = runNative(R"(
+    func main() {
+      a = 1;
+      b = a << 66;
+      ret b;
+    }
+  )");
+  EXPECT_EQ(R.MainResult, 4) << "shift count is taken mod 64";
+}
+
+TEST(InterpreterSemantics, ComparisonsYieldZeroOne) {
+  ExecutionReport R = runNative(R"(
+    func main() {
+      a = 2 < 3;
+      b = 3 <= 3;
+      c = 4 == 5;
+      d = 4 != 5;
+      e = 9 > 1;
+      f = 1 >= 2;
+      x = a + b;
+      x = x + c;
+      x = x + d;
+      x = x + e;
+      x = x + f;
+      ret x;
+    }
+  )");
+  EXPECT_EQ(R.MainResult, 4);
+}
+
+TEST(InterpreterSemantics, PointerComparisonAndTruthiness) {
+  ExecutionReport R = runNative(R"(
+    func main() {
+      p = alloc heap 1 init;
+      q = p;
+      r = alloc heap 1 init;
+      same = p == q;
+      diff = p == r;
+      nul = 0;
+      pz = p == nul;
+      x = same * 100;
+      y = diff * 10;
+      z = pz * 1;
+      t = x + y;
+      t = t + z;
+      if p goto ptrtrue;
+      ret -1;
+    ptrtrue:
+      ret t;
+    }
+  )");
+  EXPECT_EQ(R.MainResult, 100) << "p==q, p!=r, p!=0, and p is truthy";
+}
+
+//===----------------------------------------------------------------------===//
+// Memory semantics and traps
+//===----------------------------------------------------------------------===//
+
+TEST(InterpreterSemantics, FieldsAreIndependentCells) {
+  ExecutionReport R = runNative(R"(
+    func main() {
+      p = alloc stack 3 init;
+      a = gep p, 0;
+      b = gep p, 2;
+      *a = 11;
+      *b = 22;
+      x = *a;
+      y = *b;
+      z = x * 100;
+      z = z + y;
+      ret z;
+    }
+  )");
+  EXPECT_EQ(R.MainResult, 1122);
+}
+
+TEST(InterpreterTraps, WildDereference) {
+  ExecutionReport R = runNative(R"(
+    func main() {
+      x = 5;
+      y = *x;
+      ret y;
+    }
+  )");
+  EXPECT_EQ(R.Reason, ExitReason::Trap);
+  EXPECT_NE(R.TrapMessage.find("non-pointer"), std::string::npos);
+}
+
+TEST(InterpreterTraps, OutOfRangeField) {
+  ExecutionReport R = runNative(R"(
+    func main() {
+      p = alloc stack 2 init;
+      q = gep p, 7;
+      x = *q;
+      ret x;
+    }
+  )");
+  EXPECT_EQ(R.Reason, ExitReason::Trap);
+  EXPECT_NE(R.TrapMessage.find("out of range"), std::string::npos);
+}
+
+TEST(InterpreterTraps, CallDepthLimit) {
+  runtime::ExecLimits Limits;
+  Limits.MaxCallDepth = 64;
+  ExecutionReport R = runNative(R"(
+    func forever(n) {
+      m = n + 1;
+      r = forever(m);
+      ret r;
+    }
+    func main() {
+      x = forever(0);
+      ret x;
+    }
+  )",
+                                Limits);
+  EXPECT_EQ(R.Reason, ExitReason::Trap);
+  EXPECT_NE(R.TrapMessage.find("depth"), std::string::npos);
+}
+
+TEST(InterpreterTraps, StepLimitStopsInfiniteLoops) {
+  runtime::ExecLimits Limits;
+  Limits.MaxSteps = 1000;
+  ExecutionReport R = runNative(R"(
+    func main() {
+    spin:
+      goto spin;
+    }
+  )",
+                                Limits);
+  EXPECT_EQ(R.Reason, ExitReason::StepLimit);
+}
+
+//===----------------------------------------------------------------------===//
+// Oracle (ground-truth definedness)
+//===----------------------------------------------------------------------===//
+
+TEST(Oracle, TracksDefinednessThroughCalls) {
+  ExecutionReport R = runNative(R"(
+    func pass(v) { ret v; }
+    func main() {
+      z = 0;
+      if z goto setit;
+      goto use;
+    setit:
+      u = 1;
+    use:
+      w = pass(u);
+      if w goto a;
+      ret 0;
+    a:
+      ret 1;
+    }
+  )");
+  ASSERT_EQ(R.OracleWarnings.size(), 1u);
+  EXPECT_TRUE(isa<ir::CondBrInst>(R.OracleWarnings[0].At));
+}
+
+TEST(Oracle, CapturedVoidReturnIsUndefined) {
+  ExecutionReport R = runNative(R"(
+    func noval() { ret; }
+    func main() {
+      x = noval();
+      if x goto a;
+      ret 0;
+    a:
+      ret 1;
+    }
+  )");
+  EXPECT_EQ(R.OracleWarnings.size(), 1u);
+}
+
+TEST(Oracle, InitializedAllocReadsAreDefined) {
+  ExecutionReport R = runNative(R"(
+    func main() {
+      p = alloc heap 4 init;
+      x = *p;
+      if x goto a;
+      ret 0;
+    a:
+      ret 1;
+    }
+  )");
+  EXPECT_TRUE(R.OracleWarnings.empty());
+  EXPECT_EQ(R.MainResult, 0) << "calloc-style memory reads as zero";
+}
+
+TEST(Oracle, WarningsCountOccurrences) {
+  ExecutionReport R = runNative(R"(
+    func main() {
+      z = 0;
+      if z goto setit;
+      goto loop;
+    setit:
+      u = 1;
+      goto loop;
+    loop:
+      i = 0;
+    head:
+      c = i < 5;
+      if c goto body;
+      ret 0;
+    body:
+      if u goto next;
+      goto next;
+    next:
+      i = i + 1;
+      goto head;
+    }
+  )");
+  ASSERT_EQ(R.OracleWarnings.size(), 1u);
+  EXPECT_EQ(R.OracleWarnings[0].Occurrences, 5u);
+}
+
+//===----------------------------------------------------------------------===//
+// Instrumented execution mechanics
+//===----------------------------------------------------------------------===//
+
+TEST(InstrumentedRun, FullPlanMatchesOracleExactly) {
+  auto M = parser::parseModuleOrAbort(R"(
+    func main() {
+      z = 0;
+      if z goto setit;
+      goto use;
+    setit:
+      u = 1;
+    use:
+      v = u + 1;
+      if v goto a;
+      ret 0;
+    a:
+      ret 1;
+    }
+  )");
+  core::InstrumentationPlan Plan = core::buildFullInstrumentation(*M);
+  ExecutionReport R = Interpreter(*M, &Plan).run();
+  ASSERT_EQ(R.ToolWarnings.size(), R.OracleWarnings.size());
+  for (size_t I = 0; I != R.ToolWarnings.size(); ++I) {
+    EXPECT_EQ(R.ToolWarnings[I].At, R.OracleWarnings[I].At);
+    EXPECT_EQ(R.ToolWarnings[I].Occurrences,
+              R.OracleWarnings[I].Occurrences);
+  }
+}
+
+TEST(InstrumentedRun, CostsAccumulateOnlyUnderAPlan) {
+  auto M = parser::parseModuleOrAbort(R"(
+    func main() {
+      x = 1;
+      y = x + 2;
+      ret y;
+    }
+  )");
+  ExecutionReport Native = Interpreter(*M, nullptr).run();
+  EXPECT_EQ(Native.ShadowCost, 0.0);
+  EXPECT_GT(Native.BaseCost, 0.0);
+
+  core::InstrumentationPlan Plan = core::buildFullInstrumentation(*M);
+  ExecutionReport Full = Interpreter(*M, &Plan).run();
+  EXPECT_GT(Full.ShadowCost, 0.0);
+  EXPECT_EQ(Full.BaseCost, Native.BaseCost)
+      << "instrumentation must not change the base cost";
+  EXPECT_GT(Full.slowdownPercent(), 0.0);
+}
+
+} // namespace

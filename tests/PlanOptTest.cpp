@@ -1,0 +1,128 @@
+//===- tests/PlanOptTest.cpp - Shadow-code optimizer tests -----------------===//
+//
+// Part of the Usher project, reproducing "Accelerating Dynamic Detection of
+// Uses of Undefined Values with Static Value-Flow Analysis" (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Instrumentation.h"
+#include "core/PlanOpt.h"
+#include "parser/Parser.h"
+#include "runtime/Interpreter.h"
+
+#include <gtest/gtest.h>
+
+using namespace usher;
+using core::InstrumentationPlan;
+using runtime::ExecutionReport;
+using runtime::Interpreter;
+
+namespace {
+
+TEST(PlanOpt, RemovesShadowChainsThatFeedNoCheck) {
+  // Pure arithmetic whose result only flows to ret: full instrumentation
+  // shadows every step, all of it dead (no critical op consumes it).
+  auto M = parser::parseModuleOrAbort(R"(
+    func main() {
+      a = 1;
+      b = a + 2;
+      c = b * 3;
+      d = c - 4;
+      ret d;
+    }
+  )");
+  InstrumentationPlan Plan = core::buildFullInstrumentation(*M);
+  uint64_t Before = Plan.countShadowOps();
+  unsigned Removed = core::optimizeShadowPlan(Plan, *M);
+  EXPECT_GT(Removed, 0u);
+  EXPECT_LT(Plan.countShadowOps(), Before);
+  EXPECT_EQ(Plan.countShadowOps(), 0u)
+      << "nothing here can reach a check or memory";
+}
+
+TEST(PlanOpt, KeepsEverythingFeedingChecksAndMemory) {
+  auto M = parser::parseModuleOrAbort(R"(
+    func main() {
+      p = alloc stack 1 uninit;
+      a = 1;
+      b = a + 2;
+      *p = b;
+      x = *p;
+      if x goto done;
+      x = 0;
+    done:
+      ret x;
+    }
+  )");
+  InstrumentationPlan Plan = core::buildFullInstrumentation(*M);
+  core::optimizeShadowPlan(Plan, *M);
+  // The chain a -> b feeds a memory shadow write; x feeds a check: all of
+  // those shadow ops must survive, and so must the checks.
+  EXPECT_EQ(Plan.countChecks(), 3u);
+  EXPECT_GE(Plan.countShadowOps(), 4u);
+}
+
+TEST(PlanOpt, PreservesDetectionBehaviour) {
+  auto M = parser::parseModuleOrAbort(R"(
+    func helper(v) {
+      w = v + 1;
+      ret w;
+    }
+    func main() {
+      z = 0;
+      if z goto setit;
+      goto use;
+    setit:
+      u = 1;
+    use:
+      r = helper(u);
+      dead1 = r + 10;
+      dead2 = dead1 * 2;
+      if r goto a;
+      ret 0;
+    a:
+      ret 1;
+    }
+  )");
+  InstrumentationPlan Plan = core::buildFullInstrumentation(*M);
+  ExecutionReport Before = Interpreter(*M, &Plan).run();
+  unsigned Removed = core::optimizeShadowPlan(Plan, *M);
+  ExecutionReport After = Interpreter(*M, &Plan).run();
+
+  EXPECT_GT(Removed, 0u) << "the dead1/dead2 shadow chain is removable";
+  ASSERT_EQ(Before.ToolWarnings.size(), After.ToolWarnings.size());
+  for (size_t I = 0; I != Before.ToolWarnings.size(); ++I)
+    EXPECT_EQ(Before.ToolWarnings[I].At, After.ToolWarnings[I].At);
+  EXPECT_LE(After.DynShadowOps, Before.DynShadowOps);
+}
+
+TEST(PlanOpt, DropsUnusedParameterTransfers) {
+  // helper ignores its parameter's definedness entirely (returns a
+  // constant), so the caller's ArgOut and the callee's ParamIn both die.
+  auto M = parser::parseModuleOrAbort(R"(
+    func helper(v) {
+      ret 7;
+    }
+    func main() {
+      a = 3;
+      r = helper(a);
+      if r goto x;
+      ret 0;
+    x:
+      ret r;
+    }
+  )");
+  InstrumentationPlan Plan = core::buildFullInstrumentation(*M);
+  core::optimizeShadowPlan(Plan, *M);
+  bool SawArgOut = false, SawParamIn = false;
+  Plan.forEachList([&](std::vector<core::ShadowOp> &Ops) {
+    for (const core::ShadowOp &Op : Ops) {
+      SawArgOut |= Op.K == core::ShadowOp::Kind::ArgOut;
+      SawParamIn |= Op.K == core::ShadowOp::Kind::ParamIn;
+    }
+  });
+  EXPECT_FALSE(SawParamIn);
+  EXPECT_FALSE(SawArgOut);
+}
+
+} // namespace

@@ -1,0 +1,183 @@
+//===- tests/TransformsTest.cpp - Transformation correctness ---------------===//
+//
+// Part of the Usher project, reproducing "Accelerating Dynamic Detection of
+// Uses of Undefined Values with Static Value-Flow Analysis" (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Verifier.h"
+#include "parser/Parser.h"
+#include "runtime/Interpreter.h"
+#include "transforms/Transforms.h"
+#include "workload/Generator.h"
+
+#include <gtest/gtest.h>
+
+using namespace usher;
+using runtime::ExecutionReport;
+using runtime::ExitReason;
+using runtime::Interpreter;
+using transforms::OptPreset;
+
+namespace {
+
+TEST(Mem2Reg, PromotesSimpleEntryAlloc) {
+  auto M = parser::parseModuleOrAbort(R"(
+    func main() {
+      p = alloc stack 2 uninit;
+      q = gep p, 1;
+      *p = 3;
+      *q = 4;
+      a = *p;
+      b = *q;
+      r = a + b;
+      ret r;
+    }
+  )");
+  size_t ObjsBefore = M->objects().size();
+  EXPECT_TRUE(transforms::promoteMemoryToRegisters(*M));
+  EXPECT_LT(M->objects().size(), ObjsBefore);
+  ir::verifyModuleOrAbort(*M);
+  ExecutionReport Rep = Interpreter(*M, nullptr).run();
+  EXPECT_EQ(Rep.MainResult, 7);
+  // No loads/stores should remain.
+  for (const auto &F : M->functions())
+    for (const auto &BB : F->blocks())
+      for (const auto &I : BB->instructions())
+        EXPECT_FALSE(isa<ir::LoadInst>(I.get()) ||
+                     isa<ir::StoreInst>(I.get()));
+}
+
+TEST(Mem2Reg, DoesNotPromoteEscapingAlloc) {
+  auto M = parser::parseModuleOrAbort(R"(
+    func use(p) {
+      *p = 9;
+      ret;
+    }
+    func main() {
+      p = alloc stack 1 uninit;
+      use(p);
+      x = *p;
+      ret x;
+    }
+  )");
+  transforms::promoteMemoryToRegisters(*M);
+  ir::verifyModuleOrAbort(*M);
+  ExecutionReport Rep = Interpreter(*M, nullptr).run();
+  EXPECT_EQ(Rep.MainResult, 9);
+}
+
+TEST(Mem2Reg, PreservesUninitializedSemantics) {
+  auto M = parser::parseModuleOrAbort(R"(
+    func main() {
+      p = alloc stack 1 uninit;
+      x = *p;
+      if x goto one;
+      ret 0;
+    one:
+      ret 1;
+    }
+  )");
+  ExecutionReport Before = Interpreter(*M, nullptr).run();
+  ASSERT_EQ(Before.OracleWarnings.size(), 1u);
+  EXPECT_TRUE(transforms::promoteMemoryToRegisters(*M));
+  ExecutionReport After = Interpreter(*M, nullptr).run();
+  // The undefined use moved from the load to the branch but is still
+  // there, and the result is unchanged.
+  EXPECT_EQ(After.MainResult, Before.MainResult);
+  EXPECT_EQ(After.OracleWarnings.size(), 1u);
+}
+
+TEST(Inliner, InlinesAndPreservesResult) {
+  auto M = parser::parseModuleOrAbort(R"(
+    func add(a, b) {
+      c = a + b;
+      ret c;
+    }
+    func main() {
+      x = add(20, 22);
+      y = add(x, 0);
+      ret y;
+    }
+  )");
+  EXPECT_TRUE(transforms::inlineSmallFunctions(*M));
+  ir::verifyModuleOrAbort(*M);
+  // No calls remain in main.
+  const ir::Function *Main = M->findFunction("main");
+  for (const auto &BB : Main->blocks())
+    for (const auto &I : BB->instructions())
+      EXPECT_FALSE(isa<ir::CallInst>(I.get()));
+  ExecutionReport Rep = Interpreter(*M, nullptr).run();
+  EXPECT_EQ(Rep.MainResult, 42);
+}
+
+TEST(LocalOpt, FoldsConstantsAndBranches) {
+  auto M = parser::parseModuleOrAbort(R"(
+    func main() {
+      a = 6;
+      b = 7;
+      c = a * b;
+      d = 1;
+      if d goto yes;
+      ret 0;
+    yes:
+      ret c;
+    }
+  )");
+  EXPECT_TRUE(transforms::propagateAndFold(*M));
+  ir::verifyModuleOrAbort(*M);
+  ExecutionReport Rep = Interpreter(*M, nullptr).run();
+  EXPECT_EQ(Rep.MainResult, 42);
+  // The branch became a goto.
+  const ir::Function *Main = M->findFunction("main");
+  for (const auto &BB : Main->blocks())
+    for (const auto &I : BB->instructions())
+      EXPECT_FALSE(isa<ir::CondBrInst>(I.get()));
+}
+
+TEST(DCE, RemovesDeadLoadHidingTheBug) {
+  // The classic Section 4.6 effect: optimizing away a dead load removes
+  // the undefined use entirely.
+  auto M = parser::parseModuleOrAbort(R"(
+    func main() {
+      p = alloc heap 1 uninit;
+      x = *p;
+      ret 5;
+    }
+  )");
+  ExecutionReport Before = Interpreter(*M, nullptr).run();
+  EXPECT_EQ(Before.OracleWarnings.size(), 0u); // Load ptr is defined.
+  EXPECT_TRUE(transforms::eliminateDeadCode(*M));
+  ir::verifyModuleOrAbort(*M);
+  const ir::Function *Main = M->findFunction("main");
+  size_t Loads = 0;
+  for (const auto &BB : Main->blocks())
+    for (const auto &I : BB->instructions())
+      Loads += isa<ir::LoadInst>(I.get());
+  EXPECT_EQ(Loads, 0u);
+}
+
+class PresetProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PresetProperty, PresetsPreserveResults) {
+  const uint64_t Seed = GetParam();
+  auto Reference = workload::generateProgram(Seed);
+  ExecutionReport Native = Interpreter(*Reference, nullptr).run();
+  ASSERT_EQ(Native.Reason, ExitReason::Finished);
+
+  for (OptPreset P : {OptPreset::O0IM, OptPreset::O1, OptPreset::O2}) {
+    auto M = workload::generateProgram(Seed);
+    transforms::runPreset(*M, P);
+    ExecutionReport Rep = Interpreter(*M, nullptr).run();
+    ASSERT_EQ(Rep.Reason, ExitReason::Finished)
+        << "seed " << Seed << " preset " << transforms::optPresetName(P)
+        << ": " << Rep.TrapMessage;
+    EXPECT_EQ(Rep.MainResult, Native.MainResult)
+        << "seed " << Seed << " preset " << transforms::optPresetName(P);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PresetProperty,
+                         ::testing::Range<uint64_t>(0, 80));
+
+} // namespace

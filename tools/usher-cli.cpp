@@ -1,0 +1,218 @@
+//===- tools/usher-cli.cpp - Command-line driver ----------------------------===//
+//
+// Part of the Usher project, reproducing "Accelerating Dynamic Detection of
+// Uses of Undefined Values with Static Value-Flow Analysis" (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The command-line front end: analyze, instrument and run TinyC programs.
+///
+///   usher-cli prog.tc                 analyze + run under full Usher
+///   usher-cli prog.tc --variant=msan  pick the tool variant
+///   usher-cli prog.tc --opt=O1        apply an optimization preset first
+///   usher-cli prog.tc --compare       run every variant side by side
+///   usher-cli prog.tc --stats         print the Table 1 statistics
+///   usher-cli prog.tc --print-ir      dump the (transformed) module
+///   usher-cli prog.tc --dot           dump the VFG in Graphviz syntax
+///   usher-cli prog.tc --no-run        static analysis only
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Usher.h"
+#include "parser/Parser.h"
+#include "runtime/Interpreter.h"
+#include "support/RawStream.h"
+#include "transforms/Transforms.h"
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace usher;
+
+namespace {
+
+struct CliOptions {
+  std::string InputPath;
+  core::ToolVariant Variant = core::ToolVariant::UsherFull;
+  transforms::OptPreset Preset = transforms::OptPreset::O0IM;
+  bool Compare = false;
+  bool Stats = false;
+  bool PrintIR = false;
+  bool DumpDot = false;
+  bool Run = true;
+};
+
+int usage(const char *Argv0) {
+  errs() << "usage: " << Argv0
+         << " <program.tc> [--variant=msan|tl|tlat|opti|usher] "
+            "[--opt=O0|O1|O2] [--compare] [--stats] [--print-ir] [--dot] "
+            "[--no-run]\n";
+  return 2;
+}
+
+bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
+  for (int I = 1; I != Argc; ++I) {
+    std::string_view Arg = Argv[I];
+    if (Arg == "--compare") {
+      Opts.Compare = true;
+    } else if (Arg == "--stats") {
+      Opts.Stats = true;
+    } else if (Arg == "--print-ir") {
+      Opts.PrintIR = true;
+    } else if (Arg == "--dot") {
+      Opts.DumpDot = true;
+    } else if (Arg == "--no-run") {
+      Opts.Run = false;
+    } else if (Arg.rfind("--variant=", 0) == 0) {
+      std::string_view V = Arg.substr(10);
+      if (V == "msan")
+        Opts.Variant = core::ToolVariant::MSanFull;
+      else if (V == "tl")
+        Opts.Variant = core::ToolVariant::UsherTL;
+      else if (V == "tlat")
+        Opts.Variant = core::ToolVariant::UsherTLAT;
+      else if (V == "opti")
+        Opts.Variant = core::ToolVariant::UsherOptI;
+      else if (V == "usher")
+        Opts.Variant = core::ToolVariant::UsherFull;
+      else
+        return false;
+    } else if (Arg.rfind("--opt=", 0) == 0) {
+      std::string_view P = Arg.substr(6);
+      if (P == "O0" || P == "O0+IM")
+        Opts.Preset = transforms::OptPreset::O0IM;
+      else if (P == "O1")
+        Opts.Preset = transforms::OptPreset::O1;
+      else if (P == "O2")
+        Opts.Preset = transforms::OptPreset::O2;
+      else
+        return false;
+    } else if (!Arg.empty() && Arg[0] != '-' && Opts.InputPath.empty()) {
+      Opts.InputPath = Arg;
+    } else {
+      return false;
+    }
+  }
+  return !Opts.InputPath.empty();
+}
+
+std::string readFile(const std::string &Path, bool &Ok) {
+  std::FILE *FP = std::fopen(Path.c_str(), "rb");
+  if (!FP) {
+    Ok = false;
+    return {};
+  }
+  std::string Contents;
+  char Buf[4096];
+  size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), FP)) > 0)
+    Contents.append(Buf, N);
+  std::fclose(FP);
+  Ok = true;
+  return Contents;
+}
+
+void reportRun(raw_ostream &OS, const char *Tool,
+               const runtime::ExecutionReport &Rep) {
+  OS << '[';
+  OS.leftJustify(Tool, 12);
+  OS << "] ";
+  if (Rep.Reason == runtime::ExitReason::Trap) {
+    OS << "trapped: " << Rep.TrapMessage << '\n';
+    return;
+  }
+  if (Rep.Reason == runtime::ExitReason::StepLimit) {
+    OS << "stopped: step limit exceeded\n";
+    return;
+  }
+  OS << "result " << Rep.MainResult << ", slowdown "
+     << static_cast<int>(Rep.slowdownPercent()) << "%, shadow ops "
+     << Rep.DynShadowOps << ", checks " << Rep.DynChecks << '\n';
+  for (const runtime::Warning &W : Rep.ToolWarnings) {
+    OS << "  warning: use of undefined value in "
+       << W.At->getParent()->getParent()->getName() << " at \"";
+    W.At->print(OS);
+    OS << "\" (x" << W.Occurrences << ")\n";
+  }
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  CliOptions Opts;
+  if (!parseArgs(Argc, Argv, Opts))
+    return usage(Argv[0]);
+
+  bool Ok = false;
+  std::string Source = readFile(Opts.InputPath, Ok);
+  if (!Ok) {
+    errs() << "error: cannot read '" << Opts.InputPath << "'\n";
+    return 1;
+  }
+
+  parser::ParseResult Parsed = parser::parseModule(Source);
+  if (!Parsed.succeeded()) {
+    for (const std::string &E : Parsed.Errors)
+      errs() << Opts.InputPath << ':' << E << '\n';
+    return 1;
+  }
+  ir::Module &M = *Parsed.M;
+  transforms::runPreset(M, Opts.Preset);
+
+  raw_ostream &OS = outs();
+  if (Opts.PrintIR)
+    M.print(OS);
+
+  const core::ToolVariant Variants[] = {
+      core::ToolVariant::MSanFull, core::ToolVariant::UsherTL,
+      core::ToolVariant::UsherTLAT, core::ToolVariant::UsherOptI,
+      core::ToolVariant::UsherFull};
+  std::vector<core::ToolVariant> ToRun;
+  if (Opts.Compare)
+    ToRun.assign(std::begin(Variants), std::end(Variants));
+  else
+    ToRun.push_back(Opts.Variant);
+
+  int ExitCode = 0;
+  for (core::ToolVariant V : ToRun) {
+    core::UsherOptions UO;
+    UO.Variant = V;
+    core::UsherResult R = core::runUsher(M, UO);
+
+    if (Opts.Stats && !Opts.Compare) {
+      const core::UsherStatistics &S = R.Stats;
+      OS << "instructions:         " << S.NumInstructions << '\n'
+         << "top-level variables:  " << S.NumTopLevelVars << '\n'
+         << "objects (stack/heap/global): " << S.NumStackObjects << '/'
+         << S.NumHeapObjects << '/' << S.NumGlobalObjects << '\n'
+         << "uninitialized allocs: "
+         << static_cast<int>(S.PercentUninitObjects) << "%\n"
+         << "VFG nodes/edges:      " << S.NumVFGNodes << '/'
+         << S.NumVFGEdges << '\n'
+         << "store updates strong/weak: "
+         << static_cast<int>(S.PercentStrongStores) << "%/"
+         << static_cast<int>(S.PercentWeakStores) << "%\n"
+         << "static propagations:  " << S.StaticPropagations << '\n'
+         << "static checks:        " << S.StaticChecks << '\n'
+         << "analysis time:        " << S.AnalysisSeconds * 1000 << " ms\n";
+    }
+    if (Opts.DumpDot && !Opts.Compare && R.G)
+      R.G->dumpDot(OS);
+
+    if (Opts.Run) {
+      runtime::ExecutionReport Rep = runtime::Interpreter(M, &R.Plan).run();
+      reportRun(OS, core::toolVariantName(V), Rep);
+      if (!Rep.ToolWarnings.empty())
+        ExitCode = 3; // Like a sanitizer: nonzero when bugs were found.
+      if (Rep.Reason != runtime::ExitReason::Finished)
+        ExitCode = 4;
+    } else if (!Opts.Compare) {
+      OS << "static checks kept: " << R.Plan.countChecks()
+         << ", shadow ops kept: " << R.Plan.countShadowOps() << '\n';
+    }
+  }
+  return ExitCode;
+}
