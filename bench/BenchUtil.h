@@ -18,6 +18,7 @@
 #include "core/PlanOpt.h"
 #include "core/Usher.h"
 #include "runtime/Interpreter.h"
+#include "support/FaultInjection.h"
 #include "support/RawStream.h"
 #include "transforms/Transforms.h"
 #include "workload/Spec2000.h"
@@ -39,6 +40,12 @@ struct RunResult {
 /// executes the instrumented program. Aborts loudly if the program result
 /// or the expected bug count diverges (the harness must never report
 /// numbers from a broken run).
+///
+/// Unless the caller configures its own budget or fault, every phase runs
+/// under a generous per-program watchdog, so a pathological analysis
+/// prints DEGRADED(<rung>) on stderr instead of hanging the whole table.
+/// USHER_INJECT_FAULT (same grammar as usher-cli's --inject-fault=) is
+/// honored, so the degraded path can be exercised from the shell.
 inline RunResult runBenchmark(const workload::BenchmarkProgram &B,
                               transforms::OptPreset Preset,
                               core::ToolVariant Variant,
@@ -48,11 +55,34 @@ inline RunResult runBenchmark(const workload::BenchmarkProgram &B,
 
   core::UsherOptions Opts = BaseOpts;
   Opts.Variant = Variant;
+  if (!Opts.Fault)
+    Opts.Fault = faultPlanFromEnv();
+  if (!Opts.Limits.any() && !Opts.Fault) {
+    Opts.Limits.PhaseDeadlineMs = 120'000;
+    Opts.Limits.MaxStepsPerPhase = 1'000'000'000;
+  }
   core::UsherResult R = core::runUsher(*M, Opts);
+  if (R.Degradation.Degraded)
+    std::fprintf(stderr, "DEGRADED(%s): %s under %s/%s: %s\n",
+                 core::toolVariantName(R.Degradation.Rung), B.Name.c_str(),
+                 transforms::optPresetName(Preset),
+                 core::toolVariantName(Variant),
+                 R.Degradation.summary().c_str());
   // The paper's O1/O2 pipelines re-optimize the *instrumented* code
   // (Section 4.6); model that by eliminating dead shadow computations.
-  if (Preset != transforms::OptPreset::O0IM)
-    core::optimizeShadowPlan(R.Plan, *M);
+  if (Preset != transforms::OptPreset::O0IM) {
+    Budget PostOpt(Opts.Limits);
+    PostOpt.beginPhase(BudgetPhase::OptI);
+    core::optimizeShadowPlan(R.Plan, *M, &PostOpt);
+    if (PostOpt.exhausted())
+      std::fprintf(stderr,
+                   "DEGRADED(%s): %s under %s/%s: shadow-plan cleanup hit "
+                   "%s, kept partial result\n",
+                   core::toolVariantName(R.Degradation.Rung), B.Name.c_str(),
+                   transforms::optPresetName(Preset),
+                   core::toolVariantName(Variant),
+                   exhaustKindName(PostOpt.exhaustKind()));
+  }
 
   runtime::Interpreter Interp(*M, &R.Plan);
   RunResult Out{std::move(R.Stats), Interp.run()};

@@ -9,6 +9,7 @@
 
 #include "analysis/CallGraph.h"
 #include "ir/IR.h"
+#include "support/Budget.h"
 
 #include <algorithm>
 #include <cassert>
@@ -228,7 +229,7 @@ PointerAnalysis::cloneOrigins(const Function *F) const {
 
 class PointerAnalysis::Solver {
 public:
-  Solver(PointerAnalysis &PA) : PA(PA), M(PA.M) {}
+  Solver(PointerAnalysis &PA, Budget *B) : PA(PA), M(PA.M), B(B) {}
 
   void run();
 
@@ -296,6 +297,7 @@ private:
 
   PointerAnalysis &PA;
   Module &M;
+  Budget *B;
 
   std::unordered_map<const Variable *, uint32_t> VarIds;
   uint32_t NumVars = 0;
@@ -463,6 +465,14 @@ void PointerAnalysis::Solver::addCallConstraints(const CallInst *Call) {
 
 void PointerAnalysis::Solver::solve() {
   while (!Worklist.empty()) {
+    // One budget step per worklist pop: the inclusion fixpoint is where
+    // pathological programs blow up (DFI-style wall-clock cliffs). On
+    // exhaustion the partial solution under-approximates, so the whole
+    // analysis is flagged unusable rather than silently wrong.
+    if (B && !B->step()) {
+      PA.Exhausted = true;
+      return;
+    }
     uint32_t N = Worklist.back();
     Worklist.pop_back();
     InWorklist.clear(N);
@@ -496,8 +506,16 @@ void PointerAnalysis::Solver::solve() {
 }
 
 void PointerAnalysis::Solver::run() {
+  // An at-entry check makes injected phase exhaustion deterministic even
+  // for programs whose worklist never fills.
+  if (B && !B->step()) {
+    PA.Exhausted = true;
+    return;
+  }
   buildConstraints();
   solve();
+  if (PA.Exhausted)
+    return;
   PA.NumNodes = NumNodes;
   for (const auto &[V, Id] : VarIds)
     PA.VarPts[V] = Pts[Id].toVector();
@@ -508,14 +526,14 @@ void PointerAnalysis::Solver::run() {
 //===----------------------------------------------------------------------===//
 
 PointerAnalysis::PointerAnalysis(Module &M, const CallGraph &CG,
-                                 PtaOptions Opts)
+                                 PtaOptions Opts, Budget *B)
     : M(M), CG(CG), Opts(Opts) {
   if (Opts.HeapCloning) {
     detectWrappers();
     createClones();
   }
   numberLocations();
-  Solver(*this).run();
+  Solver(*this, B).run();
 }
 
 const std::vector<uint32_t> &

@@ -28,6 +28,8 @@
 #include <vector>
 
 namespace usher {
+class Budget;
+
 namespace ir {
 class CallInst;
 class Function;
@@ -62,11 +64,20 @@ struct PtaOptions {
 class PointerAnalysis {
 public:
   /// Builds constraints for \p M and solves them. Heap cloning may add
-  /// clone objects to \p M. \p CG must outlive this analysis.
+  /// clone objects to \p M. \p CG must outlive this analysis. When \p B is
+  /// armed (BudgetPhase::PointerAnalysis), the solver checks it at
+  /// worklist-pop granularity and stops early on exhaustion; the partial
+  /// points-to sets are then an *under*-approximation and must not be
+  /// used — callers check exhausted() and degrade instead.
   PointerAnalysis(ir::Module &M, const CallGraph &CG,
-                  PtaOptions Opts = PtaOptions());
+                  PtaOptions Opts = PtaOptions(), Budget *B = nullptr);
 
   const PtaOptions &options() const { return Opts; }
+
+  /// True if the solver stopped on budget exhaustion; the analysis result
+  /// is unusable and the caller must fall back (field-insensitive retry,
+  /// then the MSan full plan).
+  bool exhausted() const { return Exhausted; }
 
   //===--------------------------------------------------------------------===//
   // Location numbering
@@ -151,6 +162,7 @@ private:
 
   std::unordered_map<const ir::Variable *, std::vector<uint32_t>> VarPts;
   unsigned NumNodes = 0;
+  bool Exhausted = false;
 
   static const std::vector<ir::MemObject *> EmptyObjList;
   static const std::vector<uint32_t> EmptyPts;

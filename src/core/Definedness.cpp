@@ -7,6 +7,8 @@
 
 #include "core/Definedness.h"
 
+#include "support/Budget.h"
+
 #include <cassert>
 #include <unordered_set>
 
@@ -81,10 +83,45 @@ private:
 
 Definedness::Definedness(
     const VFG &G, DefinednessOptions Opts,
-    const std::unordered_map<uint32_t, std::vector<Edge>> *Redirects) {
+    const std::unordered_map<uint32_t, std::vector<Edge>> *Redirects,
+    Budget *B) {
   const unsigned K = Opts.ContextK;
   const uint32_t N = G.numNodes();
   Bottom.resize(N);
+
+  // On budget exhaustion the worklist is abandoned mid-flight, so the
+  // reachability result is incomplete. Completing it pessimistically keeps
+  // the answer sound: mark bottom every node that is not structurally
+  // defined, i.e. whose effective dependencies are not all the T root.
+  // (Alloc results and constants depend only on RootT and must stay top —
+  // the planner asserts they never demand a definition.)
+  auto Pessimize = [&] {
+    Pessimized = true;
+    for (uint32_t Id = 0; Id != N; ++Id) {
+      if (G.isRoot(Id))
+        continue;
+      const std::vector<Edge> *Deps = &G.deps(Id);
+      if (Redirects) {
+        auto It = Redirects->find(Id);
+        if (It != Redirects->end())
+          Deps = &It->second;
+      }
+      bool AllTop = !Deps->empty();
+      for (const Edge &E : *Deps) {
+        if (E.Node != VFG::RootT) {
+          AllTop = false;
+          break;
+        }
+      }
+      if (!AllTop)
+        Bottom.set(Id);
+    }
+  };
+
+  if (B && !B->step()) {
+    Pessimize();
+    return;
+  }
 
   // Per-node set of contexts already explored; capped to bound state
   // explosion — on overflow the node saturates to the universal (empty)
@@ -127,6 +164,10 @@ Definedness::Definedness(
   // kind/site label as the dependency edge; undefinedness flows from the
   // depended-on node to the user.
   while (!Work.empty()) {
+    if (B && !B->step()) {
+      Pessimize();
+      return;
+    }
     State S = Work.back();
     Work.pop_back();
     // A redirected node's dependencies changed; flows *out of* it are

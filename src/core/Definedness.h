@@ -22,6 +22,8 @@
 #include "vfg/VFG.h"
 
 namespace usher {
+class Budget;
+
 namespace core {
 
 /// Options for definedness resolution.
@@ -43,9 +45,19 @@ public:
   /// check elimination, which recomputes Gamma on a modified graph): a
   /// node present in \p Redirects uses the given dependency list instead
   /// of its VFG one.
+  ///
+  /// When \p B is armed (BudgetPhase::Definedness, or OptII for the
+  /// redirect re-resolution), the reachability worklist checks it per pop.
+  /// On exhaustion the resolution is *completed pessimistically* instead
+  /// of abandoned: every node that is not structurally defined (i.e. whose
+  /// effective dependencies are not all the T root) is marked bottom.
+  /// Bottom over-approximates "may be undefined", so the result stays
+  /// sound — it merely demands more instrumentation — and wasPessimized()
+  /// reports the degradation.
   Definedness(const vfg::VFG &G, DefinednessOptions Opts,
               const std::unordered_map<uint32_t, std::vector<vfg::Edge>>
-                  *Redirects = nullptr);
+                  *Redirects = nullptr,
+              Budget *B = nullptr);
 
   /// True if \p Node may carry an undefined value (Gamma = bottom).
   bool mayBeUndefined(uint32_t Node) const { return Bottom.test(Node); }
@@ -56,8 +68,13 @@ public:
   /// Number of bottom nodes (statistics).
   size_t numUndefinedNodes() const { return Bottom.count(); }
 
+  /// True if the budget ran out and unresolved nodes were pessimistically
+  /// marked undefined-capable.
+  bool wasPessimized() const { return Pessimized; }
+
 private:
   BitSet Bottom;
+  bool Pessimized = false;
 };
 
 /// Computes the set of VFG nodes from which some needed runtime check is

@@ -9,6 +9,7 @@
 
 #include "ir/IR.h"
 #include "ssa/MemorySSA.h"
+#include "support/Budget.h"
 
 #include <cassert>
 #include <unordered_map>
@@ -295,6 +296,11 @@ void InstrumentationPlanner::Impl::emitRetOutsOf(const Function *Callee) {
 bool InstrumentationPlanner::Impl::trySimplifyMFC(const VFG::NodeData &N,
                                                   const FunctionSSA &FS,
                                                   const Instruction *I0) {
+  // Each simplification attempt is one Opt I budget step. Declining to
+  // simplify is always sound: the caller falls through to the normal
+  // Figure 7 shadow-propagation rule for this closure.
+  if (Opts.B && !Opts.B->step())
+    return false;
   // Expand the must-flow-from closure (Definition 2) of I0's def. To keep
   // runtime shadow slots (which are per-variable, not per-version) valid
   // at I0, every variable read beyond depth 0 must have exactly one static

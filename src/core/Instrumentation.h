@@ -26,6 +26,8 @@
 #include <memory>
 
 namespace usher {
+class Budget;
+
 namespace ssa {
 class MemorySSA;
 }
@@ -40,6 +42,10 @@ struct PlannerOptions {
   bool AddressTakenAware = true;
   /// Apply Opt I (value-flow simplification of must-flow-from closures).
   bool OptI = false;
+  /// Optional budget (BudgetPhase::OptI): consulted per simplification
+  /// attempt. Exhaustion leaves remaining closures unsimplified — the
+  /// normal Figure 7 rules still cover them, so the plan stays sound.
+  Budget *B = nullptr;
 };
 
 /// Demand-driven planner implementing the deduction rules of Figure 7.

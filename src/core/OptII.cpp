@@ -11,6 +11,7 @@
 #include "analysis/PointerAnalysis.h"
 #include "ir/IR.h"
 #include "ssa/MemorySSA.h"
+#include "support/Budget.h"
 
 #include <unordered_set>
 
@@ -56,12 +57,21 @@ const Instruction *definingStatement(const VFG &G, const ssa::MemorySSA &SSA,
 OptIIResult core::runRedundantCheckElimination(
     const Module &M, const ssa::MemorySSA &SSA,
     const analysis::PointerAnalysis &PA, const analysis::CallGraph &CG,
-    const VFG &G, const Definedness &BaseGamma) {
+    const VFG &G, const Definedness &BaseGamma, Budget *B) {
   (void)M;
   OptIIResult Result;
   constexpr size_t MaxClosure = 128;
 
+  if (B && !B->step()) {
+    Result.Exhausted = true;
+    return Result;
+  }
+
   for (const VFG::CriticalUse &Use : G.criticalUses()) {
+    if (B && !B->step()) {
+      Result.Exhausted = true;
+      return Result;
+    }
     // Only checks that are actually performed can justify suppressing
     // dominated re-detections.
     if (BaseGamma.isDefined(Use.Node))
@@ -76,6 +86,10 @@ OptIIResult core::runRedundantCheckElimination(
     std::vector<uint32_t> Work{Use.Node};
     bool TooBig = false;
     while (!Work.empty() && !TooBig) {
+      if (B && !B->step()) {
+        Result.Exhausted = true;
+        return Result;
+      }
       uint32_t Node = Work.back();
       Work.pop_back();
       if (!Closure.insert(Node).second)
@@ -115,6 +129,10 @@ OptIIResult core::runRedundantCheckElimination(
           Candidates.insert(E.Node);
 
     for (uint32_t R : Candidates) {
+      if (B && !B->step()) {
+        Result.Exhausted = true;
+        return Result;
+      }
       const Instruction *DefStmt = definingStatement(G, SSA, R);
       if (!DefStmt || DefStmt->getParent()->getParent() != Fn)
         continue;

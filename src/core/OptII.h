@@ -27,6 +27,8 @@
 #include <vector>
 
 namespace usher {
+class Budget;
+
 namespace ir {
 class Module;
 }
@@ -48,17 +50,25 @@ struct OptIIResult {
   std::unordered_map<uint32_t, std::vector<vfg::Edge>> Redirects;
   /// Number of distinct redirected nodes (the R column of Table 1).
   uint64_t NumRedirectedNodes = 0;
+  /// True if the budget ran out mid-analysis. Partial redirections could
+  /// be unsound to apply selectively (each redirect assumes its whole
+  /// closure stays checked), so callers must discard Redirects entirely
+  /// and fall back to the Opt-I-only rung.
+  bool Exhausted = false;
 };
 
 /// Runs Algorithm 1 and returns the redirections. \p BaseGamma is the
 /// definedness computed on the unmodified graph (used to consider only
-/// checks that are actually emitted).
+/// checks that are actually emitted). When \p B is armed
+/// (BudgetPhase::OptII) the closure expansions check it per node and the
+/// function returns early with Exhausted set.
 OptIIResult runRedundantCheckElimination(const ir::Module &M,
                                          const ssa::MemorySSA &SSA,
                                          const analysis::PointerAnalysis &PA,
                                          const analysis::CallGraph &CG,
                                          const vfg::VFG &G,
-                                         const Definedness &BaseGamma);
+                                         const Definedness &BaseGamma,
+                                         Budget *B = nullptr);
 
 } // namespace core
 } // namespace usher

@@ -8,6 +8,7 @@
 #include "core/PlanOpt.h"
 
 #include "core/InstrumentationPlan.h"
+#include "support/Budget.h"
 
 #include <algorithm>
 #include <unordered_set>
@@ -16,7 +17,7 @@ using namespace usher;
 using namespace usher::core;
 
 unsigned core::optimizeShadowPlan(InstrumentationPlan &Plan,
-                                  const ir::Module &M) {
+                                  const ir::Module &M, Budget *B) {
   (void)M;
   // Liveness fixpoint over shadow state. Checks and memory-cell shadow
   // writes are roots (cells are read through runtime pointers, so their
@@ -24,9 +25,10 @@ unsigned core::optimizeShadowPlan(InstrumentationPlan &Plan,
   // only while some live operation reads that variable's shadow.
   std::unordered_set<const ShadowOp *> Dead;
   bool Changed = true;
+  bool Exhausted = false;
   unsigned Removed = 0;
 
-  while (Changed) {
+  while (Changed && !Exhausted) {
     Changed = false;
     std::unordered_set<const ir::Variable *> ReadVars;
     std::unordered_set<uint32_t> LiveParamIndices;
@@ -47,6 +49,15 @@ unsigned core::optimizeShadowPlan(InstrumentationPlan &Plan,
 
     Plan.forEachList([&](std::vector<ShadowOp> &Ops) {
       for (const ShadowOp &Op : Ops) {
+        if (Exhausted)
+          return;
+        // Stopping mid-round is sound: each kill recorded so far is
+        // justified against ReadVars, an over-approximation of the reads
+        // that survive. The unexamined tail merely stays (dead) in place.
+        if (B && !B->step()) {
+          Exhausted = true;
+          return;
+        }
         if (Dead.count(&Op))
           continue;
         bool Kill = false;

@@ -20,6 +20,8 @@
 #define USHER_CORE_PLANOPT_H
 
 namespace usher {
+class Budget;
+
 namespace ir {
 class Module;
 }
@@ -35,7 +37,14 @@ class InstrumentationPlan;
 ///  - argument/return shadow transfers whose receiving side is dead.
 /// Memory-cell shadow writes are conservatively kept (cells are read
 /// through pointers). Returns the number of operations removed.
-unsigned optimizeShadowPlan(InstrumentationPlan &Plan, const ir::Module &M);
+///
+/// When \p B is armed (BudgetPhase::OptI) the liveness fixpoint checks it
+/// per operation and stops early on exhaustion, erasing only the kills
+/// proven so far. Every kill is individually justified against a
+/// round-start over-approximation of the read set, so a partial result
+/// only leaves extra (dead but harmless) shadow code behind.
+unsigned optimizeShadowPlan(InstrumentationPlan &Plan, const ir::Module &M,
+                            Budget *B = nullptr);
 
 } // namespace core
 } // namespace usher

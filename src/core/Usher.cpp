@@ -31,6 +31,34 @@ const char *core::toolVariantName(ToolVariant V) {
   return "?";
 }
 
+std::string DegradationReport::summary() const {
+  if (!Degraded)
+    return "";
+  std::string S = "degraded ";
+  S += toolVariantName(Requested);
+  S += " -> ";
+  S += toolVariantName(Rung);
+  S += ":";
+  for (const DegradationStep &Step : Steps) {
+    S += " ";
+    S += budgetPhaseName(Step.Phase);
+    S += " hit ";
+    S += exhaustKindName(Step.Kind);
+    S += " (";
+    S += Step.Action;
+    S += ");";
+  }
+  if (!Steps.empty())
+    S.pop_back();
+  return S;
+}
+
+/// The enumerator order is the ladder order, so "weaker of two rungs" is a
+/// numeric min.
+static ToolVariant minRung(ToolVariant A, ToolVariant B) {
+  return static_cast<int>(A) < static_cast<int>(B) ? A : B;
+}
+
 static void collectModuleStats(const Module &M, UsherStatistics &Stats) {
   Stats.NumInstructions = M.instructionCount();
   for (const auto &F : M.functions())
@@ -62,14 +90,31 @@ UsherResult core::runUsher(Module &M, const UsherOptions &Opts) {
   UsherStatistics Stats;
   collectModuleStats(M, Stats);
 
-  if (Opts.Variant == ToolVariant::MSanFull) {
+  DegradationReport DR;
+  DR.Requested = Opts.Variant;
+  DR.Rung = Opts.Variant;
+
+  // The terminal ladder rung: the MSan full plan needs no fixed point at
+  // all, so it is always reachable within any budget.
+  auto FinishMSan = [&]() -> UsherResult {
     UsherResult Result(buildFullInstrumentation(M));
     Stats.AnalysisSeconds = Total.seconds();
     Stats.StaticPropagations = Result.Plan.countPropagationReads();
     Stats.StaticChecks = Result.Plan.countChecks();
-    Result.Stats = Stats;
+    DR.Rung = ToolVariant::MSanFull;
+    Result.Stats = std::move(Stats);
+    Result.Degradation = std::move(DR);
     return Result;
-  }
+  };
+
+  if (Opts.Variant == ToolVariant::MSanFull)
+    return FinishMSan();
+
+  Budget B(Opts.Limits, Opts.Fault);
+  auto Fail = [&](BudgetPhase P, std::string Action) {
+    DR.Degraded = true;
+    DR.Steps.push_back({P, B.exhaustKind(), std::move(Action)});
+  };
 
   Timer Phase;
   auto Record = [&](const char *Name) {
@@ -78,8 +123,40 @@ UsherResult core::runUsher(Module &M, const UsherOptions &Opts) {
   };
 
   auto CG = std::make_unique<analysis::CallGraph>(M);
-  auto PA = std::make_unique<analysis::PointerAnalysis>(M, *CG, Opts.Pta);
+
+  // Heap cloning appends clone objects to the module; remember the
+  // watermark so a failed attempt can be rolled back before a retry (or
+  // the MSan fallback) re-runs cloning or instruments the module.
+  const size_t ObjMark = M.objects().size();
+  auto PurgeClones = [&] {
+    M.purgeObjects([&](const ir::MemObject *O) {
+      return static_cast<size_t>(O->getId()) >= ObjMark;
+    });
+  };
+
+  B.beginPhase(BudgetPhase::PointerAnalysis);
+  auto PA = std::make_unique<analysis::PointerAnalysis>(M, *CG, Opts.Pta, &B);
+  if (PA->exhausted() && Opts.Pta.FieldSensitive) {
+    // First fallback: the field-insensitive constraint system is much
+    // smaller and still a sound over-approximation. Fresh arm, fresh
+    // module (no stale clones).
+    Fail(BudgetPhase::PointerAnalysis, "retrying field-insensitive");
+    PurgeClones();
+    analysis::PtaOptions Cheap = Opts.Pta;
+    Cheap.FieldSensitive = false;
+    B.beginPhase(BudgetPhase::PointerAnalysis);
+    PA = std::make_unique<analysis::PointerAnalysis>(M, *CG, Cheap, &B);
+  }
+  if (PA->exhausted()) {
+    // No usable points-to information: everything downstream depends on
+    // it, so the only sound landing is the full plan.
+    Fail(BudgetPhase::PointerAnalysis, "falling back to full instrumentation");
+    PurgeClones();
+    Record("1.pointer-analysis");
+    return FinishMSan();
+  }
   Record("1.pointer-analysis");
+
   auto MR = std::make_unique<analysis::ModRefAnalysis>(M, *CG, *PA);
   auto SSA = std::make_unique<ssa::MemorySSA>(M, *PA, *MR);
   Record("2.memory-ssa");
@@ -90,28 +167,83 @@ UsherResult core::runUsher(Module &M, const UsherOptions &Opts) {
   DefinednessOptions DefOpts;
   DefOpts.ContextK = Opts.ContextK;
   DefOpts.AddressTakenAware = Opts.Variant != ToolVariant::UsherTL;
-  auto Gamma = std::make_unique<Definedness>(*G, DefOpts);
+  B.beginPhase(BudgetPhase::Definedness);
+  auto Gamma = std::make_unique<Definedness>(*G, DefOpts, nullptr, &B);
+  if (Gamma->wasPessimized()) {
+    // The pessimistically completed Gamma is sound but too coarse to
+    // justify Opt I/II decisions profitably; land on the plain guided
+    // rung for the chosen memory model.
+    Fail(BudgetPhase::Definedness, "unresolved nodes marked undefined-capable");
+    DR.Rung = minRung(DR.Rung, DefOpts.AddressTakenAware
+                                   ? ToolVariant::UsherTLAT
+                                   : ToolVariant::UsherTL);
+  }
   Record("4.definedness");
 
   // Opt II recomputes definedness on a graph with redirected edges; the
   // resulting Gamma drives instrumentation over the *original* VFG so all
-  // shadow values stay correctly initialized (Algorithm 1).
-  if (Opts.Variant == ToolVariant::UsherFull) {
+  // shadow values stay correctly initialized (Algorithm 1). The base
+  // Gamma stays alive so later rungs can discard the redirects wholesale.
+  std::unique_ptr<Definedness> RedirGamma;
+  if (Opts.Variant == ToolVariant::UsherFull && !Gamma->wasPessimized()) {
+    B.beginPhase(BudgetPhase::OptII);
     OptIIResult Opt2 =
-        runRedundantCheckElimination(M, *SSA, *PA, *CG, *G, *Gamma);
-    Stats.NumRedirectedNodes = Opt2.NumRedirectedNodes;
-    if (!Opt2.Redirects.empty())
-      Gamma = std::make_unique<Definedness>(*G, DefOpts, &Opt2.Redirects);
+        runRedundantCheckElimination(M, *SSA, *PA, *CG, *G, *Gamma, &B);
+    if (Opt2.Exhausted) {
+      // Partial redirect sets are not individually sound (each redirect
+      // assumes its whole closure stays checked): drop them all.
+      Fail(BudgetPhase::OptII, "Opt II redirects discarded");
+      DR.Rung = minRung(DR.Rung, ToolVariant::UsherOptI);
+    } else {
+      Stats.NumRedirectedNodes = Opt2.NumRedirectedNodes;
+      if (!Opt2.Redirects.empty()) {
+        auto G2 = std::make_unique<Definedness>(*G, DefOpts, &Opt2.Redirects,
+                                                &B);
+        if (G2->wasPessimized()) {
+          // The re-resolution ran out of the same Opt II budget; the base
+          // Gamma is still intact, so discard the redirects instead of
+          // accepting a coarser Gamma.
+          Fail(BudgetPhase::OptII, "Opt II re-resolution discarded");
+          DR.Rung = minRung(DR.Rung, ToolVariant::UsherOptI);
+          Stats.NumRedirectedNodes = 0;
+        } else {
+          RedirGamma = std::move(G2);
+        }
+      }
+    }
     Record("5.opt2");
   }
 
   PlannerOptions POpts;
   POpts.AddressTakenAware = Opts.Variant != ToolVariant::UsherTL;
-  POpts.OptI = Opts.Variant == ToolVariant::UsherOptI ||
-               Opts.Variant == ToolVariant::UsherFull;
-  InstrumentationPlanner Planner(M, *SSA, *G, *Gamma, POpts);
+  POpts.OptI = static_cast<int>(DR.Rung) >=
+               static_cast<int>(ToolVariant::UsherOptI);
+  POpts.B = &B;
+  if (POpts.OptI)
+    B.beginPhase(BudgetPhase::OptI);
+  InstrumentationPlanner Planner(M, *SSA, *G,
+                                 RedirGamma ? *RedirGamma : *Gamma, POpts);
   UsherResult Result(Planner.run());
   Stats.NumSimplifiedMFCs = Planner.numSimplifiedMFCs();
+  if (POpts.OptI && B.exhausted()) {
+    // Unsimplified closures fall back to the normal Figure 7 rules, so any
+    // partially simplified plan is sound — but its guarantees are the
+    // TL+AT ones, so rebuild the plan honestly at that rung: base Gamma,
+    // no Opt I, no Opt II redirects.
+    Fail(BudgetPhase::OptI,
+         std::to_string(Planner.numSimplifiedMFCs()) +
+             " closures simplified before exhaustion");
+    DR.Rung = minRung(DR.Rung, ToolVariant::UsherTLAT);
+    RedirGamma.reset();
+    Stats.NumRedirectedNodes = 0;
+    Stats.NumSimplifiedMFCs = 0;
+    POpts.OptI = false;
+    POpts.B = nullptr;
+    InstrumentationPlanner Replanner(M, *SSA, *G, *Gamma, POpts);
+    Result.Plan = Replanner.run();
+  }
+  if (RedirGamma)
+    Gamma = std::move(RedirGamma);
   Record("6.instrumentation");
 
   // Statistics over the built analyses.
@@ -142,6 +274,7 @@ UsherResult core::runUsher(Module &M, const UsherOptions &Opts) {
   Stats.PeakRSSBytes = peakRSSBytes();
 
   Result.Stats = std::move(Stats);
+  Result.Degradation = std::move(DR);
   Result.CG = std::move(CG);
   Result.PA = std::move(PA);
   Result.MR = std::move(MR);

@@ -30,16 +30,22 @@
 #include "core/Instrumentation.h"
 #include "core/InstrumentationPlan.h"
 #include "ssa/MemorySSA.h"
+#include "support/Budget.h"
 #include "vfg/VFG.h"
 
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
+#include <vector>
 
 namespace usher {
 namespace core {
 
-/// The tool variants compared in the paper's evaluation.
+/// The tool variants compared in the paper's evaluation. The enumerator
+/// order doubles as the degradation ladder: each variant is sound with
+/// strictly less static analysis than its successor, so falling back on
+/// budget exhaustion is a numeric min towards MSanFull.
 enum class ToolVariant { MSanFull, UsherTL, UsherTLAT, UsherOptI, UsherFull };
 
 /// Returns the display name used in tables ("MSAN", "USHER-TL", ...).
@@ -52,6 +58,32 @@ struct UsherOptions {
   unsigned ContextK = 1;
   analysis::PtaOptions Pta;
   vfg::VFGOptions Vfg;
+  /// Per-phase resource budgets; all-zero (the default) means unlimited
+  /// and keeps the pipeline on the zero-cost happy path.
+  BudgetLimits Limits;
+  /// Deterministic exhaustion injection for tests and --inject-fault.
+  std::optional<FaultPlan> Fault;
+};
+
+/// One rung descent of the degradation ladder.
+struct DegradationStep {
+  BudgetPhase Phase;  ///< The phase whose budget ran out.
+  ExhaustKind Kind;   ///< Why it ran out.
+  std::string Action; ///< What the driver did about it.
+};
+
+/// How far the driver had to climb down from the requested variant.
+struct DegradationReport {
+  ToolVariant Requested = ToolVariant::UsherFull;
+  /// The variant whose guarantees the produced plan actually delivers.
+  ToolVariant Rung = ToolVariant::UsherFull;
+  bool Degraded = false;
+  std::vector<DegradationStep> Steps;
+
+  /// One-line human-readable summary, e.g.
+  /// "degraded USHER -> USHER-OPTI: opt2 hit step budget (Opt II
+  ///  redirects discarded)". Empty when not degraded.
+  std::string summary() const;
 };
 
 /// Table 1 statistics plus phase timings.
@@ -90,6 +122,7 @@ struct UsherStatistics {
 struct UsherResult {
   InstrumentationPlan Plan;
   UsherStatistics Stats;
+  DegradationReport Degradation;
 
   std::unique_ptr<analysis::CallGraph> CG;
   std::unique_ptr<analysis::PointerAnalysis> PA;
@@ -103,6 +136,13 @@ struct UsherResult {
 
 /// Runs the pipeline on \p M. The module must be verified and renumbered;
 /// heap cloning may add clone objects to it.
+///
+/// With budgets or a fault configured, a phase that exhausts its budget
+/// never fails the run: the driver walks the degradation ladder
+/// UsherFull -> UsherOptI -> UsherTL+AT -> UsherTL -> MSanFull, reusing
+/// partial results where sound, and records what happened in
+/// UsherResult::Degradation. The returned plan always detects at least
+/// the undefined-value uses full instrumentation would.
 UsherResult runUsher(ir::Module &M, const UsherOptions &Opts);
 
 } // namespace core

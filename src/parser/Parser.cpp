@@ -61,8 +61,17 @@ private:
   bool expect(TokenKind K, const char *What) {
     if (match(K))
       return true;
-    error(std::string("expected ") + What + ", found '" + peek().Text + "'");
+    error(std::string("expected ") + What + ", found " + foundDesc());
     return false;
+  }
+
+  /// What the error position holds, for "expected X, found Y" messages.
+  /// Truncated input yields "end of input" instead of an empty quote.
+  std::string foundDesc() const {
+    const Token &T = peek();
+    if (T.is(TokenKind::Eof))
+      return "end of input";
+    return "'" + T.Text + "'";
   }
 
   void error(const std::string &Msg) {
@@ -279,7 +288,7 @@ bool ParserImpl::parseOperand(Operand &Out) {
     error("use of undefined name '" + Name + "'");
     return false;
   }
-  error("expected an operand, found '" + peek().Text + "'");
+  error("expected an operand, found " + foundDesc());
   return false;
 }
 
@@ -653,7 +662,7 @@ void ParserImpl::parseStatement() {
     return;
   }
 
-  error("expected a statement, found '" + peek().Text + "'");
+  error("expected a statement, found " + foundDesc());
   recover();
 }
 

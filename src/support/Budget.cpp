@@ -1,0 +1,94 @@
+//===- support/Budget.cpp - Per-phase analysis budgets ----------------------===//
+//
+// Part of the Usher project, reproducing "Accelerating Dynamic Detection of
+// Uses of Undefined Values with Static Value-Flow Analysis" (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Budget.h"
+
+#include "support/Timer.h"
+
+using namespace usher;
+
+const char *usher::budgetPhaseName(BudgetPhase P) {
+  switch (P) {
+  case BudgetPhase::PointerAnalysis:
+    return "pta";
+  case BudgetPhase::Definedness:
+    return "definedness";
+  case BudgetPhase::OptI:
+    return "opt1";
+  case BudgetPhase::OptII:
+    return "opt2";
+  }
+  return "?";
+}
+
+const char *usher::exhaustKindName(ExhaustKind K) {
+  switch (K) {
+  case ExhaustKind::None:
+    return "none";
+  case ExhaustKind::Steps:
+    return "step budget";
+  case ExhaustKind::Deadline:
+    return "deadline";
+  case ExhaustKind::Memory:
+    return "memory watermark";
+  case ExhaustKind::Injected:
+    return "injected fault";
+  }
+  return "?";
+}
+
+void Budget::beginPhase(BudgetPhase P) {
+  Cur = P;
+  Steps = 0;
+  Checks = 0;
+  Kind = ExhaustKind::None;
+  if (!Armed)
+    return;
+  PhaseStart = std::chrono::steady_clock::now();
+  // An at-step-0 fault means "exhaust upon entering the phase". Firing it
+  // here (not in step) keeps injection deterministic even when the phase's
+  // worklist turns out to be empty.
+  if (Fault && Fault->Phase == Cur && Fault->AtStep == 0 &&
+      !(Fault->Once && FaultFired)) {
+    FaultFired = true;
+    Kind = ExhaustKind::Injected;
+  }
+}
+
+bool Budget::stepSlow(uint64_t N) {
+  if (Kind != ExhaustKind::None)
+    return false;
+  Steps += N;
+  if (Fault && Fault->Phase == Cur && Steps > Fault->AtStep &&
+      !(Fault->Once && FaultFired)) {
+    FaultFired = true;
+    Kind = ExhaustKind::Injected;
+    return false;
+  }
+  if (Limits.MaxStepsPerPhase && Steps > Limits.MaxStepsPerPhase) {
+    Kind = ExhaustKind::Steps;
+    return false;
+  }
+  // Clock and RSS probes are rate-limited: a syscall-ish probe per
+  // worklist pop would dominate small analyses.
+  ++Checks;
+  if (Limits.PhaseDeadlineMs && (Checks & 127) == 0) {
+    auto Elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                       std::chrono::steady_clock::now() - PhaseStart)
+                       .count();
+    if (static_cast<uint64_t>(Elapsed) >= Limits.PhaseDeadlineMs) {
+      Kind = ExhaustKind::Deadline;
+      return false;
+    }
+  }
+  if (Limits.MaxRSSBytes && (Checks & 4095) == 0 &&
+      currentRSSBytes() > Limits.MaxRSSBytes) {
+    Kind = ExhaustKind::Memory;
+    return false;
+  }
+  return true;
+}

@@ -1,0 +1,80 @@
+//===- support/FaultInjection.cpp - Deterministic fault injection -----------===//
+//
+// Part of the Usher project, reproducing "Accelerating Dynamic Detection of
+// Uses of Undefined Values with Static Value-Flow Analysis" (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/FaultInjection.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace usher;
+
+static bool parsePhase(std::string_view Name, BudgetPhase &Out) {
+  if (Name == "pta" || Name == "pointer-analysis") {
+    Out = BudgetPhase::PointerAnalysis;
+    return true;
+  }
+  if (Name == "definedness" || Name == "def") {
+    Out = BudgetPhase::Definedness;
+    return true;
+  }
+  if (Name == "opt1" || Name == "opti") {
+    Out = BudgetPhase::OptI;
+    return true;
+  }
+  if (Name == "opt2" || Name == "optii") {
+    Out = BudgetPhase::OptII;
+    return true;
+  }
+  return false;
+}
+
+std::optional<FaultPlan> usher::parseFaultSpec(std::string_view Spec,
+                                               std::string *Err) {
+  auto Fail = [&](const char *Msg) -> std::optional<FaultPlan> {
+    if (Err)
+      *Err = std::string(Msg) + " in fault spec '" + std::string(Spec) +
+             "' (expected <phase>@<step>[:once], phase one of "
+             "pta|definedness|opt1|opt2)";
+    return std::nullopt;
+  };
+
+  size_t At = Spec.find('@');
+  if (At == std::string_view::npos)
+    return Fail("missing '@'");
+
+  FaultPlan Plan;
+  if (!parsePhase(Spec.substr(0, At), Plan.Phase))
+    return Fail("unknown phase");
+
+  std::string_view Rest = Spec.substr(At + 1);
+  if (Rest.size() >= 5 && Rest.substr(Rest.size() - 5) == ":once") {
+    Plan.Once = true;
+    Rest = Rest.substr(0, Rest.size() - 5);
+  }
+  if (Rest.empty())
+    return Fail("missing step count");
+  uint64_t Step = 0;
+  for (char C : Rest) {
+    if (C < '0' || C > '9')
+      return Fail("non-numeric step count");
+    Step = Step * 10 + static_cast<uint64_t>(C - '0');
+  }
+  Plan.AtStep = Step;
+  return Plan;
+}
+
+std::optional<FaultPlan> usher::faultPlanFromEnv() {
+  const char *Val = std::getenv(FaultInjectionEnvVar);
+  if (!Val || !*Val)
+    return std::nullopt;
+  std::string Err;
+  std::optional<FaultPlan> Plan = parseFaultSpec(Val, &Err);
+  if (!Plan)
+    std::fprintf(stderr, "warning: ignoring %s: %s\n", FaultInjectionEnvVar,
+                 Err.c_str());
+  return Plan;
+}

@@ -1,0 +1,54 @@
+//===- support/FaultInjection.h - Deterministic fault injection -*- C++ -*-===//
+//
+// Part of the Usher project, reproducing "Accelerating Dynamic Detection of
+// Uses of Undefined Values with Static Value-Flow Analysis" (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Env/flag-driven fault injection for the budget subsystem. A fault spec
+/// names a budgeted phase and the iteration at which its budget should
+/// report exhaustion:
+///
+///   <phase>@<step>[:once]
+///
+/// where <phase> is one of pta, definedness, opt1, opt2 (the
+/// budgetPhaseName() spellings; pointer-analysis/def/opti/optii are
+/// accepted as aliases). step 0 exhausts the phase upon entry. The :once
+/// suffix fires on the first matching arm only, which lets tests exercise
+/// retry rungs (e.g. fail the field-sensitive Andersen run but let the
+/// field-insensitive rerun finish).
+///
+/// Specs come from usher-cli's --inject-fault= flag or, for harnesses that
+/// cannot pass flags, the USHER_INJECT_FAULT environment variable. Every
+/// rung of the degradation ladder is exercised deterministically this way
+/// in the test suite.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef USHER_SUPPORT_FAULTINJECTION_H
+#define USHER_SUPPORT_FAULTINJECTION_H
+
+#include "support/Budget.h"
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace usher {
+
+/// The environment variable consulted by faultPlanFromEnv().
+inline constexpr const char *FaultInjectionEnvVar = "USHER_INJECT_FAULT";
+
+/// Parses a "<phase>@<step>[:once]" spec. Returns std::nullopt on a
+/// malformed spec and, when \p Err is non-null, stores a diagnostic.
+std::optional<FaultPlan> parseFaultSpec(std::string_view Spec,
+                                        std::string *Err = nullptr);
+
+/// Reads USHER_INJECT_FAULT; returns std::nullopt when unset or malformed
+/// (a malformed value is reported on stderr rather than silently ignored).
+std::optional<FaultPlan> faultPlanFromEnv();
+
+} // namespace usher
+
+#endif // USHER_SUPPORT_FAULTINJECTION_H

@@ -1,0 +1,289 @@
+//===- tests/BudgetTest.cpp - Budgets, faults, degradation ladder ----------===//
+//
+// Part of the Usher project, reproducing "Accelerating Dynamic Detection of
+// Uses of Undefined Values with Static Value-Flow Analysis" (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Unit tests for the Budget token and the fault-spec parser, plus
+/// end-to-end tests that each injected phase exhaustion lands the driver
+/// on the expected rung of the degradation ladder.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Usher.h"
+#include "runtime/Interpreter.h"
+#include "support/Budget.h"
+#include "support/FaultInjection.h"
+#include "workload/Generator.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+using namespace usher;
+using core::ToolVariant;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Budget token
+//===----------------------------------------------------------------------===//
+
+TEST(Budget, UnlimitedNeverExhausts) {
+  Budget B;
+  B.beginPhase(BudgetPhase::PointerAnalysis);
+  for (int I = 0; I != 100'000; ++I)
+    ASSERT_TRUE(B.step());
+  EXPECT_FALSE(B.exhausted());
+  EXPECT_EQ(B.exhaustKind(), ExhaustKind::None);
+}
+
+TEST(Budget, StepLimitExhausts) {
+  BudgetLimits L;
+  L.MaxStepsPerPhase = 10;
+  Budget B(L);
+  B.beginPhase(BudgetPhase::Definedness);
+  uint64_t Granted = 0;
+  while (B.step() && Granted < 1000)
+    ++Granted;
+  EXPECT_EQ(Granted, 10u);
+  EXPECT_TRUE(B.exhausted());
+  EXPECT_EQ(B.exhaustKind(), ExhaustKind::Steps);
+  // Once exhausted, it stays exhausted until re-armed.
+  EXPECT_FALSE(B.step());
+}
+
+TEST(Budget, BeginPhaseRearms) {
+  BudgetLimits L;
+  L.MaxStepsPerPhase = 1;
+  Budget B(L);
+  B.beginPhase(BudgetPhase::OptI);
+  EXPECT_TRUE(B.step());
+  EXPECT_FALSE(B.step());
+  ASSERT_TRUE(B.exhausted());
+  B.beginPhase(BudgetPhase::OptII);
+  EXPECT_FALSE(B.exhausted());
+  EXPECT_EQ(B.currentPhase(), BudgetPhase::OptII);
+  EXPECT_TRUE(B.step());
+}
+
+TEST(Budget, DeadlineExhausts) {
+  BudgetLimits L;
+  L.PhaseDeadlineMs = 1;
+  Budget B(L);
+  B.beginPhase(BudgetPhase::PointerAnalysis);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  // The clock is probed every 128 calls, so a bounded number of steps must
+  // observe the expired deadline.
+  bool Stopped = false;
+  for (int I = 0; I != 1000 && !Stopped; ++I)
+    Stopped = !B.step();
+  EXPECT_TRUE(Stopped);
+  EXPECT_EQ(B.exhaustKind(), ExhaustKind::Deadline);
+}
+
+TEST(Budget, InjectedFaultFiresAtStep) {
+  FaultPlan F;
+  F.Phase = BudgetPhase::Definedness;
+  F.AtStep = 5;
+  Budget B(BudgetLimits{}, F);
+  // A different phase is unaffected by the fault.
+  B.beginPhase(BudgetPhase::PointerAnalysis);
+  for (int I = 0; I != 100; ++I)
+    ASSERT_TRUE(B.step());
+  // The named phase gets exactly AtStep steps.
+  B.beginPhase(BudgetPhase::Definedness);
+  uint64_t Granted = 0;
+  while (B.step() && Granted < 100)
+    ++Granted;
+  EXPECT_EQ(Granted, 5u);
+  EXPECT_EQ(B.exhaustKind(), ExhaustKind::Injected);
+}
+
+TEST(Budget, AtStepZeroFiresOnArm) {
+  FaultPlan F;
+  F.Phase = BudgetPhase::OptII;
+  F.AtStep = 0;
+  Budget B(BudgetLimits{}, F);
+  B.beginPhase(BudgetPhase::OptII);
+  EXPECT_TRUE(B.exhausted());
+  EXPECT_EQ(B.exhaustKind(), ExhaustKind::Injected);
+  EXPECT_FALSE(B.step());
+}
+
+TEST(Budget, OnceFiresOnFirstArmOnly) {
+  FaultPlan F;
+  F.Phase = BudgetPhase::PointerAnalysis;
+  F.AtStep = 0;
+  F.Once = true;
+  Budget B(BudgetLimits{}, F);
+  B.beginPhase(BudgetPhase::PointerAnalysis);
+  EXPECT_TRUE(B.exhausted());
+  B.beginPhase(BudgetPhase::PointerAnalysis);
+  EXPECT_FALSE(B.exhausted());
+  for (int I = 0; I != 100; ++I)
+    ASSERT_TRUE(B.step());
+}
+
+//===----------------------------------------------------------------------===//
+// Fault-spec parsing
+//===----------------------------------------------------------------------===//
+
+TEST(FaultSpec, ParsesPhaseAtStep) {
+  auto P = parseFaultSpec("pta@0");
+  ASSERT_TRUE(P.has_value());
+  EXPECT_EQ(P->Phase, BudgetPhase::PointerAnalysis);
+  EXPECT_EQ(P->AtStep, 0u);
+  EXPECT_FALSE(P->Once);
+
+  P = parseFaultSpec("definedness@123:once");
+  ASSERT_TRUE(P.has_value());
+  EXPECT_EQ(P->Phase, BudgetPhase::Definedness);
+  EXPECT_EQ(P->AtStep, 123u);
+  EXPECT_TRUE(P->Once);
+
+  P = parseFaultSpec("opt1@7");
+  ASSERT_TRUE(P.has_value());
+  EXPECT_EQ(P->Phase, BudgetPhase::OptI);
+
+  P = parseFaultSpec("opt2@9");
+  ASSERT_TRUE(P.has_value());
+  EXPECT_EQ(P->Phase, BudgetPhase::OptII);
+}
+
+TEST(FaultSpec, RejectsMalformedSpecs) {
+  std::string Err;
+  EXPECT_FALSE(parseFaultSpec("bogus", &Err).has_value());
+  EXPECT_NE(Err.find("missing '@'"), std::string::npos);
+  EXPECT_FALSE(parseFaultSpec("nophase@3", &Err).has_value());
+  EXPECT_NE(Err.find("unknown phase"), std::string::npos);
+  EXPECT_FALSE(parseFaultSpec("pta@", &Err).has_value());
+  EXPECT_NE(Err.find("missing step count"), std::string::npos);
+  EXPECT_FALSE(parseFaultSpec("pta@x7", &Err).has_value());
+  EXPECT_NE(Err.find("non-numeric"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Degradation ladder (end to end through runUsher)
+//===----------------------------------------------------------------------===//
+
+core::UsherResult runWithFault(ir::Module &M, ToolVariant V, BudgetPhase P,
+                               bool Once = false) {
+  core::UsherOptions Opts;
+  Opts.Variant = V;
+  FaultPlan F;
+  F.Phase = P;
+  F.AtStep = 0;
+  F.Once = Once;
+  Opts.Fault = F;
+  return core::runUsher(M, Opts);
+}
+
+TEST(DegradationLadder, NoBudgetMeansNoDegradation) {
+  auto M = workload::generateProgram(1);
+  core::UsherOptions Opts;
+  core::UsherResult R = core::runUsher(*M, Opts);
+  EXPECT_FALSE(R.Degradation.Degraded);
+  EXPECT_EQ(R.Degradation.Rung, ToolVariant::UsherFull);
+  EXPECT_TRUE(R.Degradation.summary().empty());
+}
+
+TEST(DegradationLadder, PtaInjectionFallsToMSan) {
+  auto M = workload::generateProgram(2);
+  core::UsherResult R =
+      runWithFault(*M, ToolVariant::UsherFull, BudgetPhase::PointerAnalysis);
+  EXPECT_TRUE(R.Degradation.Degraded);
+  EXPECT_EQ(R.Degradation.Rung, ToolVariant::MSanFull);
+  // Two rungs were tried and failed: field-insensitive retry, then MSan.
+  ASSERT_EQ(R.Degradation.Steps.size(), 2u);
+  EXPECT_EQ(R.Degradation.Steps[0].Kind, ExhaustKind::Injected);
+  EXPECT_NE(R.Degradation.summary().find("MSAN"), std::string::npos);
+  // The full plan still runs the program to completion.
+  runtime::ExecutionReport Rep = runtime::Interpreter(*M, &R.Plan).run();
+  EXPECT_EQ(Rep.Reason, runtime::ExitReason::Finished);
+}
+
+TEST(DegradationLadder, PtaOnceInjectionRetriesFieldInsensitive) {
+  auto M = workload::generateProgram(3);
+  core::UsherResult R = runWithFault(*M, ToolVariant::UsherFull,
+                                     BudgetPhase::PointerAnalysis,
+                                     /*Once=*/true);
+  // The field-insensitive retry succeeds, so the requested rung survives —
+  // degraded in precision, not in guarantees.
+  EXPECT_TRUE(R.Degradation.Degraded);
+  EXPECT_EQ(R.Degradation.Rung, ToolVariant::UsherFull);
+  ASSERT_EQ(R.Degradation.Steps.size(), 1u);
+  EXPECT_NE(R.Degradation.Steps[0].Action.find("field-insensitive"),
+            std::string::npos);
+  EXPECT_FALSE(R.PA->options().FieldSensitive);
+}
+
+TEST(DegradationLadder, DefinednessInjectionLandsOnTLAT) {
+  auto M = workload::generateProgram(4);
+  core::UsherResult R =
+      runWithFault(*M, ToolVariant::UsherFull, BudgetPhase::Definedness);
+  EXPECT_TRUE(R.Degradation.Degraded);
+  EXPECT_EQ(R.Degradation.Rung, ToolVariant::UsherTLAT);
+  ASSERT_TRUE(R.Gamma != nullptr);
+  EXPECT_TRUE(R.Gamma->wasPessimized());
+  EXPECT_EQ(R.Stats.NumRedirectedNodes, 0u);
+}
+
+TEST(DegradationLadder, DefinednessInjectionUnderTLStaysTL) {
+  auto M = workload::generateProgram(5);
+  core::UsherResult R =
+      runWithFault(*M, ToolVariant::UsherTL, BudgetPhase::Definedness);
+  EXPECT_TRUE(R.Degradation.Degraded);
+  EXPECT_EQ(R.Degradation.Rung, ToolVariant::UsherTL);
+}
+
+TEST(DegradationLadder, OptIIInjectionLandsOnOptI) {
+  auto M = workload::generateProgram(6);
+  core::UsherResult R =
+      runWithFault(*M, ToolVariant::UsherFull, BudgetPhase::OptII);
+  EXPECT_TRUE(R.Degradation.Degraded);
+  EXPECT_EQ(R.Degradation.Rung, ToolVariant::UsherOptI);
+  EXPECT_EQ(R.Stats.NumRedirectedNodes, 0u);
+}
+
+TEST(DegradationLadder, OptIInjectionLandsOnTLAT) {
+  auto M = workload::generateProgram(7);
+  core::UsherResult R =
+      runWithFault(*M, ToolVariant::UsherOptI, BudgetPhase::OptI);
+  EXPECT_TRUE(R.Degradation.Degraded);
+  EXPECT_EQ(R.Degradation.Rung, ToolVariant::UsherTLAT);
+  EXPECT_EQ(R.Stats.NumSimplifiedMFCs, 0u);
+}
+
+TEST(DegradationLadder, TinyStepBudgetTerminatesOnMSan) {
+  // A genuine (non-injected) exhaustion: one worklist iteration per phase
+  // cannot solve anything, so every attempt fails fast and the run lands
+  // on the terminal rung instead of hanging.
+  auto M = workload::generateProgram(8);
+  core::UsherOptions Opts;
+  Opts.Limits.MaxStepsPerPhase = 1;
+  core::UsherResult R = core::runUsher(*M, Opts);
+  EXPECT_TRUE(R.Degradation.Degraded);
+  EXPECT_EQ(R.Degradation.Rung, ToolVariant::MSanFull);
+  for (const core::DegradationStep &S : R.Degradation.Steps)
+    EXPECT_EQ(S.Kind, ExhaustKind::Steps);
+  runtime::ExecutionReport Rep = runtime::Interpreter(*M, &R.Plan).run();
+  EXPECT_EQ(Rep.Reason, runtime::ExitReason::Finished);
+}
+
+TEST(DegradationLadder, GenerousBudgetStaysOnRequestedRung) {
+  // The acceptance criterion's happy path: real limits that are generous
+  // enough must leave the pipeline undegraded.
+  auto M = workload::generateProgram(9);
+  core::UsherOptions Opts;
+  Opts.Limits.MaxStepsPerPhase = 1'000'000'000;
+  Opts.Limits.PhaseDeadlineMs = 120'000;
+  core::UsherResult R = core::runUsher(*M, Opts);
+  EXPECT_FALSE(R.Degradation.Degraded);
+  EXPECT_EQ(R.Degradation.Rung, ToolVariant::UsherFull);
+}
+
+} // namespace

@@ -197,6 +197,33 @@ TEST(InterpreterTraps, StepLimitStopsInfiniteLoops) {
   EXPECT_EQ(R.Reason, ExitReason::StepLimit);
 }
 
+TEST(InterpreterTraps, StepLimitUnderInstrumentationReportsFiniteCost) {
+  // A looping, fully defined program under full instrumentation: the run
+  // must terminate at the step limit with a finite cost report and no
+  // warning — an execution limit is not a bug report.
+  auto M = parser::parseModuleOrAbort(R"(
+    func main() {
+      x = 0;
+    spin:
+      x = x + 1;
+      goto spin;
+    }
+  )");
+  core::InstrumentationPlan Plan = core::buildFullInstrumentation(*M);
+  runtime::ExecLimits Limits;
+  Limits.MaxSteps = 10'000;
+  ExecutionReport R =
+      Interpreter(*M, &Plan, runtime::CostModel(), Limits).run();
+  EXPECT_EQ(R.Reason, ExitReason::StepLimit);
+  EXPECT_TRUE(R.ToolWarnings.empty());
+  // The interpreter stops on the first step past the limit.
+  EXPECT_LE(R.Steps, Limits.MaxSteps + 1);
+  EXPECT_GT(R.Steps, 0u);
+  EXPECT_GT(R.DynShadowOps, 0u);
+  EXPECT_GT(R.BaseCost, 0.0);
+  EXPECT_GT(R.ShadowCost, 0.0);
+}
+
 //===----------------------------------------------------------------------===//
 // Oracle (ground-truth definedness)
 //===----------------------------------------------------------------------===//

@@ -245,6 +245,28 @@ TEST(ParserDiagnostics, DuplicateFunction) {
             std::string::npos);
 }
 
+TEST(ParserDiagnostics, TruncatedExpressionReportsEndOfInput) {
+  // Input cut off mid-expression: the diagnostic must carry line:col and
+  // say "end of input" rather than quoting an empty token.
+  ParseResult R = parseModule("func main() {\n  x = 1;\n  y = x +");
+  ASSERT_FALSE(R.succeeded());
+  ASSERT_FALSE(R.Errors.empty());
+  const std::string &E = R.Errors.front();
+  EXPECT_NE(E.find("3:"), std::string::npos) << E;
+  EXPECT_NE(E.find("end of input"), std::string::npos) << E;
+  EXPECT_EQ(E.find("''"), std::string::npos) << E;
+}
+
+TEST(ParserDiagnostics, TruncatedFunctionReportsEndOfInput) {
+  ParseResult R = parseModule("func main() {\n  x = 1;\n");
+  ASSERT_FALSE(R.succeeded());
+  ASSERT_FALSE(R.Errors.empty());
+  bool MentionsEof = false;
+  for (const std::string &E : R.Errors)
+    MentionsEof |= E.find("end of input") != std::string::npos;
+  EXPECT_TRUE(MentionsEof) << R.Errors.front();
+}
+
 //===----------------------------------------------------------------------===//
 // Printer round-trip
 //===----------------------------------------------------------------------===//

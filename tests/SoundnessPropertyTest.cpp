@@ -93,4 +93,67 @@ TEST_P(SoundnessProperty, GuidedReportsMatchFull) {
 INSTANTIATE_TEST_SUITE_P(Seeds, SoundnessProperty,
                          ::testing::Range<uint64_t>(0, 150));
 
+//===----------------------------------------------------------------------===//
+// Soundness under degradation
+//===----------------------------------------------------------------------===//
+//
+// Injecting budget exhaustion into any phase must leave the warnings
+// intact: whatever rung the driver lands on, the produced plan reports
+// exactly the oracle's undefined-value uses. (Every landing rung —
+// MSAN, USHER-TL, USHER-TL+AT, USHER-OPTI — has exact-match semantics;
+// the driver never strands a run on a half-applied Opt II.)
+
+class DegradedSoundness : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DegradedSoundness, InjectedExhaustionKeepsWarnings) {
+  const uint64_t Seed = GetParam();
+  auto M = workload::generateProgram(Seed);
+
+  ExecutionReport Native = Interpreter(*M, nullptr).run();
+  ASSERT_EQ(Native.Reason, ExitReason::Finished)
+      << "seed " << Seed << ": " << Native.TrapMessage;
+  const auto Oracle = warnSet(Native.OracleWarnings);
+
+  struct FaultCase {
+    BudgetPhase Phase;
+    ToolVariant Requested;
+    ToolVariant ExpectedRung;
+  };
+  const FaultCase Cases[] = {
+      {BudgetPhase::PointerAnalysis, ToolVariant::UsherFull,
+       ToolVariant::MSanFull},
+      {BudgetPhase::Definedness, ToolVariant::UsherFull,
+       ToolVariant::UsherTLAT},
+      {BudgetPhase::OptII, ToolVariant::UsherFull, ToolVariant::UsherOptI},
+      {BudgetPhase::OptI, ToolVariant::UsherOptI, ToolVariant::UsherTLAT},
+  };
+
+  for (const FaultCase &C : Cases) {
+    core::UsherOptions Opts;
+    Opts.Variant = C.Requested;
+    FaultPlan F;
+    F.Phase = C.Phase;
+    F.AtStep = 0;
+    Opts.Fault = F;
+    core::UsherResult R = core::runUsher(*M, Opts);
+    EXPECT_TRUE(R.Degradation.Degraded)
+        << "seed " << Seed << " fault " << budgetPhaseName(C.Phase);
+    EXPECT_EQ(R.Degradation.Rung, C.ExpectedRung)
+        << "seed " << Seed << " fault " << budgetPhaseName(C.Phase);
+
+    ExecutionReport Rep = Interpreter(*M, &R.Plan).run();
+    ASSERT_EQ(Rep.Reason, ExitReason::Finished)
+        << "seed " << Seed << " fault " << budgetPhaseName(C.Phase);
+    EXPECT_EQ(Rep.MainResult, Native.MainResult)
+        << "degraded instrumentation changed program semantics (seed "
+        << Seed << ")";
+    EXPECT_EQ(warnSet(Rep.ToolWarnings), Oracle)
+        << "seed " << Seed << " fault " << budgetPhaseName(C.Phase)
+        << ": degraded plan missed or invented warnings";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DegradedSoundness,
+                         ::testing::Range<uint64_t>(0, 25));
+
 } // namespace

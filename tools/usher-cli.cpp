@@ -16,12 +16,20 @@
 ///   usher-cli prog.tc --print-ir      dump the (transformed) module
 ///   usher-cli prog.tc --dot           dump the VFG in Graphviz syntax
 ///   usher-cli prog.tc --no-run        static analysis only
+///   usher-cli prog.tc --budget-ms=N   per-phase analysis deadline
+///   usher-cli prog.tc --budget-steps=N  per-phase step budget
+///   usher-cli prog.tc --inject-fault=pta@0  force budget exhaustion
+///
+/// Exit codes: 0 success (including degraded analysis — a note goes to
+/// stderr), 2 usage/parse/input error, 3 runtime warnings were reported,
+/// 4 execution hit a resource limit.
 ///
 //===----------------------------------------------------------------------===//
 
 #include "core/Usher.h"
 #include "parser/Parser.h"
 #include "runtime/Interpreter.h"
+#include "support/FaultInjection.h"
 #include "support/RawStream.h"
 #include "transforms/Transforms.h"
 
@@ -34,6 +42,14 @@ using namespace usher;
 
 namespace {
 
+// Exit codes (documented in the usage banner).
+constexpr int ExitSuccess = 0;      // Also used for degraded analyses.
+constexpr int ExitInputError = 2;   // Bad usage, unreadable or unparsable
+                                    // input.
+constexpr int ExitWarnings = 3;     // The instrumented run reported
+                                    // undefined-value uses.
+constexpr int ExitLimits = 4;       // Execution limits exceeded.
+
 struct CliOptions {
   std::string InputPath;
   core::ToolVariant Variant = core::ToolVariant::UsherFull;
@@ -43,14 +59,46 @@ struct CliOptions {
   bool PrintIR = false;
   bool DumpDot = false;
   bool Run = true;
+  BudgetLimits Limits;
+  std::optional<FaultPlan> Fault;
 };
 
 int usage(const char *Argv0) {
   errs() << "usage: " << Argv0
          << " <program.tc> [--variant=msan|tl|tlat|opti|usher] "
             "[--opt=O0|O1|O2] [--compare] [--stats] [--print-ir] [--dot] "
-            "[--no-run]\n";
-  return 2;
+            "[--no-run] [--budget-ms=<N>] [--budget-steps=<N>] "
+            "[--inject-fault=<phase>@<step>[:once]]\n"
+            "\n"
+            "budgets & degradation:\n"
+            "  --budget-ms=<N>     wall-clock deadline per analysis phase\n"
+            "  --budget-steps=<N>  worklist-iteration budget per phase\n"
+            "  --inject-fault=<phase>@<step>[:once]\n"
+            "                      deterministically exhaust a phase's\n"
+            "                      budget (phase: pta|definedness|opt1|opt2;\n"
+            "                      also via $" << FaultInjectionEnvVar << ")\n"
+            "  A phase that runs out of budget never fails the run: the\n"
+            "  driver degrades along USHER -> USHER-OPTI -> USHER-TL+AT ->\n"
+            "  USHER-TL -> MSAN and notes the degradation on stderr.\n"
+            "\n"
+            "exit codes:\n"
+            "  0  success (including degraded analysis)\n"
+            "  2  usage, unreadable input, or parse error\n"
+            "  3  the instrumented run reported undefined-value uses\n"
+            "  4  execution limits exceeded\n";
+  return ExitInputError;
+}
+
+bool parseUInt(std::string_view Text, uint64_t &Out) {
+  if (Text.empty())
+    return false;
+  Out = 0;
+  for (char C : Text) {
+    if (C < '0' || C > '9')
+      return false;
+    Out = Out * 10 + static_cast<uint64_t>(C - '0');
+  }
+  return true;
 }
 
 bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
@@ -90,6 +138,19 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
         Opts.Preset = transforms::OptPreset::O2;
       else
         return false;
+    } else if (Arg.rfind("--budget-ms=", 0) == 0) {
+      if (!parseUInt(Arg.substr(12), Opts.Limits.PhaseDeadlineMs))
+        return false;
+    } else if (Arg.rfind("--budget-steps=", 0) == 0) {
+      if (!parseUInt(Arg.substr(15), Opts.Limits.MaxStepsPerPhase))
+        return false;
+    } else if (Arg.rfind("--inject-fault=", 0) == 0) {
+      std::string Err;
+      Opts.Fault = parseFaultSpec(Arg.substr(15), &Err);
+      if (!Opts.Fault) {
+        errs() << "error: " << Err << '\n';
+        return false;
+      }
     } else if (!Arg.empty() && Arg[0] != '-' && Opts.InputPath.empty()) {
       Opts.InputPath = Arg;
     } else {
@@ -145,19 +206,21 @@ int main(int Argc, char **Argv) {
   CliOptions Opts;
   if (!parseArgs(Argc, Argv, Opts))
     return usage(Argv[0]);
+  if (!Opts.Fault)
+    Opts.Fault = faultPlanFromEnv();
 
   bool Ok = false;
   std::string Source = readFile(Opts.InputPath, Ok);
   if (!Ok) {
-    errs() << "error: cannot read '" << Opts.InputPath << "'\n";
-    return 1;
+    errs() << Opts.InputPath << ": error: cannot open file\n";
+    return ExitInputError;
   }
 
   parser::ParseResult Parsed = parser::parseModule(Source);
   if (!Parsed.succeeded()) {
     for (const std::string &E : Parsed.Errors)
       errs() << Opts.InputPath << ':' << E << '\n';
-    return 1;
+    return ExitInputError;
   }
   ir::Module &M = *Parsed.M;
   transforms::runPreset(M, Opts.Preset);
@@ -176,11 +239,16 @@ int main(int Argc, char **Argv) {
   else
     ToRun.push_back(Opts.Variant);
 
-  int ExitCode = 0;
+  int ExitCode = ExitSuccess;
   for (core::ToolVariant V : ToRun) {
     core::UsherOptions UO;
     UO.Variant = V;
+    UO.Limits = Opts.Limits;
+    UO.Fault = Opts.Fault;
     core::UsherResult R = core::runUsher(M, UO);
+    if (R.Degradation.Degraded)
+      errs() << "note: analysis degraded: " << R.Degradation.summary()
+             << '\n';
 
     if (Opts.Stats && !Opts.Compare) {
       const core::UsherStatistics &S = R.Stats;
@@ -206,9 +274,9 @@ int main(int Argc, char **Argv) {
       runtime::ExecutionReport Rep = runtime::Interpreter(M, &R.Plan).run();
       reportRun(OS, core::toolVariantName(V), Rep);
       if (!Rep.ToolWarnings.empty())
-        ExitCode = 3; // Like a sanitizer: nonzero when bugs were found.
+        ExitCode = ExitWarnings; // Like a sanitizer: nonzero on bugs.
       if (Rep.Reason != runtime::ExitReason::Finished)
-        ExitCode = 4;
+        ExitCode = ExitLimits;
     } else if (!Opts.Compare) {
       OS << "static checks kept: " << R.Plan.countChecks()
          << ", shadow ops kept: " << R.Plan.countShadowOps() << '\n';
