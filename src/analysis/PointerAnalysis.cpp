@@ -226,6 +226,21 @@ PointerAnalysis::cloneOrigins(const Function *F) const {
 //===----------------------------------------------------------------------===//
 // Constraint solver
 //===----------------------------------------------------------------------===//
+//
+// The solver is a constraint builder shared by two engines:
+//
+//  - the optimized engine (the default): a union-find representative layer
+//    with online lazy cycle detection — copy cycles collapse into a single
+//    representative instead of ping-ponging the worklist — plus difference
+//    propagation: each representative keeps a Delta set of points-to bits
+//    not yet pushed to its successors, and successors receive only the
+//    delta through the word-sparse BitSet API;
+//  - the naive reference engine: the classic full-set worklist fixpoint,
+//    retained as an oracle for the equivalence property tests and as the
+//    bench_solver baseline.
+//
+// Both consume the identical constraint system, so their final points-to
+// sets are bit-for-bit equal (tests/SolverEquivalenceTest.cpp).
 
 class PointerAnalysis::Solver {
 public:
@@ -240,6 +255,28 @@ private:
     bool IsLoc;
     uint32_t Id;
   };
+
+  // The flow-insensitive constraint system, recorded during the module
+  // walk and consumed by whichever engine runs.
+  struct SeedCst {
+    uint32_t Node;
+    uint32_t Loc;
+  }; // Loc ∈ pts(Node)
+  struct CopyCst {
+    uint32_t Src, Dst;
+  }; // pts(Src) ⊆ pts(Dst)
+  struct LoadCst {
+    uint32_t Ptr, Dst;
+  }; // x := *p
+  struct StoreCst {
+    uint32_t Ptr;
+    ValueRef Val;
+  }; // *p := v
+  struct GepCst {
+    uint32_t Ptr, Dst;
+    unsigned Offset;
+    bool Dynamic;
+  }; // x := gep p, off
 
   uint32_t varNode(const Variable *V) const {
     auto It = VarIds.find(V);
@@ -262,26 +299,23 @@ private:
     return false;
   }
 
-  void seed(uint32_t Node, uint32_t LocId) {
-    if (Pts[Node].set(LocId))
-      push(Node);
-  }
-
-  void addCopy(uint32_t Src, uint32_t Dst) {
-    uint64_t Key = (static_cast<uint64_t>(Src) << 32) | Dst;
-    if (!EdgeSet.insert(Key).second)
-      return;
-    CopyTargets[Src].push_back(Dst);
-    if (Pts[Dst].unionWith(Pts[Src]))
-      push(Dst);
-  }
-
-  /// Connects a value (node or literal loc) into \p Dst.
+  /// Records that value \p V flows into node \p Dst.
   void flowInto(const ValueRef &V, uint32_t Dst) {
     if (V.IsLoc)
-      seed(Dst, V.Id);
+      Seeds.push_back({Dst, V.Id});
     else
-      addCopy(V.Id, Dst);
+      Copies.push_back({V.Id, Dst});
+  }
+
+  /// Charges \p N budget steps. Returns false — and flags the analysis
+  /// exhausted — once the phase budget runs out.
+  bool charge(uint64_t N = 1) {
+    PA.SStats.NumBudgetSteps += N;
+    if (B && !B->step(N)) {
+      PA.Exhausted = true;
+      return false;
+    }
+    return true;
   }
 
   void push(uint32_t Node) {
@@ -293,7 +327,27 @@ private:
 
   void buildConstraints();
   void addCallConstraints(const CallInst *Call);
-  void solve();
+
+  void solveNaive();
+
+  // Optimized-engine helpers.
+  uint32_t findRep(uint32_t N) {
+    while (Parent[N] != N) {
+      Parent[N] = Parent[Parent[N]]; // path halving
+      N = Parent[N];
+    }
+    return N;
+  }
+  void seedOpt(uint32_t Node, uint32_t LocId);
+  void addCopyEdge(uint32_t Src, uint32_t Dst);
+  void flowIntoOpt(const ValueRef &V, uint32_t Dst);
+  bool lcdAlreadyChecked(uint32_t Src, uint32_t Dst);
+  bool detectFrom(uint32_t Start, uint32_t &NextIndex,
+                  std::vector<uint32_t> &SccStack,
+                  std::vector<std::vector<uint32_t>> &Found);
+  void collapseScc(const std::vector<uint32_t> &Members);
+  bool drainPendingLcd();
+  void solveOptimized();
 
   PointerAnalysis &PA;
   Module &M;
@@ -303,22 +357,52 @@ private:
   uint32_t NumVars = 0;
   uint32_t NumNodes = 0;
 
+  std::vector<SeedCst> Seeds;
+  std::vector<CopyCst> Copies;
+  std::vector<LoadCst> Loads;
+  std::vector<StoreCst> Stores;
+  std::vector<GepCst> Geps;
+  // Return values per function (for non-wrapper calls).
+  std::unordered_map<const Function *, std::vector<ValueRef>> RetValues;
+
+  // Engine state. In the optimized engine all per-node tables are keyed by
+  // the union-find representative; merged members' entries are drained
+  // into their representative and freed.
   std::vector<BitSet> Pts;
+  // Difference-propagation state: per-representative list of loc ids that
+  // entered Pts but have not been pushed to successors yet. Exact and
+  // duplicate-free by construction — an id is appended only when
+  // Pts[R].set() reports it fresh, and Pts only grows. A vector (rather
+  // than a second BitSet) makes taking and clearing a delta O(|delta|)
+  // instead of O(universe) per pop.
+  std::vector<std::vector<uint32_t>> Delta;
+  // Copy successors, kept sorted for binary-search dedup. Entries may go
+  // stale when a successor is merged; each pop compacts its list
+  // rep-aware (map through findRep, re-sort, unique, drop self-loops).
   std::vector<std::vector<uint32_t>> CopyTargets;
-  std::unordered_set<uint64_t> EdgeSet;
   // x := *n (on pointer node n): propagate pts(loc) into each target.
   std::vector<std::vector<uint32_t>> LoadTargets;
   // *n := v (on pointer node n): flow each value into pts-locations of n.
   std::vector<std::vector<ValueRef>> StoreValues;
   // x := gep n, off: derived field inclusion.
-  struct GepTarget {
-    uint32_t Dst;
-    unsigned Offset;
-    bool Dynamic;
-  };
-  std::vector<std::vector<GepTarget>> GepTargets;
-  // Return values per function (for non-wrapper calls).
-  std::unordered_map<const Function *, std::vector<ValueRef>> RetValues;
+  std::vector<std::vector<GepCst>> GepTargets;
+
+  std::vector<uint32_t> Parent; // union-find forest (optimized engine)
+  // Lazy successor-list compaction: a node's list can only contain stale
+  // (merged) targets if a collapse happened after its last compaction, so
+  // each pop compares its stamp against the global collapse count and
+  // skips the re-sort entirely in the common cycle-free steady state.
+  std::vector<uint64_t> CompactStamp;
+  // Per-source sorted list of destinations already searched for a cycle,
+  // so each propagation edge triggers at most one detection sweep.
+  std::vector<std::vector<uint32_t>> LcdChecked;
+  // Cycle-detection candidates observed while a pop is being processed;
+  // drained only between pops so the sweep never mutates lists mid-walk.
+  std::vector<std::pair<uint32_t, uint32_t>> PendingLcd;
+
+  // Epoch-stamped Tarjan scratch (allocated once, cleared by bumping).
+  std::vector<uint32_t> DfsIndex, DfsLow, DfsEpoch, StackEpoch;
+  uint32_t Epoch = 0;
 
   std::vector<uint32_t> Worklist;
   BitSet InWorklist;
@@ -329,13 +413,6 @@ void PointerAnalysis::Solver::buildConstraints() {
     for (const auto &V : F->variables())
       VarIds[V.get()] = NumVars++;
   NumNodes = NumVars + PA.numLocations();
-
-  Pts.assign(NumNodes, BitSet(PA.numLocations()));
-  CopyTargets.resize(NumNodes);
-  LoadTargets.resize(NumNodes);
-  StoreValues.resize(NumNodes);
-  GepTargets.resize(NumNodes);
-  InWorklist.resize(NumNodes);
 
   // Collect return values first (calls may precede callee bodies).
   for (const auto &F : M.functions()) {
@@ -362,7 +439,8 @@ void PointerAnalysis::Solver::buildConstraints() {
         }
         case Instruction::IKind::Alloc: {
           const auto *A = cast<AllocInst>(I.get());
-          seed(varNode(A->getDef()), PA.locId(A->getObject(), 0));
+          Seeds.push_back(
+              {varNode(A->getDef()), PA.locId(A->getObject(), 0)});
           break;
         }
         case Instruction::IKind::FieldAddr: {
@@ -379,15 +457,13 @@ void PointerAnalysis::Solver::buildConstraints() {
             const PtLoc &L = PA.location(V.Id);
             if (Dynamic) {
               for (unsigned Loc : PA.locsOfObject(L.Obj))
-                seed(varNode(FA->getDef()), Loc);
+                Seeds.push_back({varNode(FA->getDef()), Loc});
             } else {
-              seed(varNode(FA->getDef()),
-                   PA.locId(L.Obj, L.Field + Offset));
+              Seeds.push_back({varNode(FA->getDef()),
+                               PA.locId(L.Obj, L.Field + Offset)});
             }
           } else {
-            GepTargets[V.Id].push_back(
-                {varNode(FA->getDef()), Offset, Dynamic});
-            push(V.Id);
+            Geps.push_back({V.Id, varNode(FA->getDef()), Offset, Dynamic});
           }
           break;
         }
@@ -396,12 +472,10 @@ void PointerAnalysis::Solver::buildConstraints() {
           ValueRef P;
           if (!valueOf(L->getPtr(), P))
             break;
-          if (P.IsLoc) {
-            addCopy(locNode(P.Id), varNode(L->getDef()));
-          } else {
-            LoadTargets[P.Id].push_back(varNode(L->getDef()));
-            push(P.Id);
-          }
+          if (P.IsLoc)
+            Copies.push_back({locNode(P.Id), varNode(L->getDef())});
+          else
+            Loads.push_back({P.Id, varNode(L->getDef())});
           break;
         }
         case Instruction::IKind::Store: {
@@ -412,12 +486,10 @@ void PointerAnalysis::Solver::buildConstraints() {
             break; // Storing a constant: no points-to flow.
           if (!valueOf(S->getPtr(), P))
             break;
-          if (P.IsLoc) {
+          if (P.IsLoc)
             flowInto(V, locNode(P.Id));
-          } else {
-            StoreValues[P.Id].push_back(V);
-            push(P.Id);
-          }
+          else
+            Stores.push_back({P.Id, V});
           break;
         }
         case Instruction::IKind::Call:
@@ -452,7 +524,7 @@ void PointerAnalysis::Solver::addCallConstraints(const CallInst *Call) {
     // check guarantees it only returns its own fresh allocations).
     if (Call->getDef())
       for (MemObject *Clone : SiteClones)
-        seed(varNode(Call->getDef()), PA.locId(Clone, 0));
+        Seeds.push_back({varNode(Call->getDef()), PA.locId(Clone, 0)});
     return;
   }
 
@@ -463,16 +535,68 @@ void PointerAnalysis::Solver::addCallConstraints(const CallInst *Call) {
   }
 }
 
-void PointerAnalysis::Solver::solve() {
+//===----------------------------------------------------------------------===//
+// Naive reference engine
+//===----------------------------------------------------------------------===//
+
+void PointerAnalysis::Solver::solveNaive() {
+  const unsigned NumLocs = PA.numLocations();
+  Pts.assign(NumNodes, BitSet(NumLocs));
+  CopyTargets.assign(NumNodes, {});
+  LoadTargets.assign(NumNodes, {});
+  StoreValues.assign(NumNodes, {});
+  GepTargets.assign(NumNodes, {});
+  InWorklist.resize(NumNodes);
+
+  auto Seed = [&](uint32_t Node, uint32_t Loc) {
+    if (Pts[Node].set(Loc))
+      push(Node);
+  };
+  // Per-node sorted-vector edge dedup: no packed-key hashing on the hot
+  // path, and membership stays exact because node ids never merge here.
+  auto AddCopy = [&](uint32_t Src, uint32_t Dst) {
+    auto &Targets = CopyTargets[Src];
+    auto It = std::lower_bound(Targets.begin(), Targets.end(), Dst);
+    if (It != Targets.end() && *It == Dst)
+      return;
+    Targets.insert(It, Dst);
+    ++PA.SStats.NumCopyEdges;
+    ++PA.SStats.NumPropagations;
+    if (Pts[Dst].unionWith(Pts[Src]))
+      push(Dst);
+  };
+  auto FlowInto = [&](const ValueRef &V, uint32_t Dst) {
+    if (V.IsLoc)
+      Seed(Dst, V.Id);
+    else
+      AddCopy(V.Id, Dst);
+  };
+
+  for (const SeedCst &S : Seeds)
+    Seed(S.Node, S.Loc);
+  for (const LoadCst &L : Loads) {
+    LoadTargets[L.Ptr].push_back(L.Dst);
+    push(L.Ptr);
+  }
+  for (const StoreCst &S : Stores) {
+    StoreValues[S.Ptr].push_back(S.Val);
+    push(S.Ptr);
+  }
+  for (const GepCst &G : Geps) {
+    GepTargets[G.Ptr].push_back(G);
+    push(G.Ptr);
+  }
+  for (const CopyCst &C : Copies)
+    AddCopy(C.Src, C.Dst);
+
   while (!Worklist.empty()) {
     // One budget step per worklist pop: the inclusion fixpoint is where
     // pathological programs blow up (DFI-style wall-clock cliffs). On
     // exhaustion the partial solution under-approximates, so the whole
     // analysis is flagged unusable rather than silently wrong.
-    if (B && !B->step()) {
-      PA.Exhausted = true;
+    ++PA.SStats.NumPops;
+    if (!charge())
       return;
-    }
     uint32_t N = Worklist.back();
     Worklist.pop_back();
     InWorklist.clear(N);
@@ -482,43 +606,389 @@ void PointerAnalysis::Solver::solve() {
       Pts[N].forEach([&](size_t LocIdx) {
         uint32_t LocId = static_cast<uint32_t>(LocIdx);
         for (uint32_t Dst : LoadTargets[N])
-          addCopy(locNode(LocId), Dst);
+          AddCopy(locNode(LocId), Dst);
         for (const ValueRef &V : StoreValues[N])
-          flowInto(V, locNode(LocId));
+          FlowInto(V, locNode(LocId));
         if (!GepTargets[N].empty()) {
           const PtLoc &L = PA.location(LocId);
-          for (const GepTarget &G : GepTargets[N]) {
+          for (const GepCst &G : GepTargets[N]) {
             if (G.Dynamic) {
               for (unsigned Loc : PA.locsOfObject(L.Obj))
-                seed(G.Dst, Loc);
+                Seed(G.Dst, Loc);
             } else {
-              seed(G.Dst, PA.locId(L.Obj, L.Field + G.Offset));
+              Seed(G.Dst, PA.locId(L.Obj, L.Field + G.Offset));
             }
           }
         }
       });
     }
 
-    for (uint32_t Dst : CopyTargets[N])
+    for (uint32_t Dst : CopyTargets[N]) {
+      ++PA.SStats.NumPropagations;
       if (Pts[Dst].unionWith(Pts[N]))
         push(Dst);
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Optimized engine: SCC collapsing + difference propagation
+//===----------------------------------------------------------------------===//
+
+void PointerAnalysis::Solver::seedOpt(uint32_t Node, uint32_t LocId) {
+  uint32_t R = findRep(Node);
+  if (Pts[R].set(LocId)) {
+    Delta[R].push_back(LocId);
+    push(R);
+  }
+}
+
+/// Inserts the copy edge rep(Src) -> rep(Dst) if it is not a self-loop or
+/// a (non-stale) duplicate, and propagates Src's full current set across
+/// it — a brand-new successor has seen none of it yet. The word-skipping
+/// set-bit iterator keeps this full-set push proportional to the source's
+/// population, not the universe.
+void PointerAnalysis::Solver::addCopyEdge(uint32_t Src, uint32_t Dst) {
+  uint32_t S = findRep(Src), T = findRep(Dst);
+  if (S == T)
+    return;
+  auto &Targets = CopyTargets[S];
+  auto It = std::lower_bound(Targets.begin(), Targets.end(), T);
+  if (It != Targets.end() && *It == T)
+    return;
+  Targets.insert(It, T);
+  ++PA.SStats.NumCopyEdges;
+  ++PA.SStats.NumPropagations;
+  bool Changed = false;
+  for (size_t LocIdx : Pts[S]) {
+    uint32_t LocId = static_cast<uint32_t>(LocIdx);
+    if (Pts[T].set(LocId)) {
+      Delta[T].push_back(LocId);
+      Changed = true;
+    }
+  }
+  if (Changed)
+    push(T);
+  else if (!Pts[S].empty() && !lcdAlreadyChecked(S, T))
+    PendingLcd.push_back({S, T});
+}
+
+void PointerAnalysis::Solver::flowIntoOpt(const ValueRef &V, uint32_t Dst) {
+  if (V.IsLoc)
+    seedOpt(Dst, V.Id);
+  else
+    addCopyEdge(V.Id, Dst);
+}
+
+bool PointerAnalysis::Solver::lcdAlreadyChecked(uint32_t Src, uint32_t Dst) {
+  auto &Checked = LcdChecked[Src];
+  auto It = std::lower_bound(Checked.begin(), Checked.end(), Dst);
+  if (It != Checked.end() && *It == Dst)
+    return true;
+  Checked.insert(It, Dst);
+  return false;
+}
+
+/// Merges an SCC into its first member. Invariants restored here:
+/// Parent[] routes every member to the representative, the members'
+/// constraint lists are drained into the representative's, and the
+/// representative's Delta is reset to its full set so both inherited and
+/// pre-existing successors observe the merged points-to set at the next
+/// pop (re-pushing the full set once per collapse is idempotent and keeps
+/// the merge logic trivially sound).
+void PointerAnalysis::Solver::collapseScc(
+    const std::vector<uint32_t> &Members) {
+  uint32_t R = Members.front();
+  for (size_t I = 1, E = Members.size(); I != E; ++I) {
+    uint32_t M = Members[I];
+    Parent[M] = R;
+    Pts[R].orWithReturningChanged(Pts[M]);
+    auto Drain = [](auto &From, auto &Into) {
+      Into.insert(Into.end(), From.begin(), From.end());
+      From.clear();
+      From.shrink_to_fit();
+    };
+    Drain(CopyTargets[M], CopyTargets[R]);
+    Drain(LoadTargets[M], LoadTargets[R]);
+    Drain(StoreValues[M], StoreValues[R]);
+    Drain(GepTargets[M], GepTargets[R]);
+    LcdChecked[M].clear();
+    LcdChecked[M].shrink_to_fit();
+    Pts[M] = BitSet();
+    Delta[M].clear();
+    Delta[M].shrink_to_fit();
+  }
+  // Compact the merged successor list: map to representatives, restore
+  // sorted order for binary-search dedup, drop duplicates and self-loops.
+  auto &Targets = CopyTargets[R];
+  for (uint32_t &T : Targets)
+    T = findRep(T);
+  std::sort(Targets.begin(), Targets.end());
+  Targets.erase(std::unique(Targets.begin(), Targets.end()), Targets.end());
+  Targets.erase(std::remove(Targets.begin(), Targets.end(), R),
+                Targets.end());
+  LcdChecked[R].clear();
+  Delta[R] = Pts[R].toVector();
+  if (!Delta[R].empty() || !LoadTargets[R].empty() ||
+      !StoreValues[R].empty() || !GepTargets[R].empty())
+    push(R);
+  ++PA.SStats.NumCollapses;
+  PA.SStats.NumCollapsedNodes += Members.size() - 1;
+  // The list was just compacted; a later collapse (even in this same
+  // sweep) bumps the global count past this stamp and forces a re-pass.
+  CompactStamp[R] = PA.SStats.NumCollapses;
+}
+
+/// One batched cycle-detection sweep: an iterative Tarjan walk of the
+/// representative copy graph rooted at every pending candidate, all roots
+/// sharing one epoch so each node is visited at most once per sweep no
+/// matter how many candidate edges accumulated. Every multi-member SCC
+/// found is recorded into \p Found (collapsing happens after the whole
+/// sweep: mutating successor lists mid-DFS would invalidate the frames
+/// iterating them). Each visited node charges one budget step (collapsed
+/// nodes still account for their work); returns false on exhaustion,
+/// leaving only discardable state.
+bool PointerAnalysis::Solver::detectFrom(
+    uint32_t Start, uint32_t &NextIndex, std::vector<uint32_t> &SccStack,
+    std::vector<std::vector<uint32_t>> &Found) {
+  struct Frame {
+    uint32_t Node;
+    size_t NextEdge;
+  };
+  std::vector<Frame> CallStack;
+
+  auto Visit = [&](uint32_t N) -> bool {
+    if (!charge())
+      return false;
+    DfsEpoch[N] = Epoch;
+    DfsIndex[N] = DfsLow[N] = NextIndex++;
+    StackEpoch[N] = Epoch;
+    SccStack.push_back(N);
+    CallStack.push_back({N, 0});
+    return true;
+  };
+
+  if (!Visit(Start))
+    return false;
+  while (!CallStack.empty()) {
+    Frame &F = CallStack.back();
+    uint32_t N = F.Node;
+    if (F.NextEdge < CopyTargets[N].size()) {
+      uint32_t S = findRep(CopyTargets[N][F.NextEdge++]);
+      if (S == N)
+        continue;
+      if (DfsEpoch[S] != Epoch) {
+        if (!Visit(S))
+          return false;
+      } else if (StackEpoch[S] == Epoch) {
+        DfsLow[N] = std::min(DfsLow[N], DfsIndex[S]);
+      }
+      continue;
+    }
+    CallStack.pop_back();
+    if (!CallStack.empty())
+      DfsLow[CallStack.back().Node] =
+          std::min(DfsLow[CallStack.back().Node], DfsLow[N]);
+    if (DfsLow[N] == DfsIndex[N]) {
+      std::vector<uint32_t> Members;
+      while (true) {
+        uint32_t Mem = SccStack.back();
+        SccStack.pop_back();
+        StackEpoch[Mem] = 0;
+        Members.push_back(Mem);
+        if (Mem == N)
+          break;
+      }
+      if (Members.size() > 1)
+        Found.push_back(std::move(Members));
+    }
+  }
+  return true;
+}
+
+bool PointerAnalysis::Solver::drainPendingLcd() {
+  if (PendingLcd.empty())
+    return true;
+  ++Epoch;
+  uint32_t NextIndex = 1;
+  std::vector<uint32_t> SccStack;
+  std::vector<std::vector<uint32_t>> Found;
+  for (auto [Src, Dst] : PendingLcd) {
+    // A previous root of this sweep may have walked (or merged) the pair
+    // already; the shared epoch keeps the whole drain linear in the graph.
+    uint32_t R = findRep(Dst);
+    if (findRep(Src) == R || DfsEpoch[R] == Epoch)
+      continue;
+    if (!detectFrom(R, NextIndex, SccStack, Found)) {
+      PendingLcd.clear();
+      return false;
+    }
+  }
+  PendingLcd.clear();
+  for (const std::vector<uint32_t> &Members : Found)
+    collapseScc(Members);
+  return true;
+}
+
+void PointerAnalysis::Solver::solveOptimized() {
+  const unsigned NumLocs = PA.numLocations();
+  Pts.assign(NumNodes, BitSet(NumLocs));
+  Delta.assign(NumNodes, {});
+  CopyTargets.assign(NumNodes, {});
+  LoadTargets.assign(NumNodes, {});
+  StoreValues.assign(NumNodes, {});
+  GepTargets.assign(NumNodes, {});
+  LcdChecked.assign(NumNodes, {});
+  CompactStamp.assign(NumNodes, 0);
+  Parent.resize(NumNodes);
+  for (uint32_t N = 0; N != NumNodes; ++N)
+    Parent[N] = N;
+  DfsIndex.assign(NumNodes, 0);
+  DfsLow.assign(NumNodes, 0);
+  DfsEpoch.assign(NumNodes, 0);
+  StackEpoch.assign(NumNodes, 0);
+  InWorklist.resize(NumNodes);
+
+  for (const SeedCst &S : Seeds)
+    seedOpt(S.Node, S.Loc);
+  for (const LoadCst &L : Loads) {
+    LoadTargets[L.Ptr].push_back(L.Dst);
+    push(L.Ptr);
+  }
+  for (const StoreCst &S : Stores) {
+    StoreValues[S.Ptr].push_back(S.Val);
+    push(S.Ptr);
+  }
+  for (const GepCst &G : Geps) {
+    GepTargets[G.Ptr].push_back(G);
+    push(G.Ptr);
+  }
+  for (const CopyCst &C : Copies)
+    addCopyEdge(C.Src, C.Dst);
+
+  // Cycle-detection candidates batch up while the worklist drains; one
+  // shared-epoch sweep services all of them at once. Per-pop sweeps would
+  // degenerate to O(n^2) on deep acyclic copy chains, while draining only
+  // at worklist exhaustion would let long-lived cycles circulate deltas
+  // for the whole solve. So a sweep fires when enough candidates
+  // accumulate, or — since the per-edge memo means a cycle may only ever
+  // queue one candidate — once any candidate has waited NumNodes pops,
+  // which amortizes each sweep's O(graph) cost over O(graph) pops.
+  const size_t LcdDrainThreshold = std::max<size_t>(16, NumNodes / 256);
+  uint64_t PopsSinceDrain = 0;
+  std::vector<uint32_t> D; // reused pop-delta buffer (see swap below)
+  while (true) {
+    if (Worklist.empty()) {
+      if (PendingLcd.empty())
+        break;
+      if (!drainPendingLcd())
+        return;
+      PopsSinceDrain = 0;
+      continue;
+    }
+    if (!PendingLcd.empty() && (PendingLcd.size() >= LcdDrainThreshold ||
+                                PopsSinceDrain >= NumNodes)) {
+      if (!drainPendingLcd())
+        return;
+      PopsSinceDrain = 0;
+    }
+    ++PopsSinceDrain;
+    uint32_t N = Worklist.back();
+    Worklist.pop_back();
+    InWorklist.clear(N);
+    ++PA.SStats.NumPops;
+    if (findRep(N) != N) {
+      // This node was merged into a representative after being enqueued;
+      // its pending work travelled with the merge and is charged exactly
+      // once, by the representative's own pop.
+      ++PA.SStats.NumSkippedMergedPops;
+      continue;
+    }
+    if (!charge())
+      return;
+
+    // Take the delta: only bits the successors have not seen yet travel.
+    // Swapping with a reused buffer recycles capacity between pops: the
+    // node's next delta inherits an already-sized allocation instead of
+    // malloc'ing one per pop.
+    D.clear();
+    std::swap(D, Delta[N]);
+
+    if (!D.empty() && (!LoadTargets[N].empty() || !StoreValues[N].empty() ||
+                       !GepTargets[N].empty())) {
+      for (uint32_t LocId : D) {
+        for (uint32_t Dst : LoadTargets[N])
+          addCopyEdge(locNode(LocId), Dst);
+        for (const ValueRef &V : StoreValues[N])
+          flowIntoOpt(V, locNode(LocId));
+        if (!GepTargets[N].empty()) {
+          const PtLoc &L = PA.location(LocId);
+          for (const GepCst &G : GepTargets[N]) {
+            if (G.Dynamic) {
+              for (unsigned Loc : PA.locsOfObject(L.Obj))
+                seedOpt(G.Dst, Loc);
+            } else {
+              seedOpt(G.Dst, PA.locId(L.Obj, L.Field + G.Offset));
+            }
+          }
+        }
+      }
+    }
+
+    if (!D.empty() && !CopyTargets[N].empty()) {
+      // Compact the successor list rep-aware before propagating: merged
+      // targets collapse to their representative, duplicates and
+      // self-loops introduced by merges disappear, and binary-search
+      // dedup in addCopyEdge stays exact. Skipped unless a collapse
+      // happened since this node's last compaction.
+      auto &Targets = CopyTargets[N];
+      if (CompactStamp[N] != PA.SStats.NumCollapses) {
+        CompactStamp[N] = PA.SStats.NumCollapses;
+        for (uint32_t &T : Targets)
+          T = findRep(T);
+        std::sort(Targets.begin(), Targets.end());
+        Targets.erase(std::unique(Targets.begin(), Targets.end()),
+                      Targets.end());
+        Targets.erase(std::remove(Targets.begin(), Targets.end(), N),
+                      Targets.end());
+      }
+      for (uint32_t T : Targets) {
+        ++PA.SStats.NumPropagations;
+        bool Changed = false;
+        for (uint32_t LocId : D) {
+          if (Pts[T].set(LocId)) {
+            Delta[T].push_back(LocId);
+            Changed = true;
+          }
+        }
+        if (Changed)
+          push(T);
+        else if (!lcdAlreadyChecked(N, T))
+          PendingLcd.push_back({N, T});
+      }
+    }
   }
 }
 
 void PointerAnalysis::Solver::run() {
   // An at-entry check makes injected phase exhaustion deterministic even
   // for programs whose worklist never fills.
-  if (B && !B->step()) {
-    PA.Exhausted = true;
+  if (!charge())
     return;
-  }
   buildConstraints();
-  solve();
+  PA.SStats.NumConstraints = Seeds.size() + Copies.size() + Loads.size() +
+                             Stores.size() + Geps.size();
+  if (PA.Opts.Solver == SolverKind::NaiveReference)
+    solveNaive();
+  else
+    solveOptimized();
   if (PA.Exhausted)
     return;
   PA.NumNodes = NumNodes;
-  for (const auto &[V, Id] : VarIds)
-    PA.VarPts[V] = Pts[Id].toVector();
+  for (const auto &[V, Id] : VarIds) {
+    uint32_t N = Parent.empty() ? Id : findRep(Id);
+    PA.VarPts[V] = Pts[N].toVector();
+  }
 }
 
 //===----------------------------------------------------------------------===//

@@ -50,6 +50,18 @@ struct PtLoc {
   unsigned Field = 0;
 };
 
+/// Which constraint-solving engine runs the inclusion fixpoint.
+enum class SolverKind : uint8_t {
+  /// The production engine: online lazy cycle detection with union-find
+  /// SCC collapsing plus difference (delta) propagation over the sparse
+  /// BitSet API. See DESIGN.md "Solver architecture".
+  Optimized,
+  /// The plain full-set worklist solver, retained as an oracle: it never
+  /// collapses and always re-propagates whole points-to sets. Used by the
+  /// equivalence property tests and as the bench_solver baseline.
+  NaiveReference,
+};
+
 /// Configuration knobs of the pointer analysis.
 struct PtaOptions {
   /// Track (object, field) pairs; when false all fields collapse to 0.
@@ -58,6 +70,25 @@ struct PtaOptions {
   bool HeapCloning = true;
   /// Fields beyond this index collapse into the last tracked field.
   unsigned MaxFieldsTracked = 64;
+  /// Constraint-solving engine; both compute identical points-to sets.
+  SolverKind Solver = SolverKind::Optimized;
+};
+
+/// Counters maintained by the solver engines. bench_solver emits them
+/// into BENCH_solver.json and the Budget accounting regression tests pin
+/// the relation between pops, merged-pop skips, and charged steps.
+struct SolverStatistics {
+  uint64_t NumConstraints = 0;  ///< Seed/copy/load/store/gep constraints built.
+  uint64_t NumCopyEdges = 0;    ///< Distinct copy edges materialized.
+  uint64_t NumPropagations = 0; ///< Set merges pushed along copy edges.
+  uint64_t NumPops = 0;         ///< Worklist pops, including stale ones.
+  /// Pops of nodes that were merged into an SCC representative after
+  /// being enqueued; skipped without charging the Budget (the
+  /// representative's own pop accounts for the whole component).
+  uint64_t NumSkippedMergedPops = 0;
+  uint64_t NumCollapses = 0;      ///< Cycle-collapse events.
+  uint64_t NumCollapsedNodes = 0; ///< Nodes merged into representatives.
+  uint64_t NumBudgetSteps = 0;    ///< Budget steps the solver charged.
 };
 
 /// Andersen-style whole-program pointer analysis.
@@ -139,6 +170,9 @@ public:
   /// Number of solver nodes (variables + locations).
   unsigned numNodes() const { return NumNodes; }
 
+  /// Solver engine counters (propagations, collapses, budget charges).
+  const SolverStatistics &solverStats() const { return SStats; }
+
 private:
   class Solver;
 
@@ -163,6 +197,7 @@ private:
   std::unordered_map<const ir::Variable *, std::vector<uint32_t>> VarPts;
   unsigned NumNodes = 0;
   bool Exhausted = false;
+  SolverStatistics SStats;
 
   static const std::vector<ir::MemObject *> EmptyObjList;
   static const std::vector<uint32_t> EmptyPts;

@@ -9,6 +9,7 @@
 
 #include "support/Budget.h"
 
+#include <algorithm>
 #include <cassert>
 #include <unordered_set>
 
@@ -123,32 +124,157 @@ Definedness::Definedness(
     return;
   }
 
-  // Per-node set of contexts already explored; capped to bound state
-  // explosion — on overflow the node saturates to the universal (empty)
-  // context, which over-approximates every other context.
-  constexpr size_t MaxContextsPerNode = 64;
+  // Effective forward-flow adjacency, hoisted out of the worklist loop: a
+  // flow runs from each definition to each of its users, and a redirected
+  // user's flow is suppressed when its overriding dependency list no
+  // longer names the definition. Filtering once here replaces a hash
+  // lookup per user at every pop.
+  std::vector<std::vector<Edge>> Flows(N);
+  for (uint32_t S = 0; S != N; ++S) {
+    for (const Edge &E : G.users(S)) {
+      if (Redirects) {
+        auto It = Redirects->find(E.Node);
+        if (It != Redirects->end()) {
+          bool StillDepends = false;
+          for (const Edge &D : It->second) {
+            if (D.Node == S && D.Kind == E.Kind && D.CallSite == E.CallSite) {
+              StillDepends = true;
+              break;
+            }
+          }
+          if (!StillDepends)
+            continue;
+        }
+      }
+      Flows[S].push_back(E);
+    }
+  }
+
+  // Condense the Direct-flow SCCs (iterative Tarjan). Direct edges never
+  // touch the context stack, so every member of a Direct cycle is
+  // undefinedness-reachable under exactly the same set of contexts; the
+  // reachability below therefore runs over SCC representatives and the
+  // visited-(node, context) memo is kept once per component instead of
+  // once per member.
+  std::vector<uint32_t> Rep(N);
+  {
+    std::vector<uint32_t> Index(N, 0), Low(N, 0), SccStack;
+    std::vector<uint8_t> OnStack(N, 0);
+    struct Frame {
+      uint32_t Node;
+      uint32_t NextEdge;
+    };
+    std::vector<Frame> Stack;
+    uint32_t NextIndex = 1;
+    for (uint32_t Root = 0; Root != N; ++Root) {
+      if (Index[Root])
+        continue;
+      Index[Root] = Low[Root] = NextIndex++;
+      OnStack[Root] = 1;
+      SccStack.push_back(Root);
+      Stack.push_back({Root, 0});
+      while (!Stack.empty()) {
+        Frame &F = Stack.back();
+        uint32_t U = F.Node;
+        if (F.NextEdge < Flows[U].size()) {
+          const Edge &E = Flows[U][F.NextEdge++];
+          if (E.Kind != EdgeKind::Direct)
+            continue;
+          uint32_t V = E.Node;
+          if (!Index[V]) {
+            Index[V] = Low[V] = NextIndex++;
+            OnStack[V] = 1;
+            SccStack.push_back(V);
+            Stack.push_back({V, 0});
+          } else if (OnStack[V]) {
+            Low[U] = std::min(Low[U], Index[V]);
+          }
+          continue;
+        }
+        Stack.pop_back();
+        if (!Stack.empty())
+          Low[Stack.back().Node] = std::min(Low[Stack.back().Node], Low[U]);
+        if (Low[U] == Index[U]) {
+          while (true) {
+            uint32_t M = SccStack.back();
+            SccStack.pop_back();
+            OnStack[M] = 0;
+            Rep[M] = U;
+            if (M == U)
+              break;
+          }
+        }
+      }
+    }
+  }
+
+  // Members per representative (a component reached in any context marks
+  // every member bottom), and the condensed labeled adjacency:
+  // intra-component Direct flows vanish, Call/Ret flows survive even as
+  // self-loops — they transform the context.
+  std::vector<std::vector<uint32_t>> Members(N);
+  for (uint32_t Id = 0; Id != N; ++Id)
+    Members[Rep[Id]].push_back(Id);
+
+  struct CondensedEdge {
+    uint32_t Target;
+    EdgeKind Kind;
+    uint32_t CallSite;
+    bool operator<(const CondensedEdge &O) const {
+      if (Target != O.Target)
+        return Target < O.Target;
+      if (Kind != O.Kind)
+        return Kind < O.Kind;
+      return CallSite < O.CallSite;
+    }
+    bool operator==(const CondensedEdge &O) const {
+      return Target == O.Target && Kind == O.Kind && CallSite == O.CallSite;
+    }
+  };
+  std::vector<std::vector<CondensedEdge>> RepFlows(N);
+  for (uint32_t S = 0; S != N; ++S) {
+    for (const Edge &E : Flows[S]) {
+      uint32_t RS = Rep[S], RT = Rep[E.Node];
+      if (E.Kind == EdgeKind::Direct && RS == RT)
+        continue;
+      RepFlows[RS].push_back({RT, E.Kind, E.CallSite});
+    }
+  }
+  for (auto &Out : RepFlows) {
+    std::sort(Out.begin(), Out.end());
+    Out.erase(std::unique(Out.begin(), Out.end()), Out.end());
+  }
+
+  // Per-representative set of contexts already explored; capped to bound
+  // state explosion — on overflow the component saturates to the
+  // universal (empty) context, which over-approximates every other
+  // context.
+  constexpr size_t MaxContextsPerRep = 64;
   std::vector<std::unordered_set<uint64_t>> Seen(N);
   std::vector<uint8_t> Saturated(N, 0);
 
   struct State {
-    uint32_t Node;
+    uint32_t Rep;
     Context Ctx;
   };
   std::vector<State> Work;
 
   auto Reach = [&](uint32_t Node, Context Ctx) {
-    if (Saturated[Node])
+    uint32_t R = Rep[Node];
+    if (Saturated[R])
       return;
-    if (Seen[Node].size() >= MaxContextsPerNode) {
-      Saturated[Node] = 1;
+    if (Seen[R].empty())
+      for (uint32_t M : Members[R])
+        Bottom.set(M);
+    if (Seen[R].size() >= MaxContextsPerRep) {
+      Saturated[R] = 1;
       Ctx = Context::empty();
-      if (!Seen[Node].insert(Ctx.raw()).second)
+      if (!Seen[R].insert(Ctx.raw()).second)
         return;
-    } else if (!Seen[Node].insert(Ctx.raw()).second) {
+    } else if (!Seen[R].insert(Ctx.raw()).second) {
       return;
     }
-    Bottom.set(Node);
-    Work.push_back({Node, Ctx});
+    Work.push_back({R, Ctx});
   };
 
   Reach(VFG::RootF, Context::empty());
@@ -160,9 +286,7 @@ Definedness::Definedness(
         Reach(Id, Context::empty());
   }
 
-  // The user lists record, for each edge (User depends on Node), the same
-  // kind/site label as the dependency edge; undefinedness flows from the
-  // depended-on node to the user.
+  // Undefinedness flows from the depended-on component to its users.
   while (!Work.empty()) {
     if (B && !B->step()) {
       Pessimize();
@@ -170,40 +294,22 @@ Definedness::Definedness(
     }
     State S = Work.back();
     Work.pop_back();
-    // A redirected node's dependencies changed; flows *out of* it are
-    // unaffected, but flows into users that no longer depend on it must
-    // be suppressed.
-    for (const Edge &E : G.users(S.Node)) {
-      if (Redirects) {
-        auto It = Redirects->find(E.Node);
-        if (It != Redirects->end()) {
-          bool StillDepends = false;
-          for (const Edge &D : It->second) {
-            if (D.Node == S.Node && D.Kind == E.Kind &&
-                D.CallSite == E.CallSite) {
-              StillDepends = true;
-              break;
-            }
-          }
-          if (!StillDepends)
-            continue;
-        }
-      }
+    for (const CondensedEdge &E : RepFlows[S.Rep]) {
       switch (E.Kind) {
       case EdgeKind::Direct:
-        Reach(E.Node, S.Ctx);
+        Reach(E.Target, S.Ctx);
         break;
       case EdgeKind::Call:
-        Reach(E.Node, K == 0 ? S.Ctx : S.Ctx.pushed(E.CallSite, K));
+        Reach(E.Target, K == 0 ? S.Ctx : S.Ctx.pushed(E.CallSite, K));
         break;
       case EdgeKind::Ret: {
         if (K == 0) {
-          Reach(E.Node, S.Ctx);
+          Reach(E.Target, S.Ctx);
           break;
         }
         Context Out = Context::empty();
         if (S.Ctx.popped(E.CallSite, Out))
-          Reach(E.Node, Out);
+          Reach(E.Target, Out);
         break;
       }
       }
@@ -213,19 +319,26 @@ Definedness::Definedness(
 
 BitSet core::computeCheckReaching(const VFG &G, const Definedness &Gamma) {
   BitSet Reaching(G.numNodes());
-  std::vector<uint32_t> Work;
-  for (const VFG::CriticalUse &Use : G.criticalUses()) {
-    if (!Gamma.mayBeUndefined(Use.Node))
-      continue;
-    if (Reaching.set(Use.Node))
-      Work.push_back(Use.Node);
-  }
-  while (!Work.empty()) {
-    uint32_t Node = Work.back();
-    Work.pop_back();
-    for (const Edge &E : G.deps(Node))
-      if (!G.isRoot(E.Node) && Reaching.set(E.Node))
-        Work.push_back(E.Node);
+  BitSet Frontier(G.numNodes());
+  BitSet Fresh(G.numNodes());
+  for (const VFG::CriticalUse &Use : G.criticalUses())
+    if (Gamma.mayBeUndefined(Use.Node))
+      Frontier.set(Use.Node);
+  // Level-synchronous backward sweep over the dependency edges. Each round
+  // folds the frontier into the result with the word-sparse merge — Fresh
+  // receives exactly the nodes not seen before — and only those expand
+  // into the next frontier. The set-bit iterator skips zero words, so the
+  // typically-sparse frontiers cost one load per word plus one ctz per
+  // member.
+  while (true) {
+    Fresh.clearAll();
+    if (!Reaching.orWithMissingInto(Frontier, Fresh))
+      break;
+    Frontier.clearAll();
+    for (size_t Node : Fresh)
+      for (const Edge &E : G.deps(static_cast<uint32_t>(Node)))
+        if (!G.isRoot(E.Node) && !Reaching.test(E.Node))
+          Frontier.set(E.Node);
   }
   return Reaching;
 }

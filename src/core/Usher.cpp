@@ -147,6 +147,7 @@ UsherResult core::runUsher(Module &M, const UsherOptions &Opts) {
     B.beginPhase(BudgetPhase::PointerAnalysis);
     PA = std::make_unique<analysis::PointerAnalysis>(M, *CG, Cheap, &B);
   }
+  Stats.Solver = PA->solverStats();
   if (PA->exhausted()) {
     // No usable points-to information: everything downstream depends on
     // it, so the only sound landing is the full plan.

@@ -113,6 +113,9 @@ struct UsherStatistics {
   /// Figure 11 numerators.
   uint64_t StaticPropagations = 0;
   uint64_t StaticChecks = 0;
+  /// Constraint-solver engine counters from the (possibly retried)
+  /// pointer analysis: propagations, cycle collapses, budget charges.
+  analysis::SolverStatistics Solver;
   /// Wall-clock seconds per pipeline phase.
   std::map<std::string, double> PhaseSeconds;
 };

@@ -58,7 +58,8 @@ public:
 
   void clearAll() { Words.assign(Words.size(), 0); }
 
-  /// this |= Other; returns true if any bit changed.
+  /// this |= Other; returns true if any bit changed. Dense word loop: the
+  /// naive reference solver keeps this so its cost model stays honest.
   bool unionWith(const BitSet &Other) {
     assert(Bits == Other.Bits && "bitset size mismatch");
     bool Changed = false;
@@ -66,6 +67,50 @@ public:
       uint64_t Old = Words[I];
       Words[I] |= Other.Words[I];
       Changed |= Words[I] != Old;
+    }
+    return Changed;
+  }
+
+  /// this |= Other, skipping zero source words; returns true if any bit
+  /// changed. The word-sparse union the optimized solver leans on: delta
+  /// sets are mostly zero words, so the common merge touches only the few
+  /// words that actually carry bits.
+  bool orWithReturningChanged(const BitSet &Other) {
+    assert(Bits == Other.Bits && "bitset size mismatch");
+    bool Changed = false;
+    for (size_t I = 0, E = Words.size(); I != E; ++I) {
+      uint64_t Src = Other.Words[I];
+      if (!Src)
+        continue;
+      uint64_t Old = Words[I];
+      uint64_t New = Old | Src;
+      if (New != Old) {
+        Words[I] = New;
+        Changed = true;
+      }
+    }
+    return Changed;
+  }
+
+  /// this |= Other, additionally recording every *newly set* bit into
+  /// \p NewBits (NewBits |= Other & ~old-this). Returns true if any bit
+  /// changed. This is the difference-propagation primitive: the receiver's
+  /// delta set accumulates exactly the bits it has not seen before.
+  bool orWithMissingInto(const BitSet &Other, BitSet &NewBits) {
+    assert(Bits == Other.Bits && Bits == NewBits.Bits &&
+           "bitset size mismatch");
+    bool Changed = false;
+    for (size_t I = 0, E = Words.size(); I != E; ++I) {
+      uint64_t Src = Other.Words[I];
+      if (!Src)
+        continue;
+      uint64_t Old = Words[I];
+      uint64_t Fresh = Src & ~Old;
+      if (Fresh) {
+        Words[I] = Old | Fresh;
+        NewBits.Words[I] |= Fresh;
+        Changed = true;
+      }
     }
     return Changed;
   }
@@ -104,6 +149,55 @@ public:
     forEach([&](size_t Idx) { Result.push_back(static_cast<uint32_t>(Idx)); });
     return Result;
   }
+
+  /// Forward iterator over set-bit indices in ascending order. Advancing
+  /// skips zero words wholesale, so iterating a sparse set costs one load
+  /// per 64-bit word plus one ctz per set bit.
+  class const_iterator {
+  public:
+    using value_type = size_t;
+
+    const_iterator(const std::vector<uint64_t> *Words, size_t WordIdx)
+        : Words(Words), WordIdx(WordIdx) {
+      if (WordIdx < Words->size()) {
+        Pending = (*Words)[WordIdx];
+        skipZeroWords();
+      }
+    }
+
+    size_t operator*() const {
+      return WordIdx * 64 +
+             static_cast<unsigned>(__builtin_ctzll(Pending));
+    }
+
+    const_iterator &operator++() {
+      Pending &= Pending - 1;
+      skipZeroWords();
+      return *this;
+    }
+
+    bool operator==(const const_iterator &O) const {
+      return WordIdx == O.WordIdx && Pending == O.Pending;
+    }
+    bool operator!=(const const_iterator &O) const { return !(*this == O); }
+
+  private:
+    void skipZeroWords() {
+      while (!Pending && ++WordIdx < Words->size())
+        Pending = (*Words)[WordIdx];
+      if (WordIdx >= Words->size()) {
+        WordIdx = Words->size();
+        Pending = 0;
+      }
+    }
+
+    const std::vector<uint64_t> *Words;
+    size_t WordIdx;
+    uint64_t Pending = 0;
+  };
+
+  const_iterator begin() const { return const_iterator(&Words, 0); }
+  const_iterator end() const { return const_iterator(&Words, Words.size()); }
 
 private:
   size_t Bits = 0;

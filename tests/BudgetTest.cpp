@@ -12,7 +12,10 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "analysis/CallGraph.h"
+#include "analysis/PointerAnalysis.h"
 #include "core/Usher.h"
+#include "parser/Parser.h"
 #include "runtime/Interpreter.h"
 #include "support/Budget.h"
 #include "support/FaultInjection.h"
@@ -21,6 +24,7 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <string>
 #include <thread>
 
 using namespace usher;
@@ -272,6 +276,135 @@ TEST(DegradationLadder, TinyStepBudgetTerminatesOnMSan) {
     EXPECT_EQ(S.Kind, ExhaustKind::Steps);
   runtime::ExecutionReport Rep = runtime::Interpreter(*M, &R.Plan).run();
   EXPECT_EQ(Rep.Reason, runtime::ExitReason::Finished);
+}
+
+//===----------------------------------------------------------------------===//
+// Solver/Budget composition: SCC collapsing vs step accounting
+//===----------------------------------------------------------------------===//
+//
+// The optimized Andersen engine collapses copy cycles mid-solve, leaving
+// stale worklist entries for nodes that were merged into an SCC
+// representative. Those pops must be skipped WITHOUT charging the Budget
+// (the representative's own pop accounts for the whole component), and
+// the solver's own charge counter must stay in exact sync with the token
+// so injected faults remain deterministic.
+
+/// A drip-fed copy ring (see bench/bench_solver.cpp): staged loads feed
+/// one new points-to bit at a time into a 16-node copy cycle, so the ring
+/// collapses mid-solve while member entries are still queued.
+std::string ringWorkload() {
+  const unsigned K = 24, RingSize = 16, Tail = 16;
+  std::string Src = "func main() {\n  r0 = 0;\n";
+  for (unsigned I = 1; I != RingSize; ++I)
+    Src += "  r" + std::to_string(I) + " = r" + std::to_string(I - 1) + ";\n";
+  Src += "  r0 = r" + std::to_string(RingSize - 1) + ";\n";
+  Src += "  t0 = r0;\n";
+  for (unsigned I = 1; I != Tail; ++I)
+    Src += "  t" + std::to_string(I) + " = t" + std::to_string(I - 1) + ";\n";
+  for (unsigned I = 1; I <= K; ++I)
+    Src += "  q" + std::to_string(I) + " = 0;\n";
+  for (unsigned I = 1; I <= K; ++I)
+    Src += "  c" + std::to_string(I) + " = alloc heap 1 uninit;\n";
+  for (unsigned I = 1; I != K; ++I)
+    Src += "  *c" + std::to_string(I) + " = c" + std::to_string(I + 1) + ";\n";
+  for (unsigned I = 1; I != K; ++I)
+    Src += "  q" + std::to_string(I + 1) + " = *q" + std::to_string(I) + ";\n";
+  for (unsigned I = 1; I <= K; ++I)
+    Src += "  r0 = q" + std::to_string(I) + ";\n";
+  Src += "  q1 = c1;\n  ret 0;\n}\n";
+  return Src;
+}
+
+analysis::SolverStatistics solveRingWithBudget(Budget &B) {
+  auto M = parser::parseModuleOrAbort(ringWorkload().c_str());
+  analysis::CallGraph CG(*M);
+  B.beginPhase(BudgetPhase::PointerAnalysis);
+  analysis::PointerAnalysis PA(*M, CG, analysis::PtaOptions(), &B);
+  EXPECT_EQ(PA.exhausted(), B.exhausted());
+  return PA.solverStats();
+}
+
+TEST(Budget, MergedPopsAreSkippedWithoutCharge) {
+  BudgetLimits L;
+  L.MaxStepsPerPhase = 100'000'000; // generous, but armed
+  Budget B(L);
+  analysis::SolverStatistics S = solveRingWithBudget(B);
+  ASSERT_FALSE(B.exhausted());
+  // The ring collapsed mid-solve with members still queued...
+  EXPECT_GT(S.NumCollapses, 0u);
+  EXPECT_GE(S.NumCollapsedNodes, 15u);
+  EXPECT_GT(S.NumSkippedMergedPops, 0u);
+  // ...the stale pops were counted but not charged...
+  EXPECT_GE(S.NumPops, S.NumSkippedMergedPops);
+  // ...and the token granted exactly the steps the solver says it
+  // charged: any drift here would make fault injection nondeterministic.
+  EXPECT_EQ(B.stepsUsed(), S.NumBudgetSteps);
+}
+
+TEST(Budget, SolverChargingIsExactAtTheBoundary) {
+  // Pin the charging policy: a limit of exactly stepsUsed() must succeed
+  // and one step less must exhaust. If a future change started charging
+  // the skipped merged pops (or stopped charging Tarjan visits), the
+  // boundary would move and the exhausted run's counters would disagree.
+  uint64_t Full = 0;
+  {
+    BudgetLimits L;
+    L.MaxStepsPerPhase = 100'000'000;
+    Budget B(L);
+    solveRingWithBudget(B);
+    ASSERT_FALSE(B.exhausted());
+    Full = B.stepsUsed();
+    ASSERT_GT(Full, 1u);
+  }
+  {
+    BudgetLimits L;
+    L.MaxStepsPerPhase = Full;
+    Budget B(L);
+    analysis::SolverStatistics S = solveRingWithBudget(B);
+    EXPECT_FALSE(B.exhausted());
+    EXPECT_EQ(S.NumBudgetSteps, Full);
+  }
+  {
+    BudgetLimits L;
+    L.MaxStepsPerPhase = Full - 1;
+    Budget B(L);
+    solveRingWithBudget(B);
+    EXPECT_TRUE(B.exhausted());
+    EXPECT_EQ(B.exhaustKind(), ExhaustKind::Steps);
+  }
+}
+
+TEST(DegradationLadder, ExhaustionMidCollapseFallsToMSan) {
+  // Injecting exhaustion in the middle of the solve — including inside
+  // collapse/Tarjan work — must leave state the ladder can discard: the
+  // driver retries field-insensitively, exhausts again, and lands on the
+  // MSan full plan. (The ring source is a constraint-staging workload,
+  // not a runnable program — its drip loads trap under the interpreter —
+  // so soundness of the produced plan is covered by RungEquivalence.)
+  uint64_t Full = 0;
+  {
+    BudgetLimits L;
+    L.MaxStepsPerPhase = 100'000'000;
+    Budget B(L);
+    solveRingWithBudget(B);
+    Full = B.stepsUsed();
+  }
+  for (uint64_t Cut : {Full / 4, Full / 2, (3 * Full) / 4}) {
+    // Fresh module per run: heap cloning mutates it.
+    auto M = parser::parseModuleOrAbort(ringWorkload().c_str());
+    core::UsherOptions Opts;
+    Opts.Variant = ToolVariant::UsherFull;
+    FaultPlan F;
+    F.Phase = BudgetPhase::PointerAnalysis;
+    F.AtStep = Cut;
+    Opts.Fault = F;
+    core::UsherResult R = core::runUsher(*M, Opts);
+    EXPECT_TRUE(R.Degradation.Degraded) << "cut " << Cut;
+    EXPECT_EQ(R.Degradation.Rung, ToolVariant::MSanFull) << "cut " << Cut;
+    ASSERT_GE(R.Degradation.Steps.size(), 2u) << "cut " << Cut;
+    EXPECT_EQ(R.Degradation.Steps[0].Kind, ExhaustKind::Injected)
+        << "cut " << Cut;
+  }
 }
 
 TEST(DegradationLadder, GenerousBudgetStaysOnRequestedRung) {

@@ -1,0 +1,247 @@
+//===- tests/SolverEquivalenceTest.cpp - Optimized vs reference solver -----===//
+//
+// Part of the Usher project, reproducing "Accelerating Dynamic Detection of
+// Uses of Undefined Values with Static Value-Flow Analysis" (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The optimized Andersen engine (SCC collapsing + difference propagation)
+/// must be observationally identical to the retained naive reference:
+///
+///  - identical may-point-to sets for every top-level variable, on seeded
+///    random programs and on adversarial copy-cycle workloads;
+///  - identical runUsher warning sets on every rung of the degradation
+///    ladder, so collapsing/delta state interacts soundly with Budget
+///    exhaustion and the driver's fallbacks.
+///
+/// Points-to sets are compared as (object name, field) pairs rather than
+/// raw loc ids so the property does not depend on the two runs numbering
+/// locations identically.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/CallGraph.h"
+#include "analysis/PointerAnalysis.h"
+#include "core/Usher.h"
+#include "ir/IR.h"
+#include "parser/Parser.h"
+#include "runtime/Interpreter.h"
+#include "workload/Generator.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+using namespace usher;
+using analysis::CallGraph;
+using analysis::PointerAnalysis;
+using analysis::PtaOptions;
+using analysis::SolverKind;
+using core::ToolVariant;
+
+namespace {
+
+/// Loc-id-independent rendering of one variable's points-to set.
+std::set<std::string> ptsNames(const PointerAnalysis &PA,
+                               const ir::Variable *V) {
+  std::set<std::string> S;
+  for (uint32_t LocId : PA.pointsTo(V)) {
+    const analysis::PtLoc &L = PA.location(LocId);
+    S.insert(L.Obj->getName() + "#" + std::to_string(L.Field));
+  }
+  return S;
+}
+
+/// Runs both engines on freshly parsed/generated copies of the same
+/// program (heap cloning mutates the module, so each engine gets its own)
+/// and asserts every variable's points-to set matches.
+void expectEnginesAgree(ir::Module &MOpt, ir::Module &MRef,
+                        const std::string &Tag) {
+  CallGraph CGOpt(MOpt);
+  PtaOptions OptsOpt;
+  OptsOpt.Solver = SolverKind::Optimized;
+  PointerAnalysis PAOpt(MOpt, CGOpt, OptsOpt);
+  ASSERT_FALSE(PAOpt.exhausted()) << Tag;
+
+  CallGraph CGRef(MRef);
+  PtaOptions OptsRef;
+  OptsRef.Solver = SolverKind::NaiveReference;
+  PointerAnalysis PARef(MRef, CGRef, OptsRef);
+  ASSERT_FALSE(PARef.exhausted()) << Tag;
+
+  ASSERT_EQ(PAOpt.numLocations(), PARef.numLocations()) << Tag;
+  for (const auto &FOpt : MOpt.functions()) {
+    const ir::Function *FRef = MRef.findFunction(FOpt->getName());
+    ASSERT_NE(FRef, nullptr) << Tag;
+    for (const auto &V : FOpt->variables()) {
+      const ir::Variable *VRef = FRef->findVariable(V->getName());
+      ASSERT_NE(VRef, nullptr) << Tag;
+      EXPECT_EQ(ptsNames(PAOpt, V.get()), ptsNames(PARef, VRef))
+          << Tag << ": points-to mismatch for " << FOpt->getName()
+          << "::" << V->getName();
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Points-to equivalence on seeded random programs
+//===----------------------------------------------------------------------===//
+
+class PointsToEquivalence : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PointsToEquivalence, RandomProgram) {
+  const uint64_t Seed = GetParam();
+  auto MOpt = workload::generateProgram(Seed);
+  auto MRef = workload::generateProgram(Seed);
+  expectEnginesAgree(*MOpt, *MRef, "seed " + std::to_string(Seed));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PointsToEquivalence,
+                         ::testing::Range<uint64_t>(0, 80));
+
+//===----------------------------------------------------------------------===//
+// Points-to equivalence on adversarial solver workloads
+//===----------------------------------------------------------------------===//
+//
+// Random programs rarely build large copy cycles, so these hand-shaped
+// sources force the optimized engine through its special paths: ring
+// collapsing mid-solve (stale merged worklist entries), nested rings
+// (collapse into an already-collapsed representative), and drip-staged
+// load resolution (delta propagation under growing constraint graphs).
+
+std::string dripLadder(unsigned K, const std::string &Sink) {
+  std::string Src;
+  for (unsigned I = 1; I <= K; ++I)
+    Src += "  q" + std::to_string(I) + " = 0;\n";
+  for (unsigned I = 1; I <= K; ++I)
+    Src += "  c" + std::to_string(I) + " = alloc heap 1 uninit;\n";
+  for (unsigned I = 1; I != K; ++I)
+    Src += "  *c" + std::to_string(I) + " = c" + std::to_string(I + 1) + ";\n";
+  for (unsigned I = 1; I != K; ++I)
+    Src += "  q" + std::to_string(I + 1) + " = *q" + std::to_string(I) + ";\n";
+  for (unsigned I = 1; I <= K; ++I)
+    Src += "  " + Sink + " = q" + std::to_string(I) + ";\n";
+  return Src;
+}
+
+std::string makeRingWorkload(unsigned K, unsigned RingSize, unsigned Tail) {
+  std::string Src = "func main() {\n  r0 = 0;\n";
+  for (unsigned I = 1; I != RingSize; ++I)
+    Src += "  r" + std::to_string(I) + " = r" + std::to_string(I - 1) + ";\n";
+  Src += "  r0 = r" + std::to_string(RingSize - 1) + ";\n";
+  Src += "  t0 = r0;\n";
+  for (unsigned I = 1; I != Tail; ++I)
+    Src += "  t" + std::to_string(I) + " = t" + std::to_string(I - 1) + ";\n";
+  Src += dripLadder(K, "r0");
+  Src += "  q1 = c1;\n  ret 0;\n}\n";
+  return Src;
+}
+
+std::string makeNestedRingsWorkload() {
+  // Two rings joined by a bridge: collapsing the first makes the second's
+  // lap-closing edge target a representative, and the bridge then merges
+  // ring two into ring one's already-collapsed rep.
+  std::string Src = "func main() {\n  a0 = 0;\n";
+  for (unsigned I = 1; I != 6; ++I)
+    Src += "  a" + std::to_string(I) + " = a" + std::to_string(I - 1) + ";\n";
+  Src += "  a0 = a5;\n  b0 = a0;\n";
+  for (unsigned I = 1; I != 5; ++I)
+    Src += "  b" + std::to_string(I) + " = b" + std::to_string(I - 1) + ";\n";
+  Src += "  b0 = b4;\n  a0 = b2;\n";
+  Src += dripLadder(10, "a3");
+  Src += "  q1 = c1;\n  ret 0;\n}\n";
+  return Src;
+}
+
+TEST(SolverEquivalence, CollapsingRing) {
+  const std::string Src = makeRingWorkload(24, 16, 16);
+  auto MOpt = parser::parseModuleOrAbort(Src.c_str());
+  auto MRef = parser::parseModuleOrAbort(Src.c_str());
+  expectEnginesAgree(*MOpt, *MRef, "collapsing-ring");
+}
+
+TEST(SolverEquivalence, NestedRings) {
+  const std::string Src = makeNestedRingsWorkload();
+  auto MOpt = parser::parseModuleOrAbort(Src.c_str());
+  auto MRef = parser::parseModuleOrAbort(Src.c_str());
+  expectEnginesAgree(*MOpt, *MRef, "nested-rings");
+}
+
+//===----------------------------------------------------------------------===//
+// Warning-set equivalence at every degradation-ladder rung
+//===----------------------------------------------------------------------===//
+
+std::set<const ir::Instruction *>
+warnSet(const std::vector<runtime::Warning> &Ws) {
+  std::set<const ir::Instruction *> S;
+  for (const runtime::Warning &W : Ws)
+    S.insert(W.At);
+  return S;
+}
+
+class RungEquivalence : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RungEquivalence, WarningsMatchOnEveryRung) {
+  const uint64_t Seed = GetParam();
+
+  struct RungCase {
+    std::optional<BudgetPhase> FaultPhase;
+    ToolVariant Requested;
+  };
+  const RungCase Cases[] = {
+      {std::nullopt, ToolVariant::UsherFull},
+      {BudgetPhase::PointerAnalysis, ToolVariant::UsherFull},
+      {BudgetPhase::Definedness, ToolVariant::UsherFull},
+      {BudgetPhase::OptII, ToolVariant::UsherFull},
+      {BudgetPhase::OptI, ToolVariant::UsherOptI},
+  };
+
+  for (const RungCase &C : Cases) {
+    const std::string Tag =
+        "seed " + std::to_string(Seed) + " fault " +
+        (C.FaultPhase ? budgetPhaseName(*C.FaultPhase) : "none");
+
+    auto runWith = [&](SolverKind Kind) {
+      auto M = workload::generateProgram(Seed);
+      core::UsherOptions Opts;
+      Opts.Variant = C.Requested;
+      Opts.Pta.Solver = Kind;
+      if (C.FaultPhase) {
+        FaultPlan F;
+        F.Phase = *C.FaultPhase;
+        F.AtStep = 0;
+        Opts.Fault = F;
+      }
+      core::UsherResult R = core::runUsher(*M, Opts);
+      runtime::ExecutionReport Rep = runtime::Interpreter(*M, &R.Plan).run();
+      EXPECT_EQ(Rep.Reason, runtime::ExitReason::Finished) << Tag;
+      struct Out {
+        ToolVariant Rung;
+        bool Degraded;
+        int64_t MainResult;
+        std::set<std::string> Warnings;
+      } O;
+      O.Rung = R.Degradation.Rung;
+      O.Degraded = R.Degradation.Degraded;
+      O.MainResult = Rep.MainResult;
+      // Instruction pointers are module-local; compare by stable id.
+      for (const ir::Instruction *I : warnSet(Rep.ToolWarnings))
+        O.Warnings.insert(std::to_string(I->getId()));
+      return O;
+    };
+
+    auto Opt = runWith(SolverKind::Optimized);
+    auto Ref = runWith(SolverKind::NaiveReference);
+    EXPECT_EQ(Opt.Rung, Ref.Rung) << Tag;
+    EXPECT_EQ(Opt.Degraded, Ref.Degraded) << Tag;
+    EXPECT_EQ(Opt.MainResult, Ref.MainResult) << Tag;
+    EXPECT_EQ(Opt.Warnings, Ref.Warnings) << Tag;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RungEquivalence,
+                         ::testing::Range<uint64_t>(0, 20));
+
+} // namespace

@@ -1,0 +1,131 @@
+#!/usr/bin/env python3
+"""Schema validator for bench_solver's BENCH_solver.json.
+
+Usage:
+  check_bench_json.py FILE.json              validate an existing report
+  check_bench_json.py --run-smoke BENCH_BIN  run `BENCH_BIN --smoke` into a
+                                             temp file, then validate it
+
+The bench-smoke ctest uses --run-smoke so the benchmark harness and its
+machine-readable output stay covered without burning tier-1 time on the
+full workload sizes. Speedup thresholds are deliberately NOT enforced for
+smoke runs (tiny sizes measure nothing); for full runs the summary must
+merely be well-formed — EXPERIMENTS.md records the expected >=2x.
+"""
+
+import json
+import subprocess
+import sys
+import tempfile
+import os
+
+ENGINE_FIELDS = [
+    "solve_ms",
+    "propagations",
+    "pops",
+    "skipped_merged_pops",
+    "collapses",
+    "collapsed_nodes",
+    "budget_steps",
+]
+
+
+def fail(msg):
+    print(f"check_bench_json: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_engine(workload, key):
+    engine = workload.get(key)
+    if not isinstance(engine, dict):
+        fail(f"workload {workload.get('name')!r}: missing engine block {key!r}")
+    for field in ENGINE_FIELDS:
+        value = engine.get(field)
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            fail(
+                f"workload {workload.get('name')!r} engine {key!r}: "
+                f"field {field!r} missing or non-numeric: {value!r}"
+            )
+        if value < 0:
+            fail(
+                f"workload {workload.get('name')!r} engine {key!r}: "
+                f"field {field!r} negative: {value!r}"
+            )
+    if engine["pops"] > engine["budget_steps"] + engine["skipped_merged_pops"]:
+        fail(
+            f"workload {workload.get('name')!r} engine {key!r}: pops exceed "
+            "charged steps plus uncharged merged-pop skips"
+        )
+
+
+def check_report(path):
+    try:
+        with open(path) as f:
+            report = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot load {path}: {e}")
+
+    if report.get("schema") != "usher-bench-solver-v1":
+        fail(f"unexpected schema tag: {report.get('schema')!r}")
+    if not isinstance(report.get("smoke"), bool):
+        fail("missing boolean 'smoke' flag")
+    if not isinstance(report.get("iterations"), int) or report["iterations"] < 1:
+        fail("missing positive integer 'iterations'")
+
+    workloads = report.get("workloads")
+    if not isinstance(workloads, list) or not workloads:
+        fail("'workloads' missing or empty")
+    names = set()
+    for workload in workloads:
+        name = workload.get("name")
+        if not isinstance(name, str) or not name:
+            fail("workload with missing name")
+        if name in names:
+            fail(f"duplicate workload name {name!r}")
+        names.add(name)
+        for field in ("nodes", "constraints"):
+            if not isinstance(workload.get(field), int) or workload[field] <= 0:
+                fail(f"workload {name!r}: bad {field!r}: {workload.get(field)!r}")
+        check_engine(workload, "naive")
+        check_engine(workload, "optimized")
+        speedup = workload.get("speedup")
+        if not isinstance(speedup, (int, float)) or speedup <= 0:
+            fail(f"workload {name!r}: bad speedup: {speedup!r}")
+        # Both engines solve the identical constraint system; collapsing
+        # only ever reduces worklist traffic.
+        if workload["optimized"]["pops"] > 4 * workload["naive"]["pops"] + 16:
+            fail(
+                f"workload {name!r}: optimized pop count wildly exceeds the "
+                "reference's — difference propagation is not working"
+            )
+
+    summary = report.get("summary")
+    if not isinstance(summary, dict):
+        fail("missing 'summary'")
+    for field in ("min_speedup", "geomean_speedup"):
+        value = summary.get(field)
+        if not isinstance(value, (int, float)) or value <= 0:
+            fail(f"summary: bad {field!r}: {value!r}")
+    if summary["min_speedup"] > summary["geomean_speedup"] + 1e-9:
+        fail("summary: min_speedup exceeds geomean_speedup")
+
+    print(f"check_bench_json: OK: {path} ({len(workloads)} workloads)")
+
+
+def main(argv):
+    if len(argv) == 3 and argv[1] == "--run-smoke":
+        with tempfile.TemporaryDirectory() as tmp:
+            out = os.path.join(tmp, "BENCH_solver.json")
+            proc = subprocess.run([argv[2], "--smoke", f"--out={out}"])
+            if proc.returncode != 0:
+                fail(f"{argv[2]} --smoke exited with {proc.returncode}")
+            check_report(out)
+    elif len(argv) == 2 and not argv[1].startswith("-"):
+        check_report(argv[1])
+    else:
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+
+
+if __name__ == "__main__":
+    main(sys.argv)

@@ -19,6 +19,8 @@
 ///   usher-cli prog.tc --budget-ms=N   per-phase analysis deadline
 ///   usher-cli prog.tc --budget-steps=N  per-phase step budget
 ///   usher-cli prog.tc --inject-fault=pta@0  force budget exhaustion
+///   usher-cli prog.tc --naive-solver  reference Andersen engine (no SCC
+///                                     collapsing / difference propagation)
 ///
 /// Exit codes: 0 success (including degraded analysis — a note goes to
 /// stderr), 2 usage/parse/input error, 3 runtime warnings were reported,
@@ -59,6 +61,7 @@ struct CliOptions {
   bool PrintIR = false;
   bool DumpDot = false;
   bool Run = true;
+  analysis::SolverKind Solver = analysis::SolverKind::Optimized;
   BudgetLimits Limits;
   std::optional<FaultPlan> Fault;
 };
@@ -67,8 +70,13 @@ int usage(const char *Argv0) {
   errs() << "usage: " << Argv0
          << " <program.tc> [--variant=msan|tl|tlat|opti|usher] "
             "[--opt=O0|O1|O2] [--compare] [--stats] [--print-ir] [--dot] "
-            "[--no-run] [--budget-ms=<N>] [--budget-steps=<N>] "
-            "[--inject-fault=<phase>@<step>[:once]]\n"
+            "[--no-run] [--naive-solver] [--budget-ms=<N>] "
+            "[--budget-steps=<N>] [--inject-fault=<phase>@<step>[:once]]\n"
+            "\n"
+            "  --naive-solver      solve Andersen constraints with the\n"
+            "                      reference full-set engine instead of the\n"
+            "                      SCC-collapsing/difference-propagation one\n"
+            "                      (same result, for comparison/debugging)\n"
             "\n"
             "budgets & degradation:\n"
             "  --budget-ms=<N>     wall-clock deadline per analysis phase\n"
@@ -114,6 +122,8 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
       Opts.DumpDot = true;
     } else if (Arg == "--no-run") {
       Opts.Run = false;
+    } else if (Arg == "--naive-solver") {
+      Opts.Solver = analysis::SolverKind::NaiveReference;
     } else if (Arg.rfind("--variant=", 0) == 0) {
       std::string_view V = Arg.substr(10);
       if (V == "msan")
@@ -243,6 +253,7 @@ int main(int Argc, char **Argv) {
   for (core::ToolVariant V : ToRun) {
     core::UsherOptions UO;
     UO.Variant = V;
+    UO.Pta.Solver = Opts.Solver;
     UO.Limits = Opts.Limits;
     UO.Fault = Opts.Fault;
     core::UsherResult R = core::runUsher(M, UO);
@@ -265,6 +276,10 @@ int main(int Argc, char **Argv) {
          << static_cast<int>(S.PercentWeakStores) << "%\n"
          << "static propagations:  " << S.StaticPropagations << '\n'
          << "static checks:        " << S.StaticChecks << '\n'
+         << "solver constraints:   " << S.Solver.NumConstraints << '\n'
+         << "solver propagations:  " << S.Solver.NumPropagations << '\n'
+         << "solver collapses:     " << S.Solver.NumCollapses << " ("
+         << S.Solver.NumCollapsedNodes << " nodes)\n"
          << "analysis time:        " << S.AnalysisSeconds * 1000 << " ms\n";
     }
     if (Opts.DumpDot && !Opts.Compare && R.G)
