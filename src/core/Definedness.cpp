@@ -7,6 +7,7 @@
 
 #include "core/Definedness.h"
 
+#include "core/ContextStack.h"
 #include "support/Budget.h"
 
 #include <algorithm>
@@ -19,68 +20,9 @@ using vfg::Edge;
 using vfg::EdgeKind;
 using vfg::VFG;
 
-namespace {
-
-/// A k-bounded stack of unmatched call sites, encoded in 64 bits.
-/// Layout: bits 48..49 count, bits 24..47 the site below the top,
-/// bits 0..23 the top site. Site ids are instruction ids (< 2^24).
-class Context {
-public:
-  static Context empty() { return Context(0); }
-
-  uint64_t raw() const { return Bits; }
-
-  Context pushed(uint32_t Site, unsigned K) const {
-    assert(Site < (1u << 24) && "call-site id exceeds encoding width");
-    unsigned Count = count();
-    if (K == 0)
-      return *this;
-    if (Count == 0)
-      return make(1, 0, Site);
-    if (Count == 1 && K >= 2)
-      return make(2, top(), Site);
-    if (K == 1)
-      return make(1, 0, Site);
-    // Count == 2 (== K): drop the bottom entry.
-    return make(2, top(), Site);
-  }
-
-  /// Attempts to match a return at \p Site. Returns false if the flow is
-  /// unrealizable (a pending call from a different site is on top).
-  bool popped(uint32_t Site, Context &Out) const {
-    unsigned Count = count();
-    if (Count == 0) {
-      // No pending call is remembered: the undefined value originated
-      // inside the callee (or deeper than the k window); exiting through
-      // any site is realizable.
-      Out = *this;
-      return true;
-    }
-    if (top() != Site)
-      return false;
-    if (Count == 1)
-      Out = Context(0);
-    else
-      Out = make(1, 0, below());
-    return true;
-  }
-
-private:
-  explicit Context(uint64_t Bits) : Bits(Bits) {}
-  static Context make(unsigned Count, uint32_t Below, uint32_t Top) {
-    return Context((static_cast<uint64_t>(Count) << 48) |
-                   (static_cast<uint64_t>(Below) << 24) | Top);
-  }
-  unsigned count() const { return static_cast<unsigned>(Bits >> 48); }
-  uint32_t top() const { return static_cast<uint32_t>(Bits & 0xFFFFFF); }
-  uint32_t below() const {
-    return static_cast<uint32_t>((Bits >> 24) & 0xFFFFFF);
-  }
-
-  uint64_t Bits;
-};
-
-} // namespace
+/// The k-bounded unmatched-call-site stack lives in core/ContextStack.h so
+/// the static diagnosis witness search replays exactly these transitions.
+using Context = ContextStack;
 
 Definedness::Definedness(
     const VFG &G, DefinednessOptions Opts,

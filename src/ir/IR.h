@@ -208,6 +208,14 @@ enum class BinOpcode {
 /// Returns the spelled operator, e.g. "+" for Add.
 const char *binOpcodeSpelling(BinOpcode Op);
 
+/// A source position. Line/column are 1-based; 0 means "unknown" (e.g.
+/// synthesized instructions with no surface syntax).
+struct SourceLoc {
+  unsigned Line = 0;
+  unsigned Col = 0;
+  bool isValid() const { return Line != 0; }
+};
+
 /// Base class of all TinyC instructions.
 class Instruction {
 public:
@@ -237,6 +245,11 @@ public:
   /// The top-level variable this instruction defines, or null.
   Variable *getDef() const { return Def; }
   void setDef(Variable *V) { Def = V; }
+
+  /// Source position of the statement this instruction was parsed from;
+  /// invalid (0:0) for synthesized instructions.
+  SourceLoc getLoc() const { return Loc; }
+  void setLoc(SourceLoc L) { Loc = L; }
 
   /// Appends every variable operand this instruction reads to \p Uses.
   /// Constants and global addresses are not included (they are always
@@ -271,6 +284,7 @@ private:
   BasicBlock *Parent = nullptr;
   Variable *Def = nullptr;
   unsigned Id = ~0u;
+  SourceLoc Loc;
 };
 
 /// x := n | x := y | x := g   (constant, variable copy, or global address).

@@ -30,6 +30,12 @@ public:
   void setInsertPoint(BasicBlock *BB) { Insert = BB; }
   BasicBlock *getInsertBlock() const { return Insert; }
 
+  /// Sets the source position stamped on subsequently created
+  /// instructions (until changed). The default invalid location marks
+  /// synthesized instructions.
+  void setCurrentLoc(SourceLoc L) { Loc = L; }
+  SourceLoc getCurrentLoc() const { return Loc; }
+
   /// x = src.
   Instruction *createCopy(Variable *Def, Operand Src) {
     auto I = std::make_unique<CopyInst>(Src);
@@ -111,11 +117,14 @@ public:
 private:
   Instruction *append(std::unique_ptr<Instruction> I) {
     assert(Insert && "IRBuilder has no insertion point");
+    I->setLoc(Loc);
     return Insert->append(std::move(I));
   }
 
   Module &M;
   BasicBlock *Insert = nullptr;
+  SourceLoc Loc;
+
 };
 
 } // namespace ir

@@ -171,6 +171,10 @@ void Module::print(raw_ostream &OS) const {
       for (const auto &I : BB->instructions()) {
         OS << "  ";
         I->print(OS);
+        // Source positions survive printing as trailing comments (the
+        // lexer discards them, so print -> parse still round-trips).
+        if (I->getLoc().isValid())
+          OS << "  // " << I->getLoc().Line << ':' << I->getLoc().Col;
         OS << '\n';
       }
     }

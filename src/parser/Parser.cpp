@@ -350,6 +350,9 @@ bool ParserImpl::parseBinOpcode(BinOpcode &Out) {
 }
 
 void ParserImpl::parseStatement() {
+  // Instructions created for this statement cite its first token.
+  Builder->setCurrentLoc({peek().Line, peek().Col});
+
   // Label: IDENT ':'.
   if (check(TokenKind::Ident) && peek(1).is(TokenKind::Colon)) {
     std::string Name = peek().Text;
@@ -680,6 +683,8 @@ void ParserImpl::parseFunctionBody(Function *F) {
   while (!check(TokenKind::RBrace) && !check(TokenKind::Eof) &&
          Errors.size() < 20)
     parseStatement();
+  // The implicit return cites the closing brace.
+  Builder->setCurrentLoc({peek().Line, peek().Col});
   expect(TokenKind::RBrace, "'}'");
 
   if (!Terminated)

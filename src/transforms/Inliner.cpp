@@ -138,6 +138,7 @@ std::unique_ptr<Instruction> InlineSite::cloneInst(const Instruction &I,
   }
   if (I.getDef() && !isa<RetInst>(&I))
     Clone->setDef(VarMap.at(I.getDef()));
+  Clone->setLoc(I.getLoc());
   return Clone;
 }
 

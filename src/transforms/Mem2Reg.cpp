@@ -176,6 +176,7 @@ bool transforms::promoteMemoryToRegisters(Module &M) {
           Variable *Cell = FieldVars[C->Alloc->getObject()][Field];
           auto Repl = std::make_unique<CopyInst>(Operand::var(Cell));
           Repl->setDef(L->getDef());
+          Repl->setLoc(L->getLoc());
           Repl->setParent(BB.get());
           Insts[Idx] = std::move(Repl);
           continue;
@@ -190,6 +191,7 @@ bool transforms::promoteMemoryToRegisters(Module &M) {
           Variable *Cell = FieldVars[C->Alloc->getObject()][Field];
           auto Repl = std::make_unique<CopyInst>(St->getValue());
           Repl->setDef(Cell);
+          Repl->setLoc(St->getLoc());
           Repl->setParent(BB.get());
           Insts[Idx] = std::move(Repl);
           continue;

@@ -49,7 +49,50 @@ UpdateKind VFG::storeUpdateKind(const Instruction *I, uint32_t Loc) const {
   return It->second;
 }
 
-void VFG::dumpDot(raw_ostream &OS) const {
+const char *vfg::nodeOriginName(NodeOrigin O) {
+  switch (O) {
+  case NodeOrigin::Unknown:
+    return "?";
+  case NodeOrigin::Root:
+    return "root";
+  case NodeOrigin::CopyDef:
+    return "copy";
+  case NodeOrigin::BinOpDef:
+    return "binop";
+  case NodeOrigin::FieldAddrDef:
+    return "gep";
+  case NodeOrigin::AllocPtr:
+    return "allocptr";
+  case NodeOrigin::AllocChi:
+    return "allocchi";
+  case NodeOrigin::CloneAllocChi:
+    return "clonechi";
+  case NodeOrigin::StoreChiStrong:
+    return "store.s";
+  case NodeOrigin::StoreChiSemi:
+    return "store.ss";
+  case NodeOrigin::StoreChiWeak:
+    return "store.w";
+  case NodeOrigin::LoadDef:
+    return "load";
+  case NodeOrigin::CallResult:
+    return "callres";
+  case NodeOrigin::CallModChi:
+    return "callmod";
+  case NodeOrigin::FormalParam:
+    return "param";
+  case NodeOrigin::FormalIn:
+    return "formalin";
+  case NodeOrigin::Phi:
+    return "phi";
+  case NodeOrigin::EntryDef:
+    return "entry";
+  }
+  return "?";
+}
+
+void VFG::dumpDot(raw_ostream &OS,
+                  const std::vector<DotVerdict> *Verdicts) const {
   OS << "digraph VFG {\n  rankdir=BT;\n";
   for (uint32_t Id = 0; Id != numNodes(); ++Id) {
     OS << "  n" << Id << " [label=\"";
@@ -65,16 +108,38 @@ void VFG::dumpDot(raw_ostream &OS) const {
       else
         OS << "mem" << N.Key.Id;
       OS << 'v' << N.Version;
+      if (Origins[Id] != NodeOrigin::Unknown)
+        OS << "\\n" << nodeOriginName(Origins[Id]);
     }
-    OS << "\"];\n";
+    OS << '"';
+    // Memory-space nodes render as boxes so the two SSA spaces are
+    // visually distinct; verdicts color the node.
+    if (!isRoot(Id) && Nodes[Id].Key.Sp == Space::Memory)
+      OS << ", shape=box";
+    if (Verdicts) {
+      switch ((*Verdicts)[Id]) {
+      case DotVerdict::None:
+        break;
+      case DotVerdict::Clean:
+        OS << ", style=filled, fillcolor=palegreen";
+        break;
+      case DotVerdict::May:
+        OS << ", style=filled, fillcolor=khaki";
+        break;
+      case DotVerdict::Definite:
+        OS << ", style=filled, fillcolor=lightcoral";
+        break;
+      }
+    }
+    OS << "];\n";
   }
   for (uint32_t Id = 0; Id != numNodes(); ++Id) {
     for (const Edge &E : Deps[Id]) {
       OS << "  n" << Id << " -> n" << E.Node;
       if (E.Kind == EdgeKind::Call)
-        OS << " [color=blue, label=\"c" << E.CallSite << "\"]";
+        OS << " [color=blue, label=\"call@" << E.CallSite << "\"]";
       else if (E.Kind == EdgeKind::Ret)
-        OS << " [color=red, label=\"r" << E.CallSite << "\"]";
+        OS << " [color=red, label=\"ret@" << E.CallSite << "\"]";
       OS << ";\n";
     }
   }
@@ -93,10 +158,15 @@ uint32_t VFGBuilder::getNode(const Function *Fn, VarKey Key,
     return It->second;
   uint32_t Id = static_cast<uint32_t>(G.Nodes.size());
   G.Nodes.push_back({Fn, Key, Version});
+  G.Origins.push_back(NodeOrigin::Unknown);
   G.Deps.emplace_back();
   G.Users.emplace_back();
   G.NodeIds.emplace(Ref, Id);
   return Id;
+}
+
+void VFGBuilder::setOrigin(uint32_t Node, NodeOrigin O) {
+  G.Origins[Node] = O;
 }
 
 void VFGBuilder::addDep(uint32_t From, uint32_t To, EdgeKind Kind,
@@ -218,6 +288,7 @@ void VFGBuilder::buildStoreChis(const Function &F, const StoreInst &St,
   for (const MemDef &Chi : Info.Chis) {
     assert(Chi.Kind == ChiKind::Store && "non-store chi at a store");
     uint32_t NewNode = getNode(&F, {Space::Memory, Chi.Loc}, Chi.NewVersion);
+    setOrigin(NewNode, NodeOrigin::StoreChiWeak);
     addDep(NewNode, ValueNode, EdgeKind::Direct);
 
     const MemObject *Obj = PA.location(Chi.Loc).Obj;
@@ -237,6 +308,7 @@ void VFGBuilder::buildStoreChis(const Function &F, const StoreInst &St,
       }
       if (OneInstance) {
         G.StoreKinds[StatKey] = UpdateKind::Strong;
+        setOrigin(NewNode, NodeOrigin::StoreChiStrong);
         ++G.NumStrong;
         continue; // Old version killed: no edge to Chi.OldVersion.
       }
@@ -271,6 +343,7 @@ void VFGBuilder::buildStoreChis(const Function &F, const StoreInst &St,
               getNode(&F, {Space::Memory, Chi.Loc}, AnchorChi->OldVersion);
           addDep(NewNode, BypassNode, EdgeKind::Direct);
           G.StoreKinds[StatKey] = UpdateKind::SemiStrong;
+          setOrigin(NewNode, NodeOrigin::StoreChiSemi);
           ++G.NumSemi;
           ++G.SemiStrongCuts[Obj->getId()];
           continue;
@@ -297,6 +370,7 @@ void VFGBuilder::buildCall(const Function &F, const CallInst &Call,
   for (size_t Idx = 0; Idx != Params.size(); ++Idx) {
     uint32_t Formal =
         getNode(Callee, {Space::TopLevel, Params[Idx]->getId()}, 0);
+    setOrigin(Formal, NodeOrigin::FormalParam);
     uint32_t Actual = operandNode(&F, Info, Call.getArgs()[Idx]);
     addDep(Formal, Actual, EdgeKind::Call, CallSite);
   }
@@ -313,6 +387,7 @@ void VFGBuilder::buildCall(const Function &F, const CallInst &Call,
   if (Call.getDef()) {
     uint32_t Result = getNode(&F, {Space::TopLevel, Call.getDef()->getId()},
                               Info.TLDefVersion);
+    setOrigin(Result, NodeOrigin::CallResult);
     for (const auto &[R, RInfo] : Rets) {
       if (R->getValue().isNone()) {
         // Capturing the result of a void return yields an undefined value.
@@ -338,6 +413,7 @@ void VFGBuilder::buildCall(const Function &F, const CallInst &Call,
     if (It == VersionAtCall.end())
       continue;
     uint32_t FormalIn = getNode(Callee, {Space::Memory, Loc}, 0);
+    setOrigin(FormalIn, NodeOrigin::FormalIn);
     addDep(FormalIn, getNode(&F, {Space::Memory, Loc}, It->second),
            EdgeKind::Call, CallSite);
   }
@@ -350,6 +426,7 @@ void VFGBuilder::buildCall(const Function &F, const CallInst &Call,
         getNode(OwnFn, {Space::Memory, Chi.Loc}, Chi.NewVersion);
     if (Chi.Kind == ChiKind::CloneAlloc) {
       const MemObject *Clone = PA.location(Chi.Loc).Obj;
+      setOrigin(NewNode, NodeOrigin::CloneAllocChi);
       addDep(NewNode, Clone->isInitialized() ? VFG::RootT : VFG::RootF,
              EdgeKind::Direct);
       addDep(NewNode,
@@ -358,6 +435,7 @@ void VFGBuilder::buildCall(const Function &F, const CallInst &Call,
       continue;
     }
     assert(Chi.Kind == ChiKind::CallMod && "unexpected chi kind at call");
+    setOrigin(NewNode, NodeOrigin::CallModChi);
     for (const auto &[R, RInfo] : Rets) {
       for (const ssa::MemUse &Mu : RInfo->Mus) {
         if (Mu.Loc == Chi.Loc) {
@@ -378,6 +456,7 @@ void VFGBuilder::buildInstruction(const Function &F, const Instruction &I,
     const auto *C = cast<CopyInst>(&I);
     uint32_t Def = getNode(&F, {Space::TopLevel, C->getDef()->getId()},
                            Info.TLDefVersion);
+    setOrigin(Def, NodeOrigin::CopyDef);
     addDep(Def, operandNode(&F, Info, C->getSrc()), EdgeKind::Direct);
     break;
   }
@@ -385,6 +464,7 @@ void VFGBuilder::buildInstruction(const Function &F, const Instruction &I,
     const auto *B = cast<BinOpInst>(&I);
     uint32_t Def = getNode(&F, {Space::TopLevel, B->getDef()->getId()},
                            Info.TLDefVersion);
+    setOrigin(Def, NodeOrigin::BinOpDef);
     addDep(Def, operandNode(&F, Info, B->getLHS()), EdgeKind::Direct);
     addDep(Def, operandNode(&F, Info, B->getRHS()), EdgeKind::Direct);
     break;
@@ -393,6 +473,7 @@ void VFGBuilder::buildInstruction(const Function &F, const Instruction &I,
     const auto *FA = cast<FieldAddrInst>(&I);
     uint32_t Def = getNode(&F, {Space::TopLevel, FA->getDef()->getId()},
                            Info.TLDefVersion);
+    setOrigin(Def, NodeOrigin::FieldAddrDef);
     addDep(Def, operandNode(&F, Info, FA->getBase()), EdgeKind::Direct);
     addDep(Def, operandNode(&F, Info, FA->getIndex()), EdgeKind::Direct);
     break;
@@ -404,12 +485,14 @@ void VFGBuilder::buildInstruction(const Function &F, const Instruction &I,
     // instances of the abstract object.
     uint32_t Def = getNode(&F, {Space::TopLevel, A->getDef()->getId()},
                            Info.TLDefVersion);
+    setOrigin(Def, NodeOrigin::AllocPtr);
     addDep(Def, VFG::RootT, EdgeKind::Direct);
     uint32_t InitRoot =
         A->getObject()->isInitialized() ? VFG::RootT : VFG::RootF;
     for (const MemDef &Chi : Info.Chis) {
       uint32_t NewNode =
           getNode(&F, {Space::Memory, Chi.Loc}, Chi.NewVersion);
+      setOrigin(NewNode, NodeOrigin::AllocChi);
       addDep(NewNode, InitRoot, EdgeKind::Direct);
       addDep(NewNode, getNode(&F, {Space::Memory, Chi.Loc}, Chi.OldVersion),
              EdgeKind::Direct);
@@ -420,6 +503,7 @@ void VFGBuilder::buildInstruction(const Function &F, const Instruction &I,
     const auto *L = cast<LoadInst>(&I);
     uint32_t Def = getNode(&F, {Space::TopLevel, L->getDef()->getId()},
                            Info.TLDefVersion);
+    setOrigin(Def, NodeOrigin::LoadDef);
     for (const ssa::MemUse &Mu : Info.Mus)
       addDep(Def, getNode(&F, {Space::Memory, Mu.Loc}, Mu.Version),
              EdgeKind::Direct);
@@ -466,6 +550,7 @@ void VFGBuilder::buildFunction(const Function &F) {
     // Phi nodes.
     for (const ssa::PhiNode &Phi : FS.phisIn(BB.get())) {
       uint32_t Result = getNode(&F, Phi.Var, Phi.ResultVersion);
+      setOrigin(Result, NodeOrigin::Phi);
       for (const auto &[Pred, Version] : Phi.Incoming)
         addDep(Result, getNode(&F, Phi.Var, Version), EdgeKind::Direct);
     }
@@ -480,6 +565,7 @@ void VFGBuilder::buildFunction(const Function &F) {
 VFG VFGBuilder::build() {
   // Nodes 0 and 1 are the T and F roots.
   G.Nodes.resize(2);
+  G.Origins.resize(2, NodeOrigin::Root);
   G.Deps.resize(2);
   G.Users.resize(2);
 
@@ -497,14 +583,17 @@ VFG VFGBuilder::build() {
     if (N.Key.Sp == Space::TopLevel) {
       const Variable *V =
           N.Fn->variables()[N.Key.Id].get();
-      if (!V->isParam())
+      if (!V->isParam()) {
+        setOrigin(Id, NodeOrigin::EntryDef);
         addDep(Id, VFG::RootF, EdgeKind::Direct);
+      }
       // Parameters: call edges only; a never-called function stays T.
     } else if (N.Fn == Main) {
       // Program start: globals are defined iff declared `init`; stack and
       // heap locations have no live instances yet, hence no undefined
       // value can be read from them before their allocation runs.
       const MemObject *Obj = PA.location(N.Key.Id).Obj;
+      setOrigin(Id, NodeOrigin::EntryDef);
       if (Obj->isGlobal())
         addDep(Id, Obj->isInitialized() ? VFG::RootT : VFG::RootF,
                EdgeKind::Direct);

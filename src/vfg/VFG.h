@@ -69,6 +69,35 @@ struct Edge {
 /// How a particular store's chi was translated.
 enum class UpdateKind : uint8_t { Strong, SemiStrong, Weak };
 
+/// Why a node exists: which defining construct its dependency edges model.
+/// Recorded by VFGBuilder at the point the node's defining edges are added;
+/// the must-undef analysis keys its per-node transfer rules on this, and
+/// the annotated dot dump prints it. Unknown marks nodes only ever
+/// referenced as inputs (e.g. versions in unreachable code).
+enum class NodeOrigin : uint8_t {
+  Unknown,
+  Root,          ///< The T/F roots.
+  CopyDef,       ///< TL def of a copy (undef iff the source is).
+  BinOpDef,      ///< TL def of a binop (undef if ANY operand is).
+  FieldAddrDef,  ///< TL def of a gep (undef if ANY operand is).
+  AllocPtr,      ///< TL def of an alloc (always defined).
+  AllocChi,      ///< Memory chi at an allocation site (init root + old).
+  CloneAllocChi, ///< Same, for a heap clone materialized at a call.
+  StoreChiStrong,///< Store chi, strong update (value only).
+  StoreChiSemi,  ///< Store chi, semi-strong update (value + bypass).
+  StoreChiWeak,  ///< Store chi, weak update (value + old merge).
+  LoadDef,       ///< TL def of a load (merge over the mus).
+  CallResult,    ///< TL def of a call (merge over callee returns).
+  CallModChi,    ///< Memory chi at a call (merge over callee returns).
+  FormalParam,   ///< TL version 0 of a parameter (merge over call sites).
+  FormalIn,      ///< Memory version 0 in a callee (merge over call sites).
+  Phi,           ///< SSA phi, TL or memory (merge over incoming arms).
+  EntryDef       ///< Version-0 node rooted at T/F at program start.
+};
+
+/// Short mnemonic for \p O (dot dumps and diagnostics).
+const char *nodeOriginName(NodeOrigin O);
+
 /// The value-flow graph of a whole program.
 class VFG {
 public:
@@ -96,6 +125,9 @@ public:
 
   /// Dependency edges of \p Id (what its value is computed from).
   const std::vector<Edge> &deps(uint32_t Id) const { return Deps[Id]; }
+
+  /// Provenance of \p Id (see NodeOrigin).
+  NodeOrigin origin(uint32_t Id) const { return Origins[Id]; }
 
   /// Reverse edges of \p Id (who consumes its value).
   const std::vector<Edge> &users(uint32_t Id) const { return Users[Id]; }
@@ -128,8 +160,16 @@ public:
   uint64_t numWeakStoreChis() const { return NumWeak; }
   uint64_t numEdges() const { return NumEdges; }
 
-  /// Writes the graph in Graphviz dot syntax (for the explorer example).
-  void dumpDot(raw_ostream &OS) const;
+  /// Per-node verdict for the annotated dot dump. Passed in by the caller
+  /// (vfg cannot depend on core's Definedness/StaticDiagnosis types).
+  enum class DotVerdict : uint8_t { None, Clean, May, Definite };
+
+  /// Writes the graph in Graphviz dot syntax. When \p Verdicts is
+  /// non-null (one entry per node) nodes are colored by verdict; node
+  /// labels carry the provenance mnemonic and edges their kind and
+  /// call-site labels, so witness paths can be eyeballed when debugging.
+  void dumpDot(raw_ostream &OS,
+               const std::vector<DotVerdict> *Verdicts = nullptr) const;
 
 private:
   friend class VFGBuilder;
@@ -152,6 +192,7 @@ private:
   };
 
   std::vector<NodeData> Nodes;
+  std::vector<NodeOrigin> Origins;
   std::vector<std::vector<Edge>> Deps;
   std::vector<std::vector<Edge>> Users;
   std::unordered_map<NodeRef, uint32_t, NodeRefHash> NodeIds;
@@ -184,6 +225,7 @@ private:
   uint32_t getNode(const ir::Function *Fn, ssa::VarKey Key, uint32_t Version);
   void addDep(uint32_t From, uint32_t To, EdgeKind Kind,
               uint32_t CallSite = ~0u);
+  void setOrigin(uint32_t Node, NodeOrigin O);
   uint32_t operandNode(const ir::Function *Fn, const ssa::InstSSA &Info,
                        const ir::Operand &Op);
 

@@ -20,7 +20,10 @@ namespace {
 
 ExecutionReport runNative(const char *Src,
                           runtime::ExecLimits Limits = {}) {
-  auto M = parser::parseModuleOrAbort(Src);
+  // The module must outlive the returned report: warnings carry
+  // Instruction pointers (Warning::At) that tests inspect.
+  static std::unique_ptr<ir::Module> M;
+  M = parser::parseModuleOrAbort(Src);
   return Interpreter(*M, nullptr, runtime::CostModel(), Limits).run();
 }
 

@@ -1,0 +1,147 @@
+//===- tests/WitnessPathPropertyTest.cpp - Witness paths are real ----------===//
+//
+// Part of the Usher project, reproducing "Accelerating Dynamic Detection of
+// Uses of Undefined Values with Static Value-Flow Analysis" (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Property test for the witness-path reconstructor: every codeFlow the
+/// diagnosis engine emits must be a *real, context-valid* path in the VFG:
+///
+///  - it starts at the F root and ends at the finding's use node;
+///  - every step's edge (kind and call-site label included) exists in the
+///    graph's user-edge lists;
+///  - replaying the call/return labels through the shared ContextStack
+///    from the empty context never hits an unrealizable return.
+///
+/// Checked over the Spec2000-like suite, the diagnosis bug corpus, and a
+/// range of generator seeds.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/ContextStack.h"
+#include "core/StaticDiagnosis.h"
+#include "core/Usher.h"
+#include "parser/Parser.h"
+#include "workload/Generator.h"
+#include "workload/Spec2000.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+using namespace usher;
+using core::ContextStack;
+using core::Finding;
+using core::StaticDiagnosis;
+
+namespace {
+
+/// True if the graph has a user edge From -> To with this kind and label.
+bool hasUserEdge(const vfg::VFG &G, uint32_t From, uint32_t To,
+                 vfg::EdgeKind Kind, uint32_t CallSite) {
+  for (const vfg::Edge &E : G.users(From))
+    if (E.Node == To && E.Kind == Kind && E.CallSite == CallSite)
+      return true;
+  return false;
+}
+
+/// Asserts the structural and context validity of one witness path.
+void checkWitness(const vfg::VFG &G, unsigned K, const Finding &F,
+                  const std::string &Tag) {
+  ASSERT_FALSE(F.Witness.empty()) << Tag << ": empty witness checked";
+  EXPECT_EQ(F.Witness.front().Node, vfg::VFG::RootF)
+      << Tag << ": witness does not start at the F root";
+  EXPECT_EQ(F.Witness.back().Node, F.UseNode)
+      << Tag << ": witness does not end at the reported use node";
+  EXPECT_FALSE(F.Witness.back().HasEdge)
+      << Tag << ": final step claims an outgoing edge";
+
+  ContextStack Ctx = ContextStack::empty();
+  for (size_t Pos = 0; Pos + 1 < F.Witness.size(); ++Pos) {
+    const core::WitnessStep &S = F.Witness[Pos];
+    const core::WitnessStep &Next = F.Witness[Pos + 1];
+    ASSERT_TRUE(S.HasEdge) << Tag << ": interior step " << Pos
+                           << " has no edge";
+    EXPECT_TRUE(hasUserEdge(G, S.Node, Next.Node, S.Kind, S.CallSite))
+        << Tag << ": step " << Pos << " edge " << S.Node << " -> "
+        << Next.Node << " is not in the VFG";
+    if (K == 0)
+      continue;
+    switch (S.Kind) {
+    case vfg::EdgeKind::Direct:
+      break;
+    case vfg::EdgeKind::Call:
+      Ctx = Ctx.pushed(S.CallSite, K);
+      break;
+    case vfg::EdgeKind::Ret: {
+      ContextStack Out = ContextStack::empty();
+      ASSERT_TRUE(Ctx.popped(S.CallSite, Out))
+          << Tag << ": step " << Pos << " returns through call site "
+          << S.CallSite << " with a different pending call on the stack";
+      Ctx = Out;
+      break;
+    }
+    }
+  }
+}
+
+void checkAllWitnesses(ir::Module &M, const std::string &Tag) {
+  core::UsherOptions Opts;
+  Opts.Variant = core::ToolVariant::UsherFull;
+  core::UsherResult R = core::runUsher(M, Opts);
+  ASSERT_TRUE(R.PA && R.CG && R.G) << Tag;
+  core::DiagnosisOptions DOpts;
+  StaticDiagnosis Diag(*R.PA, *R.CG, *R.G, DOpts);
+  for (const Finding &F : Diag.report().Findings) {
+    if (F.Witness.empty())
+      continue; // Capped searches may leave no witness; nothing to check.
+    checkWitness(*R.G, DOpts.ContextK, F, Tag);
+  }
+}
+
+class WitnessSuite : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(WitnessSuite, EveryWitnessIsAContextValidPath) {
+  const auto &B = workload::spec2000Suite()[GetParam()];
+  auto M = workload::loadBenchmark(B);
+  checkAllWitnesses(*M, B.Name);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarks, WitnessSuite, ::testing::Range<size_t>(0, 15),
+    [](const ::testing::TestParamInfo<size_t> &Info) {
+      std::string Name = workload::spec2000Suite()[Info.param].Name;
+      for (char &C : Name)
+        if (C == '.')
+          C = '_';
+      return Name;
+    });
+
+class WitnessSeeds : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(WitnessSeeds, EveryWitnessIsAContextValidPath) {
+  auto M = workload::generateProgram(GetParam());
+  checkAllWitnesses(*M, "seed " + std::to_string(GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WitnessSeeds,
+                         ::testing::Range<uint64_t>(0, 100));
+
+TEST(WitnessCorpus, CorpusWitnessesAreContextValidPaths) {
+  for (const char *Stem :
+       {"definite", "may_guarded", "clean_strong_update"}) {
+    std::string Path = std::string(USHER_TEST_INPUT_DIR) + "/diagnosis/" +
+                       Stem + ".tc";
+    std::ifstream In(Path);
+    ASSERT_TRUE(In.good()) << "cannot open " << Path;
+    std::ostringstream SS;
+    SS << In.rdbuf();
+    auto M = parser::parseModuleOrAbort(SS.str());
+    checkAllWitnesses(*M, Stem);
+  }
+}
+
+} // namespace

@@ -15,6 +15,12 @@
 ///   usher-cli prog.tc --stats         print the Table 1 statistics
 ///   usher-cli prog.tc --print-ir      dump the (transformed) module
 ///   usher-cli prog.tc --dot           dump the VFG in Graphviz syntax
+///                                     (verdict-annotated with --diagnose)
+///   usher-cli prog.tc --diagnose      static UUV diagnosis: classify every
+///                                     critical op CLEAN/MAY/DEFINITE and
+///                                     print witness value-flow paths
+///   usher-cli prog.tc --diag-json=F   also write the diagnosis report as
+///                                     JSON (schema usher-diagnosis-v1)
 ///   usher-cli prog.tc --no-run        static analysis only
 ///   usher-cli prog.tc --budget-ms=N   per-phase analysis deadline
 ///   usher-cli prog.tc --budget-steps=N  per-phase step budget
@@ -28,6 +34,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "core/StaticDiagnosis.h"
 #include "core/Usher.h"
 #include "parser/Parser.h"
 #include "runtime/Interpreter.h"
@@ -60,6 +67,8 @@ struct CliOptions {
   bool Stats = false;
   bool PrintIR = false;
   bool DumpDot = false;
+  bool Diagnose = false;
+  std::string DiagJsonPath;
   bool Run = true;
   analysis::SolverKind Solver = analysis::SolverKind::Optimized;
   BudgetLimits Limits;
@@ -71,7 +80,15 @@ int usage(const char *Argv0) {
          << " <program.tc> [--variant=msan|tl|tlat|opti|usher] "
             "[--opt=O0|O1|O2] [--compare] [--stats] [--print-ir] [--dot] "
             "[--no-run] [--naive-solver] [--budget-ms=<N>] "
-            "[--budget-steps=<N>] [--inject-fault=<phase>@<step>[:once]]\n"
+            "[--budget-steps=<N>] [--inject-fault=<phase>@<step>[:once]] "
+            "[--diagnose] [--diag-json=<file>]\n"
+            "\n"
+            "  --diagnose          classify every critical operation as\n"
+            "                      CLEAN, MAY-UUV or DEFINITE-UUV and print\n"
+            "                      a witness value-flow path per finding\n"
+            "  --diag-json=<file>  write the diagnosis report as JSON\n"
+            "                      (schema usher-diagnosis-v1); implies\n"
+            "                      --diagnose\n"
             "\n"
             "  --naive-solver      solve Andersen constraints with the\n"
             "                      reference full-set engine instead of the\n"
@@ -120,6 +137,13 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
       Opts.PrintIR = true;
     } else if (Arg == "--dot") {
       Opts.DumpDot = true;
+    } else if (Arg == "--diagnose") {
+      Opts.Diagnose = true;
+    } else if (Arg.rfind("--diag-json=", 0) == 0) {
+      Opts.DiagJsonPath = std::string(Arg.substr(12));
+      Opts.Diagnose = true;
+      if (Opts.DiagJsonPath.empty())
+        return false;
     } else if (Arg == "--no-run") {
       Opts.Run = false;
     } else if (Arg == "--naive-solver") {
@@ -203,7 +227,10 @@ void reportRun(raw_ostream &OS, const char *Tool,
      << static_cast<int>(Rep.slowdownPercent()) << "%, shadow ops "
      << Rep.DynShadowOps << ", checks " << Rep.DynChecks << '\n';
   for (const runtime::Warning &W : Rep.ToolWarnings) {
-    OS << "  warning: use of undefined value in "
+    OS << "  warning: ";
+    if (W.At->getLoc().isValid())
+      OS << W.At->getLoc().Line << ':' << W.At->getLoc().Col << ": ";
+    OS << "use of undefined value in "
        << W.At->getParent()->getParent()->getName() << " at \"";
     W.At->print(OS);
     OS << "\" (x" << W.Occurrences << ")\n";
@@ -282,8 +309,35 @@ int main(int Argc, char **Argv) {
          << S.Solver.NumCollapsedNodes << " nodes)\n"
          << "analysis time:        " << S.AnalysisSeconds * 1000 << " ms\n";
     }
-    if (Opts.DumpDot && !Opts.Compare && R.G)
-      R.G->dumpDot(OS);
+    std::unique_ptr<core::StaticDiagnosis> Diag;
+    if (Opts.Diagnose && !Opts.Compare) {
+      if (R.G && R.PA && R.CG) {
+        Diag = std::make_unique<core::StaticDiagnosis>(*R.PA, *R.CG, *R.G);
+        Diag->printText(OS);
+        if (!Opts.DiagJsonPath.empty()) {
+          std::FILE *FP = std::fopen(Opts.DiagJsonPath.c_str(), "wb");
+          if (!FP) {
+            errs() << Opts.DiagJsonPath << ": error: cannot write file\n";
+            return ExitInputError;
+          }
+          raw_fd_ostream JS(FP);
+          Diag->printJson(JS);
+          JS.flush();
+          std::fclose(FP);
+        }
+      } else {
+        errs() << "note: --diagnose needs the analysis pipeline; "
+                  "unavailable for this variant or degradation rung\n";
+      }
+    }
+    if (Opts.DumpDot && !Opts.Compare && R.G) {
+      if (Diag) {
+        std::vector<vfg::VFG::DotVerdict> Verdicts = Diag->dotVerdicts();
+        R.G->dumpDot(OS, &Verdicts);
+      } else {
+        R.G->dumpDot(OS);
+      }
+    }
 
     if (Opts.Run) {
       runtime::ExecutionReport Rep = runtime::Interpreter(M, &R.Plan).run();
