@@ -1,0 +1,32 @@
+//===- fuzz/Coverage.cpp - Feedback signals for the fuzzer ----------------===//
+//
+// Part of the Usher project, reproducing "Accelerating Dynamic Detection of
+// Uses of Undefined Values with Static Value-Flow Analysis" (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Coverage.h"
+
+using namespace usher;
+using namespace usher::fuzz;
+
+uint8_t fuzz::countBucket(uint64_t N) {
+  if (N <= 3)
+    return static_cast<uint8_t>(N);
+  if (N <= 7)
+    return 4;
+  if (N <= 15)
+    return 5;
+  if (N <= 31)
+    return 6;
+  if (N <= 127)
+    return 7;
+  return 8;
+}
+
+size_t CoverageMap::addAll(const FeatureSet &FS) {
+  size_t New = 0;
+  for (uint64_t Key : FS.Keys)
+    New += Seen.insert(Key).second ? 1 : 0;
+  return New;
+}

@@ -1,0 +1,87 @@
+//===- fuzz/Coverage.h - Feedback signals for the fuzzer --------*- C++ -*-===//
+//
+// Part of the Usher project, reproducing "Accelerating Dynamic Detection of
+// Uses of Undefined Values with Static Value-Flow Analysis" (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lightweight coverage feedback for the differential fuzzer. A program's
+/// fingerprint is a set of 64-bit *feature keys* drawn from two sources:
+///
+///  - interpreter edge coverage: executed control-flow edges with their
+///    hit counts folded into AFL-style coarse buckets, plus the peak call
+///    depth;
+///  - analysis-feature coverage: which VFG node kinds the program
+///    manufactured, which store-update flavors fired, bucketized Opt I /
+///    Opt II rewrite counts, the degradation rung reached, and the
+///    warning volume.
+///
+/// The scheduler keeps an input when it contributes a key the global
+/// CoverageMap has not seen. Keys are pure functions of program behavior
+/// (never of wall-clock or memory addresses), so same-seed campaigns
+/// produce identical maps.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef USHER_FUZZ_COVERAGE_H
+#define USHER_FUZZ_COVERAGE_H
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+namespace usher {
+namespace fuzz {
+
+/// Namespaces for feature keys; the tag lives in the key's top byte so
+/// the domains can never collide.
+enum class FeatureDomain : uint8_t {
+  Edge = 1,       ///< Executed CFG edge (payload: edgeKey | bucket).
+  FrameDepth = 2, ///< Peak call depth (payload: exact depth).
+  Origin = 3,     ///< VFG NodeOrigin present (payload: origin index).
+  StoreKind = 4,  ///< Store-update flavor fired (payload: kind index).
+  OptCounter = 5, ///< Opt I / II rewrites (payload: which | bucket).
+  Rung = 6,       ///< Degradation rung reached (payload: variant index).
+  Warnings = 7,   ///< Oracle warning volume (payload: bucket).
+};
+
+/// Folds a hit count into one of nine coarse classes (0, 1, 2, 3, 4-7,
+/// 8-15, 16-31, 32-127, 128+), the classic AFL bucketing: re-executing a
+/// loop a few more times is not new behavior, an order of magnitude is.
+uint8_t countBucket(uint64_t N);
+
+/// Builds a feature key from a domain tag and a payload (payload must fit
+/// 56 bits; higher bits are discarded).
+inline uint64_t featureKey(FeatureDomain D, uint64_t Payload) {
+  return (static_cast<uint64_t>(D) << 56) |
+         (Payload & ((uint64_t(1) << 56) - 1));
+}
+
+/// One program's deduplicated fingerprint.
+struct FeatureSet {
+  std::vector<uint64_t> Keys;
+
+  void add(FeatureDomain D, uint64_t Payload) {
+    Keys.push_back(featureKey(D, Payload));
+  }
+};
+
+/// The campaign-global set of features ever observed.
+class CoverageMap {
+public:
+  /// Merges \p FS; returns how many of its keys were new.
+  size_t addAll(const FeatureSet &FS);
+
+  bool contains(uint64_t Key) const { return Seen.count(Key) != 0; }
+  size_t size() const { return Seen.size(); }
+
+private:
+  std::unordered_set<uint64_t> Seen;
+};
+
+} // namespace fuzz
+} // namespace usher
+
+#endif // USHER_FUZZ_COVERAGE_H

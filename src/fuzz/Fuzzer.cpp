@@ -1,0 +1,194 @@
+//===- fuzz/Fuzzer.cpp - Coverage-guided differential fuzzing -------------===//
+//
+// Part of the Usher project, reproducing "Accelerating Dynamic Detection of
+// Uses of Undefined Values with Static Value-Flow Analysis" (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Fuzzer.h"
+
+#include "ir/IR.h"
+#include "support/RNG.h"
+#include "support/RawStream.h"
+
+#include <string>
+#include <vector>
+
+using namespace usher;
+using namespace usher::fuzz;
+
+namespace {
+
+std::string printModule(const ir::Module &M) {
+  std::string Buf;
+  raw_string_ostream OS(Buf);
+  M.print(OS);
+  return Buf;
+}
+
+unsigned countLines(const std::string &S) {
+  unsigned N = 0;
+  for (char C : S)
+    N += C == '\n';
+  return N;
+}
+
+/// Oracle configuration that re-checks only \p K — the reducer's
+/// predicate must preserve the *same kind* of divergence, and skipping
+/// the other oracles makes each predicate call several times cheaper.
+OracleOptions onlyOracle(OracleKind K, const OracleOptions &Base) {
+  OracleOptions Only;
+  Only.MaxSteps = Base.MaxSteps;
+  Only.CheckVariants = K == OracleKind::VariantEquivalence;
+  Only.CheckSolver = K == OracleKind::SolverEquivalence;
+  Only.CheckDiagnosis = K == OracleKind::DiagnosisSoundness;
+  Only.CheckDegradation = K == OracleKind::DegradationSoundness;
+  return Only;
+}
+
+void jsonEscape(raw_ostream &OS, const std::string &S) {
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      OS << "\\\"";
+      break;
+    case '\\':
+      OS << "\\\\";
+      break;
+    case '\n':
+      OS << "\\n";
+      break;
+    case '\t':
+      OS << "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20)
+        OS.printf("\\u%04x", static_cast<unsigned>(C));
+      else
+        OS << C;
+    }
+  }
+}
+
+} // namespace
+
+FuzzReport fuzz::runFuzzer(const FuzzOptions &Opts) {
+  RNG Rng(Opts.Seed);
+  CoverageMap Cov;
+  std::vector<std::string> Corpus;
+  FuzzReport Rep;
+  Rep.Seed = Opts.Seed;
+  Rep.Runs = Opts.Runs;
+
+  for (unsigned Run = 0; Run != Opts.Runs; ++Run) {
+    // -- Schedule the next input ----------------------------------------
+    std::string Source;
+    unsigned Choice =
+        Corpus.empty() ? 0 : static_cast<unsigned>(Rng.below(100));
+    if (Corpus.empty() || Choice < 30) {
+      Source = printModule(*workload::generateProgram(Rng.next(), Opts.Gen));
+      ++Rep.NumGenerated;
+    } else if (Choice < 65) {
+      Source = workload::mutateProgram(Corpus[Rng.below(Corpus.size())],
+                                       Rng.next());
+      ++Rep.NumMutated;
+    } else if (Choice < 85) {
+      const std::string &Recv = Corpus[Rng.below(Corpus.size())];
+      const std::string &Donor = Corpus[Rng.below(Corpus.size())];
+      Source = workload::spliceProgram(Recv, Donor, Rng.next());
+      ++Rep.NumSpliced;
+    } else {
+      Source = workload::wrapMainInCall(Corpus[Rng.below(Corpus.size())]);
+      ++Rep.NumWrapped;
+    }
+
+    // -- Evaluate the oracles -------------------------------------------
+    OracleOutcome Out = runOracles(Source, Opts.Oracle);
+    for (unsigned K = 0; K != NumOracleKinds; ++K)
+      Rep.OracleChecked[K] += Out.Checked[K] ? 1 : 0;
+    if (!Out.Valid) {
+      ++Rep.NumInvalid;
+      continue;
+    }
+    ++Rep.NumValid;
+
+    // -- Coverage feedback ----------------------------------------------
+    if (Cov.addAll(Out.Features) > 0) {
+      Corpus.push_back(Source);
+      if (Corpus.size() > Opts.MaxCorpus)
+        Corpus.erase(Corpus.begin());
+    }
+
+    // -- Divergences: tally, then minimize the first one ----------------
+    if (Out.Divergences.empty())
+      continue;
+    for (const Divergence &D : Out.Divergences)
+      ++Rep.OracleDiverged[static_cast<unsigned>(D.Oracle)];
+    if (Rep.Divergences.size() >= Opts.MaxDivergences)
+      continue;
+
+    const Divergence &D0 = Out.Divergences.front();
+    DivergenceRecord Rec;
+    Rec.Oracle = D0.Oracle;
+    Rec.Detail = D0.Detail;
+    Rec.Run = Run;
+    Rec.Source = Source;
+    Rec.OriginalLines = countLines(Source);
+    Rec.Reduced = Source;
+    if (Opts.Reduce) {
+      OracleOptions Only = onlyOracle(D0.Oracle, Opts.Oracle);
+      Predicate StillDiverges = [&Only](const std::string &S) {
+        OracleOutcome O = runOracles(S, Only);
+        return O.Valid && !O.Divergences.empty();
+      };
+      ReduceResult RR = reduceProgram(Source, StillDiverges, Opts.Reducer);
+      Rec.Reduced = std::move(RR.Source);
+      Rec.ReduceChecks = RR.NumChecks;
+    }
+    Rec.ReducedLines = countLines(Rec.Reduced);
+    Rep.Divergences.push_back(std::move(Rec));
+  }
+
+  Rep.CorpusSize = static_cast<unsigned>(Corpus.size());
+  Rep.CoverageKeys = Cov.size();
+  return Rep;
+}
+
+void FuzzReport::printJson(raw_ostream &OS) const {
+  OS << "{\n";
+  OS << "  \"schema\": \"usher-fuzz-v1\",\n";
+  OS << "  \"seed\": " << Seed << ",\n";
+  OS << "  \"runs\": " << Runs << ",\n";
+  OS << "  \"valid\": " << NumValid << ",\n";
+  OS << "  \"invalid\": " << NumInvalid << ",\n";
+  OS << "  \"scheduled\": {\"generated\": " << NumGenerated
+     << ", \"mutated\": " << NumMutated << ", \"spliced\": " << NumSpliced
+     << ", \"wrapped\": " << NumWrapped << "},\n";
+  OS << "  \"corpus_size\": " << CorpusSize << ",\n";
+  OS << "  \"coverage_keys\": " << CoverageKeys << ",\n";
+  OS << "  \"oracles\": [\n";
+  for (unsigned K = 0; K != NumOracleKinds; ++K) {
+    OS << "    {\"oracle\": \"" << oracleKindName(static_cast<OracleKind>(K))
+       << "\", \"checked\": " << OracleChecked[K]
+       << ", \"divergences\": " << OracleDiverged[K] << "}"
+       << (K + 1 != NumOracleKinds ? "," : "") << "\n";
+  }
+  OS << "  ],\n";
+  OS << "  \"divergences\": [";
+  for (size_t I = 0; I != Divergences.size(); ++I) {
+    const DivergenceRecord &D = Divergences[I];
+    OS << (I ? ",\n    {" : "\n    {");
+    OS << "\"oracle\": \"" << oracleKindName(D.Oracle) << "\", ";
+    OS << "\"run\": " << D.Run << ", ";
+    OS << "\"original_lines\": " << D.OriginalLines << ", ";
+    OS << "\"reduced_lines\": " << D.ReducedLines << ", ";
+    OS << "\"reduce_checks\": " << D.ReduceChecks << ", ";
+    OS << "\"detail\": \"";
+    jsonEscape(OS, D.Detail);
+    OS << "\", \"reduced_source\": \"";
+    jsonEscape(OS, D.Reduced);
+    OS << "\"}";
+  }
+  OS << (Divergences.empty() ? "]\n" : "\n  ]\n");
+  OS << "}\n";
+}

@@ -1,0 +1,385 @@
+//===- fuzz/Oracles.cpp - Differential oracles over one program -----------===//
+//
+// Part of the Usher project, reproducing "Accelerating Dynamic Detection of
+// Uses of Undefined Values with Static Value-Flow Analysis" (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Oracles.h"
+
+#include "analysis/CallGraph.h"
+#include "analysis/PointerAnalysis.h"
+#include "core/StaticDiagnosis.h"
+#include "core/Usher.h"
+#include "ir/IR.h"
+#include "ir/Verifier.h"
+#include "parser/Parser.h"
+
+#include <map>
+#include <set>
+#include <string>
+
+using namespace usher;
+using namespace usher::fuzz;
+using analysis::CallGraph;
+using analysis::PointerAnalysis;
+using analysis::PtaOptions;
+using analysis::SolverKind;
+using core::ToolVariant;
+using runtime::ExecLimits;
+using runtime::ExecutionReport;
+using runtime::ExitReason;
+using runtime::Interpreter;
+
+const char *fuzz::oracleKindName(OracleKind K) {
+  switch (K) {
+  case OracleKind::VariantEquivalence:
+    return "variant-equivalence";
+  case OracleKind::SolverEquivalence:
+    return "solver-equivalence";
+  case OracleKind::DiagnosisSoundness:
+    return "diagnosis-soundness";
+  case OracleKind::DegradationSoundness:
+    return "degradation-soundness";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Warning sets are compared by instruction id: renumbering makes ids
+/// stable across parses of the same text, while instruction pointers are
+/// only meaningful within one module.
+std::set<uint32_t> warnIds(const std::vector<runtime::Warning> &Ws) {
+  std::set<uint32_t> S;
+  for (const runtime::Warning &W : Ws)
+    S.insert(W.At->getId());
+  return S;
+}
+
+std::string describeSetDiff(const std::set<uint32_t> &Tool,
+                            const std::set<uint32_t> &Oracle) {
+  for (uint32_t Id : Oracle)
+    if (!Tool.count(Id))
+      return "missed warning at inst#" + std::to_string(Id);
+  for (uint32_t Id : Tool)
+    if (!Oracle.count(Id))
+      return "extra warning at inst#" + std::to_string(Id);
+  return "";
+}
+
+/// Exact-match semantics for MSan/TL/TLAT/OptI rungs; Opt II may only
+/// suppress dominated duplicates (subset, non-empty iff). Returns "" when
+/// the guarantee holds.
+std::string checkWarnings(ToolVariant V, const std::set<uint32_t> &Tool,
+                          const std::set<uint32_t> &Oracle) {
+  if (V != ToolVariant::UsherFull) {
+    if (Tool != Oracle)
+      return describeSetDiff(Tool, Oracle);
+    return "";
+  }
+  for (uint32_t Id : Tool)
+    if (!Oracle.count(Id))
+      return "false positive at inst#" + std::to_string(Id);
+  if (Tool.empty() != Oracle.empty())
+    return Tool.empty() ? "Opt II hid all real defects" : "";
+  return "";
+}
+
+/// Every pipeline run gets a fresh module: heap cloning mutates modules,
+/// so sharing one across engines or variants would contaminate results.
+std::unique_ptr<ir::Module> parseFresh(const std::string &Source) {
+  parser::ParseResult PR = parser::parseModule(Source);
+  return PR.succeeded() ? std::move(PR.M) : nullptr;
+}
+
+/// Loc-id-independent rendering of one variable's points-to set.
+std::set<std::string> ptsNames(const PointerAnalysis &PA,
+                               const ir::Variable *V) {
+  std::set<std::string> S;
+  for (uint32_t LocId : PA.pointsTo(V)) {
+    const analysis::PtLoc &L = PA.location(LocId);
+    S.insert(L.Obj->getName() + "#" + std::to_string(L.Field));
+  }
+  return S;
+}
+
+struct VariantSemantics {
+  ToolVariant V;
+  const char *Name;
+};
+
+const VariantSemantics AllVariants[] = {
+    {ToolVariant::MSanFull, "MSAN"},
+    {ToolVariant::UsherTL, "USHER-TL"},
+    {ToolVariant::UsherTLAT, "USHER-TL+AT"},
+    {ToolVariant::UsherOptI, "USHER-OPTI"},
+    {ToolVariant::UsherFull, "USHER"},
+};
+
+} // namespace
+
+OracleOutcome fuzz::runOracles(const std::string &Source,
+                               const OracleOptions &Opts) {
+  OracleOutcome Out;
+
+  // -- Validity gate: parse, verify, run natively to completion ----------
+  parser::ParseResult PR = parser::parseModule(Source);
+  if (!PR.succeeded()) {
+    Out.InvalidReason =
+        "parse: " + (PR.Errors.empty() ? std::string("unknown error")
+                                       : PR.Errors.front());
+    return Out;
+  }
+  std::vector<std::string> VErrors;
+  if (!ir::verifyModule(*PR.M, VErrors)) {
+    Out.InvalidReason = "verify: " + VErrors.front();
+    return Out;
+  }
+
+  ExecLimits NativeLimits;
+  NativeLimits.MaxSteps = Opts.MaxSteps;
+  NativeLimits.CollectCoverage = true;
+  ExecutionReport Native =
+      Interpreter(*PR.M, nullptr, runtime::CostModel(), NativeLimits).run();
+  if (Native.Reason != ExitReason::Finished) {
+    Out.InvalidReason = Native.Reason == ExitReason::Trap
+                            ? "trap: " + Native.TrapMessage
+                            : "step limit exceeded";
+    return Out;
+  }
+  Out.Valid = true;
+  Out.MainResult = Native.MainResult;
+  Out.NumOracleWarnings = Native.OracleWarnings.size();
+  const std::set<uint32_t> Oracle = warnIds(Native.OracleWarnings);
+
+  // -- Interpreter edge coverage -----------------------------------------
+  for (const auto &[Key, Hits] : Native.EdgeHits)
+    Out.Features.add(FeatureDomain::Edge, (Key << 4) | countBucket(Hits));
+  Out.Features.add(FeatureDomain::FrameDepth, Native.MaxFrameDepth);
+  Out.Features.add(FeatureDomain::Warnings, countBucket(Oracle.size()));
+
+  ExecLimits ToolLimits;
+  ToolLimits.MaxSteps = Opts.MaxSteps;
+
+  auto Diverge = [&Out](OracleKind K, std::string Detail) {
+    Out.Divergences.push_back({K, std::move(Detail)});
+  };
+
+  // -- Oracle 1: variant equivalence vs the shadow interpreter -----------
+  if (Opts.CheckVariants) {
+    Out.Checked[static_cast<unsigned>(OracleKind::VariantEquivalence)] = true;
+    for (const VariantSemantics &VS : AllVariants) {
+      auto M = parseFresh(Source);
+      core::UsherOptions UOpts;
+      UOpts.Variant = VS.V;
+      core::UsherResult R = core::runUsher(*M, UOpts);
+      ExecutionReport Rep =
+          Interpreter(*M, &R.Plan, runtime::CostModel(), ToolLimits).run();
+      if (Rep.Reason != ExitReason::Finished) {
+        Diverge(OracleKind::VariantEquivalence,
+                std::string(VS.Name) + ": instrumented run did not finish (" +
+                    Rep.TrapMessage + ")");
+        continue;
+      }
+      if (Rep.MainResult != Native.MainResult)
+        Diverge(OracleKind::VariantEquivalence,
+                std::string(VS.Name) + ": instrumentation changed main's "
+                                       "result");
+      std::string Err = checkWarnings(VS.V, warnIds(Rep.ToolWarnings), Oracle);
+      if (!Err.empty())
+        Diverge(OracleKind::VariantEquivalence,
+                std::string(VS.Name) + ": " + Err);
+
+      // Analysis-feature coverage comes from the full pipeline run.
+      if (VS.V == ToolVariant::UsherFull && R.G) {
+        uint32_t Mask = R.G->originMask();
+        for (unsigned Bit = 0; Bit != 32; ++Bit)
+          if (Mask & (1u << Bit))
+            Out.Features.add(FeatureDomain::Origin, Bit);
+        if (R.G->numStrongStoreChis())
+          Out.Features.add(FeatureDomain::StoreKind, 0);
+        if (R.G->numSemiStrongStoreChis())
+          Out.Features.add(FeatureDomain::StoreKind, 1);
+        if (R.G->numWeakStoreChis())
+          Out.Features.add(FeatureDomain::StoreKind, 2);
+        Out.Features.add(FeatureDomain::OptCounter,
+                         (uint64_t(0) << 8) |
+                             countBucket(R.Stats.NumSimplifiedMFCs));
+        Out.Features.add(FeatureDomain::OptCounter,
+                         (uint64_t(1) << 8) |
+                             countBucket(R.Stats.NumRedirectedNodes));
+        Out.Features.add(FeatureDomain::Rung,
+                         static_cast<uint64_t>(R.Degradation.Rung));
+      }
+    }
+  }
+
+  // -- Oracle 2: fast vs naive constraint solver -------------------------
+  if (Opts.CheckSolver) {
+    Out.Checked[static_cast<unsigned>(OracleKind::SolverEquivalence)] = true;
+    auto MOpt = parseFresh(Source);
+    auto MRef = parseFresh(Source);
+    CallGraph CGOpt(*MOpt);
+    PtaOptions POpt;
+    POpt.Solver = SolverKind::Optimized;
+    PointerAnalysis PAOpt(*MOpt, CGOpt, POpt);
+    CallGraph CGRef(*MRef);
+    PtaOptions PRef;
+    PRef.Solver = SolverKind::NaiveReference;
+    PointerAnalysis PARef(*MRef, CGRef, PRef);
+    if (PAOpt.exhausted() || PARef.exhausted()) {
+      Diverge(OracleKind::SolverEquivalence,
+              "solver exhausted without a budget configured");
+    } else if (PAOpt.numLocations() != PARef.numLocations()) {
+      Diverge(OracleKind::SolverEquivalence,
+              "location count mismatch: optimized " +
+                  std::to_string(PAOpt.numLocations()) + " vs naive " +
+                  std::to_string(PARef.numLocations()));
+    } else {
+      for (const auto &FOpt : MOpt->functions()) {
+        const ir::Function *FRef = MRef->findFunction(FOpt->getName());
+        for (const auto &V : FOpt->variables()) {
+          const ir::Variable *VRef = FRef->findVariable(V->getName());
+          if (ptsNames(PAOpt, V.get()) != ptsNames(PARef, VRef)) {
+            Diverge(OracleKind::SolverEquivalence,
+                    "points-to mismatch for " + FOpt->getName() +
+                        "::" + V->getName());
+            break;
+          }
+        }
+      }
+    }
+
+    // Per-rung warning guarantees with the naive solver underneath. The
+    // optimized side already holds these via oracle 1, so agreement with
+    // the oracle here implies fast/naive warning equality per rung.
+    for (const VariantSemantics &VS : AllVariants) {
+      auto M = parseFresh(Source);
+      core::UsherOptions UOpts;
+      UOpts.Variant = VS.V;
+      UOpts.Pta.Solver = SolverKind::NaiveReference;
+      core::UsherResult R = core::runUsher(*M, UOpts);
+      ExecutionReport Rep =
+          Interpreter(*M, &R.Plan, runtime::CostModel(), ToolLimits).run();
+      if (Rep.Reason != ExitReason::Finished) {
+        Diverge(OracleKind::SolverEquivalence,
+                std::string(VS.Name) +
+                    " (naive): instrumented run did not finish");
+        continue;
+      }
+      std::string Err = checkWarnings(VS.V, warnIds(Rep.ToolWarnings), Oracle);
+      if (!Err.empty())
+        Diverge(OracleKind::SolverEquivalence,
+                std::string(VS.Name) + " (naive): " + Err);
+    }
+  }
+
+  // -- Oracle 3: static diagnosis soundness and must-precision -----------
+  if (Opts.CheckDiagnosis) {
+    Out.Checked[static_cast<unsigned>(OracleKind::DiagnosisSoundness)] = true;
+    auto M = parseFresh(Source);
+    core::UsherOptions UOpts;
+    UOpts.Variant = ToolVariant::UsherFull;
+    core::UsherResult R = core::runUsher(*M, UOpts);
+    // Conservative posture: no anchor hypotheses, so DEFINITE provably
+    // fires on every terminating run — required on arbitrary mutants,
+    // which need not exercise both directions of every branch.
+    core::DiagnosisOptions DOpts;
+    DOpts.AnchorPhis = false;
+    DOpts.AnchorCallFlows = false;
+    DOpts.AnchorExactAllocChis = false;
+    DOpts.AssumeFunctionCoverage = false;
+    core::StaticDiagnosis Diag(*R.PA, *R.CG, *R.G, DOpts);
+
+    std::map<uint32_t, core::Verdict> ByInst;
+    const auto &Uses = R.G->criticalUses();
+    const auto &Vs = Diag.report().UseVerdicts;
+    for (size_t Idx = 0; Idx != Uses.size(); ++Idx) {
+      auto [It, New] = ByInst.emplace(Uses[Idx].I->getId(), Vs[Idx]);
+      if (!New && static_cast<int>(Vs[Idx]) > static_cast<int>(It->second))
+        It->second = Vs[Idx];
+    }
+    for (uint32_t Id : Oracle) {
+      auto It = ByInst.find(Id);
+      if (It == ByInst.end())
+        Diverge(OracleKind::DiagnosisSoundness,
+                "oracle warning at inst#" + std::to_string(Id) +
+                    " is not a critical use");
+      else if (It->second == core::Verdict::Clean)
+        Diverge(OracleKind::DiagnosisSoundness,
+                "oracle warning at inst#" + std::to_string(Id) +
+                    " classified CLEAN");
+    }
+    for (const core::Finding &F : Diag.report().Findings) {
+      if (F.V != core::Verdict::Definite)
+        continue;
+      if (!Oracle.count(F.I->getId()))
+        Diverge(OracleKind::DiagnosisSoundness,
+                "DEFINITE at inst#" + std::to_string(F.I->getId()) +
+                    " never fired");
+      if (F.Witness.empty())
+        Diverge(OracleKind::DiagnosisSoundness,
+                "DEFINITE at inst#" + std::to_string(F.I->getId()) +
+                    " has no witness path");
+    }
+  }
+
+  // -- Oracle 4: degradation-ladder soundness under injected faults ------
+  if (Opts.CheckDegradation) {
+    Out.Checked[static_cast<unsigned>(OracleKind::DegradationSoundness)] =
+        true;
+    struct FaultCase {
+      BudgetPhase Phase;
+      ToolVariant Requested;
+      ToolVariant ExpectedRung;
+    };
+    const FaultCase Cases[] = {
+        {BudgetPhase::PointerAnalysis, ToolVariant::UsherFull,
+         ToolVariant::MSanFull},
+        {BudgetPhase::Definedness, ToolVariant::UsherFull,
+         ToolVariant::UsherTLAT},
+        {BudgetPhase::OptII, ToolVariant::UsherFull, ToolVariant::UsherOptI},
+        {BudgetPhase::OptI, ToolVariant::UsherOptI, ToolVariant::UsherTLAT},
+    };
+    for (const FaultCase &C : Cases) {
+      auto M = parseFresh(Source);
+      core::UsherOptions UOpts;
+      UOpts.Variant = C.Requested;
+      FaultPlan F;
+      F.Phase = C.Phase;
+      F.AtStep = 0;
+      UOpts.Fault = F;
+      core::UsherResult R = core::runUsher(*M, UOpts);
+      std::string Tag = std::string("fault ") + budgetPhaseName(C.Phase);
+      if (!R.Degradation.Degraded) {
+        Diverge(OracleKind::DegradationSoundness,
+                Tag + ": injected exhaustion did not degrade");
+        continue;
+      }
+      if (R.Degradation.Rung != C.ExpectedRung)
+        Diverge(OracleKind::DegradationSoundness,
+                Tag + ": landed on " +
+                    core::toolVariantName(R.Degradation.Rung) +
+                    ", expected " + core::toolVariantName(C.ExpectedRung));
+      ExecutionReport Rep =
+          Interpreter(*M, &R.Plan, runtime::CostModel(), ToolLimits).run();
+      if (Rep.Reason != ExitReason::Finished) {
+        Diverge(OracleKind::DegradationSoundness,
+                Tag + ": degraded run did not finish");
+        continue;
+      }
+      if (Rep.MainResult != Native.MainResult)
+        Diverge(OracleKind::DegradationSoundness,
+                Tag + ": degraded instrumentation changed main's result");
+      // Every landing rung has exact-match semantics: the driver never
+      // strands a run on a half-applied Opt II.
+      if (warnIds(Rep.ToolWarnings) != Oracle)
+        Diverge(OracleKind::DegradationSoundness,
+                Tag + ": " +
+                    describeSetDiff(warnIds(Rep.ToolWarnings), Oracle));
+    }
+  }
+
+  return Out;
+}

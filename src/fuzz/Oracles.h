@@ -1,0 +1,103 @@
+//===- fuzz/Oracles.h - Differential oracles over one program ---*- C++ -*-===//
+//
+// Part of the Usher project, reproducing "Accelerating Dynamic Detection of
+// Uses of Undefined Values with Static Value-Flow Analysis" (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The four differential oracles the fuzzer evaluates on every valid
+/// input, each reusing an existing piece of the project's verification
+/// infrastructure:
+///
+///  1. VariantEquivalence — every ToolVariant's instrumented run must
+///     preserve semantics (same main result, same termination) and report
+///     the shadow interpreter's ground-truth warnings: exactly for
+///     MSanFull / UsherTL / UsherTLAT / UsherOptI, and as a non-empty-iff
+///     subset for UsherFull (Opt II suppresses dominated duplicates only).
+///  2. SolverEquivalence — the naive reference Andersen solver must
+///     produce the optimized engine's points-to sets, and plans built on
+///     it must keep the per-rung warning guarantees at every rung of the
+///     ladder.
+///  3. DiagnosisSoundness — the static diagnosis engine, run in its
+///     conservative posture, must classify no oracle warning CLEAN and
+///     every DEFINITE finding must fire at runtime with a witness.
+///  4. DegradationSoundness — injected budget exhaustion in each pipeline
+///     phase must land on the documented rung and keep the plan's
+///     warnings exact.
+///
+/// Programs are interchanged as TinyC source text; each pipeline run
+/// parses its own fresh module because heap cloning mutates modules, and
+/// results are compared by instruction id (renumbering makes ids stable
+/// across parses of the same text).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef USHER_FUZZ_ORACLES_H
+#define USHER_FUZZ_ORACLES_H
+
+#include "fuzz/Coverage.h"
+#include "runtime/Interpreter.h"
+
+#include <string>
+#include <vector>
+
+namespace usher {
+namespace fuzz {
+
+enum class OracleKind : uint8_t {
+  VariantEquivalence,
+  SolverEquivalence,
+  DiagnosisSoundness,
+  DegradationSoundness,
+};
+
+constexpr unsigned NumOracleKinds = 4;
+
+/// Stable lower-case name used in reports and JSON
+/// ("variant-equivalence", "solver-equivalence", ...).
+const char *oracleKindName(OracleKind K);
+
+/// One oracle violation. Detail strings are deterministic functions of
+/// the program (instruction ids, variable names — never addresses).
+struct Divergence {
+  OracleKind Oracle;
+  std::string Detail;
+};
+
+/// Which oracles to evaluate and under what execution limits.
+struct OracleOptions {
+  bool CheckVariants = true;
+  bool CheckSolver = true;
+  bool CheckDiagnosis = true;
+  bool CheckDegradation = true;
+  /// Applied to every interpreter run. Mutants can manufacture infinite
+  /// loops, so the default step budget is far below the interpreter's.
+  uint64_t MaxSteps = 2'000'000;
+};
+
+/// Everything one program's oracle evaluation produced.
+struct OracleOutcome {
+  /// Parsed, verified, and ran trap-free to completion natively. Invalid
+  /// inputs are not counted against any oracle.
+  bool Valid = false;
+  std::string InvalidReason;
+
+  std::vector<Divergence> Divergences;
+  /// Coverage fingerprint (populated only for valid inputs).
+  FeatureSet Features;
+  /// Which oracles actually ran, indexed by OracleKind.
+  bool Checked[NumOracleKinds] = {false, false, false, false};
+
+  int64_t MainResult = 0;
+  uint64_t NumOracleWarnings = 0;
+};
+
+/// Parses \p Source and evaluates the enabled oracles on it.
+OracleOutcome runOracles(const std::string &Source,
+                         const OracleOptions &Opts = OracleOptions());
+
+} // namespace fuzz
+} // namespace usher
+
+#endif // USHER_FUZZ_ORACLES_H

@@ -283,6 +283,9 @@ bool Interpreter::Impl::runOps(const std::vector<ShadowOp> &Ops, Frame &F,
 bool Interpreter::Impl::pushFrame(const Function *Fn) {
   if (Frames.size() >= Limits.MaxCallDepth)
     return trap("call depth limit exceeded");
+  if (Limits.CollectCoverage &&
+      Frames.size() + 1 > Report.MaxFrameDepth)
+    Report.MaxFrameDepth = static_cast<uint32_t>(Frames.size() + 1);
   Frames.emplace_back();
   Frame &F = Frames.back();
   F.Fn = Fn;
@@ -420,16 +423,23 @@ bool Interpreter::Impl::step() {
       warnOracle(I);
     Value Cond = evalOperand(F, B->getCond());
     bool Taken = Cond.IsPtr || Cond.Int != 0;
-    F.Block = (Taken ? B->getTrueBB() : B->getFalseBB())->getId();
+    uint32_t Target = (Taken ? B->getTrueBB() : B->getFalseBB())->getId();
+    if (Limits.CollectCoverage)
+      ++Report.EdgeHits[edgeKey(F.Fn->getId(), F.Block, Target)];
+    F.Block = Target;
     F.Index = 0;
     Advance = false;
     break;
   }
-  case Instruction::IKind::Goto:
-    F.Block = cast<GotoInst>(I)->getTarget()->getId();
+  case Instruction::IKind::Goto: {
+    uint32_t Target = cast<GotoInst>(I)->getTarget()->getId();
+    if (Limits.CollectCoverage)
+      ++Report.EdgeHits[edgeKey(F.Fn->getId(), F.Block, Target)];
+    F.Block = Target;
     F.Index = 0;
     Advance = false;
     break;
+  }
   case Instruction::IKind::Ret: {
     const auto *R = cast<RetInst>(I);
     if (R->getValue().isNone()) {

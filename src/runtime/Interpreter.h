@@ -28,6 +28,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 namespace usher {
@@ -45,7 +46,21 @@ struct ExecLimits {
   uint64_t MaxSteps = 200'000'000;
   uint32_t MaxCallDepth = 4096;
   uint32_t MaxInstances = 4'000'000;
+  /// Record executed control-flow edges and the peak frame depth in the
+  /// report (ExecutionReport::EdgeHits / MaxFrameDepth). Off by default:
+  /// the counters are cheap but not free, and only the fuzzer's coverage
+  /// scheduler needs them.
+  bool CollectCoverage = false;
 };
+
+/// Stable 64-bit key for one executed control-flow edge: the function's
+/// module id plus the source and target block ids (valid after
+/// Module::renumber(), which both the parser and generator guarantee).
+inline uint64_t edgeKey(uint32_t FnId, uint32_t FromBlock, uint32_t ToBlock) {
+  return (static_cast<uint64_t>(FnId) << 40) |
+         (static_cast<uint64_t>(FromBlock) << 20) |
+         static_cast<uint64_t>(ToBlock);
+}
 
 /// A deduplicated runtime warning ("use of undefined value").
 struct Warning {
@@ -69,6 +84,13 @@ struct ExecutionReport {
   std::vector<Warning> ToolWarnings;
   /// Ground-truth warnings: undefined values used at critical operations.
   std::vector<Warning> OracleWarnings;
+
+  /// Executed control-flow edges (branch/goto transfers), keyed by
+  /// edgeKey(); populated only with ExecLimits::CollectCoverage.
+  std::unordered_map<uint64_t, uint64_t> EdgeHits;
+  /// Deepest call stack reached (frames alive at once); only with
+  /// ExecLimits::CollectCoverage.
+  uint32_t MaxFrameDepth = 0;
 
   /// Modeled slowdown over native execution, in percent (the unit of
   /// Figure 10). Zero when no plan was executed.

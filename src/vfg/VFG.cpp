@@ -42,6 +42,13 @@ uint32_t VFG::findNode(const Function *Fn, VarKey Key,
   return It == NodeIds.end() ? ~0u : It->second;
 }
 
+uint32_t VFG::originMask() const {
+  uint32_t Mask = 0;
+  for (NodeOrigin O : Origins)
+    Mask |= 1u << static_cast<unsigned>(O);
+  return Mask;
+}
+
 UpdateKind VFG::storeUpdateKind(const Instruction *I, uint32_t Loc) const {
   uint64_t Key = (static_cast<uint64_t>(I->getId()) << 32) | Loc;
   auto It = StoreKinds.find(Key);

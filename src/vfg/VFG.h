@@ -160,6 +160,12 @@ public:
   uint64_t numWeakStoreChis() const { return NumWeak; }
   uint64_t numEdges() const { return NumEdges; }
 
+  /// Coverage hook for the fuzzer's analysis-feature scheduler: a bitmask
+  /// with bit static_cast<unsigned>(O) set for every NodeOrigin kind this
+  /// graph contains. Which node kinds a program manufactures is a cheap,
+  /// stable fingerprint of the VFG construction paths it exercised.
+  uint32_t originMask() const;
+
   /// Per-node verdict for the annotated dot dump. Passed in by the caller
   /// (vfg cannot depend on core's Definedness/StaticDiagnosis types).
   enum class DotVerdict : uint8_t { None, Clean, May, Definite };

@@ -12,7 +12,9 @@
 #include "ir/Verifier.h"
 #include "support/RNG.h"
 
+#include <algorithm>
 #include <cassert>
+#include <cctype>
 #include <string>
 #include <vector>
 
@@ -91,6 +93,8 @@ private:
   void emitStraightStmt();
   void emitAlloc(bool ForceHeap = false);
   void emitGuardedDeref(const VarInfo &P);
+  void emitNestedFieldChain();
+  void emitPointerWalkLoop();
   void emitSegment(unsigned Depth);
   void emitBody(const FnPlan &Plan);
   void emitWrapperBody(const FnPlan &Plan);
@@ -193,6 +197,79 @@ void Generator::emitGuardedDeref(const VarInfo &P) {
   } else {
     defineInt(X, /*MaybeUndef=*/true);
   }
+}
+
+void Generator::emitNestedFieldChain() {
+  // Descend a pointer-slot chain: gep the slot, store a fresh pointee so
+  // the reload is non-null, reload, and gep the *loaded* base again. The
+  // final field access sits on a base the VFG can only reach through
+  // LoadDef nodes — a value-flow pattern the other emitters never build.
+  unsigned ShapeIdx = 2; // Two pointer levels: guarantees >= 1 descent.
+  Variable *Base = ensureObjPtr(ShapeIdx)->V;
+  while (Shapes[ShapeIdx].PtrSlot >= 0) {
+    const struct Shape &S = Shapes[ShapeIdx];
+    unsigned Pointee = S.Pointee;
+    Variable *Slot = freshVar("nf");
+    B.createFieldAddr(Slot, Operand::var(Base),
+                      static_cast<unsigned>(S.PtrSlot));
+    definePtr(Slot, PtrKind::PtrCell, Pointee, false);
+    Variable *Inner = ensureObjPtr(Pointee)->V;
+    B.createStore(Operand::var(Slot), Operand::var(Inner));
+    Variable *Loaded = freshVar("nl");
+    B.createLoad(Loaded, Operand::var(Slot));
+    // The store above dominates the load with nothing in between: the
+    // loaded pointer is the just-stored base and needs no null guard.
+    definePtr(Loaded, PtrKind::ObjBase, Pointee, false);
+    Base = Loaded;
+    ShapeIdx = Pointee;
+    if (!Rng.chance(70))
+      break;
+  }
+  Variable *FieldP = freshVar("ni");
+  B.createFieldAddr(FieldP, Operand::var(Base), 0u); // Field 0: always int.
+  definePtr(FieldP, PtrKind::IntCell, 0, false);
+  Variable *X = freshVar("nx");
+  B.createLoad(X, Operand::var(FieldP));
+  defineInt(X, /*MaybeUndef=*/true);
+}
+
+void Generator::emitPointerWalkLoop() {
+  // A counter-bounded loop whose body advances a pointer through an
+  // array: `x = *p; p = gep p, 1;`. The induction pointer is reassigned
+  // every iteration, so it stays out of the pool — other emitters must
+  // not capture a mid-walk value.
+  int64_t Trip =
+      Rng.range(2, std::max<int64_t>(2, static_cast<int64_t>(Opts.MaxLoopTrip)));
+  Variable *P = freshVar("wp");
+  bool Uninit = Rng.chance(Opts.UninitAllocPercent);
+  B.createAlloc(P, Rng.chance(50) ? Region::Heap : Region::Stack,
+                static_cast<unsigned>(Trip + 1), !Uninit, /*IsArray=*/true,
+                "walk" + std::to_string(ObjCounter++));
+  Variable *I = freshVar("wi");
+  B.createCopy(I, Operand::constant(0));
+  defineInt(I, false);
+  BasicBlock *HeaderBB = newBlock("whead");
+  BasicBlock *BodyBB = newBlock("wbody");
+  BasicBlock *ExitBB = newBlock("wexit");
+  B.createGoto(HeaderBB);
+  B.setInsertPoint(HeaderBB);
+  Variable *C = freshVar("wc");
+  B.createBinOp(C, BinOpcode::CmpLT, Operand::var(I),
+                Operand::constant(Trip));
+  defineInt(C, false);
+  B.createCondBr(Operand::var(C), BodyBB, ExitBB);
+  B.setInsertPoint(BodyBB);
+  Variable *X = freshVar("wx");
+  B.createLoad(X, Operand::var(P));
+  if (Rng.chance(50))
+    B.createStore(Operand::var(P), intOperand());
+  B.createFieldAddr(P, Operand::var(P), 1u);
+  B.createBinOp(I, BinOpcode::Add, Operand::var(I), Operand::constant(1));
+  B.createGoto(HeaderBB);
+  B.setInsertPoint(ExitBB);
+  // Trip >= 2, so the body always ran and X holds the last cell read —
+  // undefined whenever the array was allocated uninitialized.
+  defineInt(X, /*MaybeUndef=*/true);
 }
 
 void Generator::emitStraightStmt() {
@@ -352,15 +429,27 @@ void Generator::emitCall(bool WantResult) {
   B.createCall(Def, Callee.F, std::move(Args));
   if (!Def)
     return;
-  if (Callee.RetShape >= 0)
+  if (Callee.RetShape >= 0) {
     definePtr(Def, PtrKind::ObjBase, static_cast<unsigned>(Callee.RetShape),
               false);
-  else
+    if (Opts.CallResultFieldAccess && Rng.chance(50)) {
+      // Field access straight off the call result: the gep's base is a
+      // CallResult node, so the address flows out of the callee's VFG.
+      Variable *FieldP = freshVar("cf");
+      B.createFieldAddr(FieldP, Operand::var(Def), 0u);
+      definePtr(FieldP, PtrKind::IntCell, 0, false);
+      Variable *X = freshVar("cx");
+      B.createLoad(X, Operand::var(FieldP));
+      defineInt(X, /*MaybeUndef=*/true);
+    }
+  } else {
     defineInt(Def, false);
+  }
 }
 
 void Generator::emitSegment(unsigned Depth) {
-  unsigned Kind = static_cast<unsigned>(Rng.below(Depth < 2 ? 4 : 2));
+  unsigned NumKinds = Depth < 2 ? (Opts.PointerInductionLoops ? 5u : 4u) : 2u;
+  unsigned Kind = static_cast<unsigned>(Rng.below(NumKinds));
   switch (Kind) {
   case 0:
   case 1: { // Straight-line statements, with occasional calls.
@@ -369,6 +458,8 @@ void Generator::emitSegment(unsigned Depth) {
     for (unsigned I = 0; I != N; ++I) {
       if (Rng.chance(12))
         emitCall(Rng.chance(70));
+      else if (Opts.NestedFieldChains && Rng.chance(8))
+        emitNestedFieldChain();
       else
         emitStraightStmt();
     }
@@ -434,6 +525,9 @@ void Generator::emitSegment(unsigned Depth) {
     B.setInsertPoint(ExitBB);
     break;
   }
+  case 4:
+    emitPointerWalkLoop();
+    break;
   }
 }
 
@@ -552,4 +646,358 @@ std::unique_ptr<Module> Generator::run() {
 std::unique_ptr<Module> workload::generateProgram(uint64_t Seed,
                                                   GeneratorOptions Opts) {
   return Generator(Seed, Opts).run();
+}
+
+//===----------------------------------------------------------------------===//
+// Text-level mutation API
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+std::string stripComment(const std::string &Line) {
+  size_t Pos = Line.find("//");
+  return Pos == std::string::npos ? Line : Line.substr(0, Pos);
+}
+
+std::string trimmedStmt(const std::string &Line) {
+  std::string S = stripComment(Line);
+  size_t Begin = S.find_first_not_of(" \t");
+  if (Begin == std::string::npos)
+    return "";
+  size_t End = S.find_last_not_of(" \t");
+  return S.substr(Begin, End - Begin + 1);
+}
+
+std::vector<std::string> splitLines(const std::string &Source) {
+  std::vector<std::string> Lines;
+  std::string Cur;
+  for (char C : Source) {
+    if (C == '\n') {
+      Lines.push_back(Cur);
+      Cur.clear();
+    } else {
+      Cur += C;
+    }
+  }
+  if (!Cur.empty())
+    Lines.push_back(Cur);
+  return Lines;
+}
+
+std::string joinLines(const std::vector<std::string> &Lines) {
+  std::string Out;
+  for (const std::string &L : Lines) {
+    Out += L;
+    Out += '\n';
+  }
+  return Out;
+}
+
+/// A statement line: ends in ';' and is not a declaration. Terminators
+/// (goto / if / ret) count; mutations that break a block's structure
+/// produce invalid mutants the caller's validity filter discards.
+bool isStmtLine(const std::string &Line) {
+  std::string T = trimmedStmt(Line);
+  return !T.empty() && T.back() == ';' && T.rfind("var ", 0) != 0 &&
+         T.rfind("global ", 0) != 0;
+}
+
+std::vector<size_t> stmtIndexes(const std::vector<std::string> &Lines) {
+  std::vector<size_t> Stmts;
+  for (size_t I = 0; I != Lines.size(); ++I)
+    if (isStmtLine(Lines[I]))
+      Stmts.push_back(I);
+  return Stmts;
+}
+
+/// Body line ranges [Begin, End) between each `func ... {` header and its
+/// closing `}` (both at the printer's fixed layout).
+struct FnRange {
+  size_t Begin, End;
+};
+
+std::vector<FnRange> functionRanges(const std::vector<std::string> &Lines) {
+  std::vector<FnRange> Ranges;
+  size_t Start = 0;
+  bool In = false;
+  for (size_t I = 0; I != Lines.size(); ++I) {
+    std::string T = trimmedStmt(Lines[I]);
+    if (!In && T.rfind("func ", 0) == 0 && !T.empty() && T.back() == '{') {
+      In = true;
+      Start = I + 1;
+    } else if (In && T == "}") {
+      Ranges.push_back({Start, I});
+      In = false;
+    }
+  }
+  return Ranges;
+}
+
+bool isIdentChar(char C) {
+  return std::isalnum(static_cast<unsigned char>(C)) || C == '_';
+}
+
+bool isTinyCKeyword(const std::string &T) {
+  static const char *Keywords[] = {"alloc",  "stack", "heap", "init",
+                                   "uninit", "array", "gep",  "goto",
+                                   "if",     "ret",   "var",  "func",
+                                   "global"};
+  for (const char *K : Keywords)
+    if (T == K)
+      return true;
+  return false;
+}
+
+/// Identifier tokens of \p Line that can be variable references: skips
+/// keywords and call callees (tokens directly followed by '(').
+std::vector<std::string> identTokens(const std::string &Line) {
+  std::string S = stripComment(Line);
+  std::vector<std::string> Out;
+  for (size_t I = 0; I != S.size();) {
+    if (std::isalpha(static_cast<unsigned char>(S[I])) || S[I] == '_') {
+      size_t J = I;
+      while (J != S.size() && isIdentChar(S[J]))
+        ++J;
+      std::string Tok = S.substr(I, J - I);
+      size_t K = J;
+      while (K != S.size() && S[K] == ' ')
+        ++K;
+      bool IsCallee = K != S.size() && S[K] == '(';
+      if (!isTinyCKeyword(Tok) && !IsCallee)
+        Out.push_back(Tok);
+      I = J;
+    } else {
+      ++I;
+    }
+  }
+  return Out;
+}
+
+} // namespace
+
+std::string workload::mutateProgram(const std::string &Source, uint64_t Seed,
+                                    MutationOptions MOpts) {
+  RNG Rng(Seed);
+  std::vector<std::string> Lines = splitLines(Source);
+  unsigned Count = 1 + static_cast<unsigned>(
+                           Rng.below(std::max(1u, MOpts.MaxMutations)));
+  for (unsigned K = 0; K != Count; ++K) {
+    std::vector<size_t> Stmts = stmtIndexes(Lines);
+    if (Stmts.empty())
+      break;
+    switch (Rng.below(6)) {
+    case 0: { // Delete a statement (returns stay: every path needs one).
+      size_t Idx = Stmts[Rng.below(Stmts.size())];
+      if (trimmedStmt(Lines[Idx]).rfind("ret", 0) != 0)
+        Lines.erase(Lines.begin() + static_cast<std::ptrdiff_t>(Idx));
+      break;
+    }
+    case 1: { // Duplicate a statement onto another statement position.
+      size_t From = Stmts[Rng.below(Stmts.size())];
+      size_t To = Stmts[Rng.below(Stmts.size())];
+      std::string Copy = Lines[From];
+      Lines.insert(Lines.begin() + static_cast<std::ptrdiff_t>(To),
+                   std::move(Copy));
+      break;
+    }
+    case 2: { // Swap two textually adjacent statements.
+      if (Stmts.size() < 2)
+        break;
+      size_t I = Rng.below(Stmts.size() - 1);
+      std::swap(Lines[Stmts[I]], Lines[Stmts[I + 1]]);
+      break;
+    }
+    case 3: { // Flip an allocation or global initializer.
+      std::vector<size_t> Cands;
+      for (size_t I = 0; I != Lines.size(); ++I) {
+        std::string T = stripComment(Lines[I]);
+        if (T.find(" uninit") != std::string::npos ||
+            T.find(" init") != std::string::npos)
+          Cands.push_back(I);
+      }
+      if (Cands.empty())
+        break;
+      std::string &L = Lines[Cands[Rng.below(Cands.size())]];
+      size_t Pos = L.find(" uninit");
+      if (Pos != std::string::npos) {
+        L.replace(Pos, 7, " init");
+      } else if ((Pos = L.find(" init")) != std::string::npos) {
+        L.replace(Pos, 5, " uninit");
+      }
+      break;
+    }
+    case 4: { // Perturb an integer literal.
+      size_t Idx = Stmts[Rng.below(Stmts.size())];
+      std::string S = stripComment(Lines[Idx]);
+      std::vector<std::pair<size_t, size_t>> Runs; // (pos, len)
+      for (size_t I = 0; I != S.size();) {
+        if (std::isdigit(static_cast<unsigned char>(S[I]))) {
+          size_t J = I;
+          while (J != S.size() &&
+                 std::isdigit(static_cast<unsigned char>(S[J])))
+            ++J;
+          // Skip digits glued to an identifier (the 3 of "then3").
+          if (I == 0 || !isIdentChar(S[I - 1]))
+            Runs.push_back({I, J - I});
+          I = J;
+        } else {
+          ++I;
+        }
+      }
+      if (Runs.empty())
+        break;
+      auto [Pos, Len] = Runs[Rng.below(Runs.size())];
+      static const int64_t Pool[] = {0, 1, 2, 3, 7, 63};
+      S.replace(Pos, Len, std::to_string(Pool[Rng.below(std::size(Pool))]));
+      Lines[Idx] = S;
+      break;
+    }
+    case 5: { // Re-assign an existing variable with a constant: overwrites
+              // shift definedness without changing the program's shape.
+      std::vector<size_t> Defs;
+      for (size_t I : Stmts) {
+        std::string T = trimmedStmt(Lines[I]);
+        size_t Eq = T.find(" = ");
+        if (Eq == std::string::npos || T[0] == '*')
+          continue;
+        std::string Name = T.substr(0, Eq);
+        if (!Name.empty() &&
+            std::all_of(Name.begin(), Name.end(), isIdentChar) &&
+            !isTinyCKeyword(Name))
+          Defs.push_back(I);
+      }
+      if (Defs.empty())
+        break;
+      size_t Idx = Defs[Rng.below(Defs.size())];
+      std::string T = trimmedStmt(Lines[Idx]);
+      std::string Name = T.substr(0, T.find(" = "));
+      Lines.insert(Lines.begin() + static_cast<std::ptrdiff_t>(Idx) + 1,
+                   "  " + Name + " = " + std::to_string(Rng.range(-4, 99)) +
+                       ";");
+      break;
+    }
+    }
+  }
+  return joinLines(Lines);
+}
+
+std::string workload::spliceProgram(const std::string &Receiver,
+                                    const std::string &Donor, uint64_t Seed) {
+  RNG Rng(Seed);
+  std::vector<std::string> RLines = splitLines(Receiver);
+  std::vector<std::string> DLines = splitLines(Donor);
+
+  // Donor candidates: plain statements only. Control flow would dangle
+  // (labels don't travel) and calls rarely match the receiver's function
+  // signatures, so both are excluded up front instead of being generated
+  // and thrown away by the caller's validity filter.
+  auto IsSpliceable = [&](size_t I) {
+    if (!isStmtLine(DLines[I]))
+      return false;
+    std::string T = trimmedStmt(DLines[I]);
+    return T.find("goto") == std::string::npos && T.rfind("ret", 0) != 0 &&
+           T.find('(') == std::string::npos;
+  };
+  std::vector<size_t> Cands;
+  for (size_t I = 0; I != DLines.size(); ++I)
+    if (IsSpliceable(I))
+      Cands.push_back(I);
+  if (Cands.empty())
+    return Receiver;
+
+  // A contiguous run of 1..4 spliceable lines, re-indented, locs dropped.
+  size_t Start = Cands[Rng.below(Cands.size())];
+  size_t MaxLen = 1 + Rng.below(4);
+  std::vector<std::string> Run;
+  std::vector<std::string> Used;
+  for (size_t I = Start; I != DLines.size() && Run.size() < MaxLen; ++I) {
+    if (!IsSpliceable(I))
+      break;
+    Run.push_back("  " + trimmedStmt(DLines[I]));
+    for (std::string &Tok : identTokens(DLines[I]))
+      Used.push_back(std::move(Tok));
+  }
+
+  // Insert after a random statement of a random receiver function (after
+  // a statement == inside a block, so no label bookkeeping is needed).
+  std::vector<FnRange> Ranges = functionRanges(RLines);
+  if (Ranges.empty())
+    return Receiver;
+  FnRange R = Ranges[Rng.below(Ranges.size())];
+  std::vector<size_t> RStmts;
+  for (size_t I = R.Begin; I != R.End; ++I)
+    if (isStmtLine(RLines[I]))
+      RStmts.push_back(I);
+  if (RStmts.empty())
+    return Receiver;
+  size_t At = RStmts[Rng.below(RStmts.size())];
+
+  // Names already visible at the insertion point: the function's params
+  // (header line), its `var` line, and the globals.
+  std::vector<std::string> Declared;
+  if (R.Begin > 0)
+    for (std::string &Tok : identTokens(RLines[R.Begin - 1]))
+      Declared.push_back(std::move(Tok));
+  size_t VarLine = ~size_t(0);
+  for (size_t I = R.Begin; I != R.End; ++I)
+    if (trimmedStmt(RLines[I]).rfind("var ", 0) == 0) {
+      VarLine = I;
+      for (std::string &Tok : identTokens(RLines[I]))
+        Declared.push_back(std::move(Tok));
+      break;
+    }
+  for (const std::string &L : RLines) {
+    if (trimmedStmt(L).rfind("global ", 0) != 0)
+      continue;
+    for (std::string &Tok : identTokens(L))
+      Declared.push_back(std::move(Tok));
+  }
+  std::vector<std::string> Missing;
+  for (const std::string &Name : Used)
+    if (std::find(Declared.begin(), Declared.end(), Name) == Declared.end() &&
+        std::find(Missing.begin(), Missing.end(), Name) == Missing.end())
+      Missing.push_back(Name);
+
+  RLines.insert(RLines.begin() + static_cast<std::ptrdiff_t>(At) + 1,
+                Run.begin(), Run.end());
+  if (!Missing.empty()) {
+    std::string Decl;
+    for (const std::string &Name : Missing)
+      Decl += ", " + Name;
+    if (VarLine != ~size_t(0)) {
+      size_t Semi = RLines[VarLine].rfind(';');
+      if (Semi != std::string::npos)
+        RLines[VarLine].insert(Semi, Decl);
+    } else {
+      // "  var a, b;" from ", a, b".
+      RLines.insert(RLines.begin() + static_cast<std::ptrdiff_t>(R.Begin),
+                    "  var " + Decl.substr(2) + ";");
+    }
+  }
+  return joinLines(RLines);
+}
+
+std::string workload::wrapMainInCall(const std::string &Source) {
+  std::vector<std::string> Lines = splitLines(Source);
+  size_t HeaderIdx = ~size_t(0);
+  for (size_t I = 0; I != Lines.size(); ++I)
+    if (trimmedStmt(Lines[I]).rfind("func main(", 0) == 0) {
+      HeaderIdx = I;
+      break;
+    }
+  if (HeaderIdx == ~size_t(0))
+    return "";
+  std::string Name = "um_wrap";
+  for (unsigned N = 0; Source.find(Name) != std::string::npos; ++N)
+    Name = "um_wrap" + std::to_string(N);
+  size_t Pos = Lines[HeaderIdx].find("main");
+  Lines[HeaderIdx].replace(Pos, 4, Name);
+  Lines.push_back("");
+  Lines.push_back("func main() {");
+  Lines.push_back("  var wret;");
+  Lines.push_back("entry:");
+  Lines.push_back("  wret = " + Name + "();");
+  Lines.push_back("  ret wret;");
+  Lines.push_back("}");
+  return joinLines(Lines);
 }

@@ -28,6 +28,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 
 namespace usher {
 namespace ir {
@@ -46,11 +47,57 @@ struct GeneratorOptions {
   unsigned UninitAllocPercent = 45;
   /// Percentage of statements that read a possibly-undefined variable.
   unsigned UndefUsePercent = 12;
+  /// Emit multi-level field chains: gep through a pointer slot, store a
+  /// fresh pointee, reload it and gep the *loaded* base again.
+  bool NestedFieldChains = true;
+  /// Emit counter-bounded loops that advance a pointer through an array
+  /// (`x = *p; p = gep p, 1;` — pointer induction).
+  bool PointerInductionLoops = true;
+  /// Follow pointer-returning calls with a field access on the result
+  /// (`r = f(); q = gep r, 0; x = *q;`).
+  bool CallResultFieldAccess = true;
 };
 
 /// Generates a verified, renumbered module from \p Seed.
 std::unique_ptr<ir::Module>
 generateProgram(uint64_t Seed, GeneratorOptions Opts = GeneratorOptions());
+
+//===--------------------------------------------------------------------===//
+// Text-level mutation API (the fuzzer's input scheduler)
+//===--------------------------------------------------------------------===//
+//
+// Mutations operate on TinyC *source text*: the printer and parser
+// round-trip, statement lines are self-delimiting (they end in ';'), and
+// text splices compose across programs in a way in-memory IR cannot.
+// Mutants are only syntactically plausible — callers must re-parse,
+// verify and natively execute each one, discarding failures
+// (generate-and-filter, as in Csmith-style fuzzing). All entry points are
+// deterministic functions of their arguments.
+
+/// Knobs for mutateProgram.
+struct MutationOptions {
+  /// 1..MaxMutations point mutations are applied per call.
+  unsigned MaxMutations = 3;
+};
+
+/// Applies a random batch of statement-level mutations to \p Source:
+/// delete / duplicate / swap statement lines, flip `init` <-> `uninit` on
+/// allocations and globals, perturb integer literals, and insert
+/// redefinitions of existing variables.
+std::string mutateProgram(const std::string &Source, uint64_t Seed,
+                          MutationOptions Opts = MutationOptions());
+
+/// Splices a short contiguous run of statements from \p Donor into a
+/// function of \p Receiver, declaring any donor-only names in the
+/// receiver's `var` line (they start undefined there — which is exactly
+/// the kind of value flow worth fuzzing).
+std::string spliceProgram(const std::string &Receiver,
+                          const std::string &Donor, uint64_t Seed);
+
+/// Renames `main` to a fresh wrapper name and appends a new `main` that
+/// calls it, growing every interprocedural analysis context and the
+/// dynamic call depth by one. Returns "" if \p Source has no main.
+std::string wrapMainInCall(const std::string &Source);
 
 } // namespace workload
 } // namespace usher

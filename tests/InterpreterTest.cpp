@@ -308,6 +308,45 @@ TEST(Oracle, WarningsCountOccurrences) {
   EXPECT_EQ(R.OracleWarnings[0].Occurrences, 5u);
 }
 
+TEST(Oracle, WarningInstructionsOutliveTheHelper) {
+  // Regression for the Warning::At dangling-pointer pattern: runNative
+  // parks the parsed module in a static slot precisely so callers can
+  // dereference warning instructions after it returns. The contract is
+  // one live module at a time — capture everything needed from a report
+  // before the next runNative call replaces the module it points into.
+  const char *Src = R"(
+    func main() {
+      z = 0;
+      if z goto setit;
+      goto use;
+    setit:
+      u = 1;
+    use:
+      if u goto a;
+      ret 0;
+    a:
+      ret 1;
+    }
+  )";
+  ExecutionReport A = runNative(Src);
+  ASSERT_EQ(A.OracleWarnings.size(), 1u);
+  const ir::Instruction *At = A.OracleWarnings[0].At;
+  ASSERT_NE(At, nullptr);
+  EXPECT_TRUE(isa<ir::CondBrInst>(At));
+  uint32_t Id = At->getId();
+  unsigned Line = At->getLoc().Line;
+  EXPECT_GT(Line, 0u);
+
+  // Re-running the helper frees the first module. The captured *values*
+  // stay valid and — because renumbering is parse-stable — identify the
+  // same instruction in the new parse; the old pointer does not.
+  ExecutionReport B = runNative(Src);
+  ASSERT_EQ(B.OracleWarnings.size(), 1u);
+  EXPECT_EQ(B.OracleWarnings[0].At->getId(), Id)
+      << "instruction ids are the cross-parse comparison key";
+  EXPECT_EQ(B.OracleWarnings[0].At->getLoc().Line, Line);
+}
+
 //===----------------------------------------------------------------------===//
 // Instrumented execution mechanics
 //===----------------------------------------------------------------------===//

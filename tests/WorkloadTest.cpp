@@ -17,6 +17,8 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
+
 using namespace usher;
 using runtime::ExecutionReport;
 using runtime::ExitReason;
@@ -109,6 +111,76 @@ TEST(Generator, OptionsControlShape) {
   EXPECT_LT(MSmall->instructionCount(), MBig->instructionCount());
   EXPECT_EQ(MSmall->functions().size(), 2u); // f0 + main.
   EXPECT_EQ(MBig->functions().size(), 13u);
+}
+
+//===----------------------------------------------------------------------===//
+// Construct coverage: the pointer-flow shapes the fuzzer needs
+//===----------------------------------------------------------------------===//
+
+struct ConstructCounts {
+  unsigned NestedChainGeps = 0; ///< gep whose base was just load-defined.
+  unsigned InductionGeps = 0;   ///< gep whose def equals its base (p = gep p).
+  unsigned CallResultGeps = 0;  ///< gep whose base was just call-defined.
+};
+
+/// Classifies every gep in \p M by what last defined its base variable, in
+/// emission order — the structural signatures of the generator's nested
+/// field chains, pointer-induction loops, and call-result field accesses.
+ConstructCounts countConstructs(const ir::Module &M) {
+  ConstructCounts C;
+  for (const auto &F : M.functions()) {
+    std::map<const ir::Variable *, ir::Instruction::IKind> LastDef;
+    for (const auto &BB : F->blocks())
+      for (const auto &I : BB->instructions()) {
+        if (const auto *G = dyn_cast<ir::FieldAddrInst>(I.get());
+            G && G->getBase().isVar()) {
+          const ir::Variable *Base = G->getBase().getVar();
+          auto It = LastDef.find(Base);
+          if (G->getDef() == Base)
+            ++C.InductionGeps;
+          else if (It != LastDef.end() &&
+                   It->second == ir::Instruction::IKind::Load)
+            ++C.NestedChainGeps;
+          else if (It != LastDef.end() &&
+                   It->second == ir::Instruction::IKind::Call)
+            ++C.CallResultGeps;
+        }
+        if (I->getDef())
+          LastDef[I->getDef()] = I->getKind();
+      }
+  }
+  return C;
+}
+
+TEST(Generator, EmitsAllPointerFlowConstructsOverASeedSweep) {
+  ConstructCounts Total;
+  for (uint64_t Seed = 0; Seed != 40; ++Seed) {
+    ConstructCounts C = countConstructs(*workload::generateProgram(Seed));
+    Total.NestedChainGeps += C.NestedChainGeps;
+    Total.InductionGeps += C.InductionGeps;
+    Total.CallResultGeps += C.CallResultGeps;
+  }
+  // Each construct stresses a distinct analysis path (multi-level field
+  // flow, array summaries under pointer induction, interprocedural
+  // return flow), so each must show up regularly.
+  EXPECT_GE(Total.NestedChainGeps, 5u);
+  EXPECT_GE(Total.InductionGeps, 5u);
+  EXPECT_GE(Total.CallResultGeps, 5u);
+}
+
+TEST(Generator, ConstructOptionsGateTheirEmitters) {
+  workload::GeneratorOptions Off;
+  Off.NestedFieldChains = false;
+  Off.PointerInductionLoops = false;
+  Off.CallResultFieldAccess = false;
+  for (uint64_t Seed = 0; Seed != 40; ++Seed) {
+    ConstructCounts C = countConstructs(*workload::generateProgram(Seed, Off));
+    // Pointer-induction geps and pointer loads come only from the gated
+    // emitters; call-based geps can still arise from pooled call results,
+    // so only the first two are strictly zero.
+    EXPECT_EQ(C.InductionGeps, 0u) << "seed " << Seed;
+    EXPECT_EQ(C.NestedChainGeps, 0u) << "seed " << Seed;
+  }
 }
 
 //===----------------------------------------------------------------------===//

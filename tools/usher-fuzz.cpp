@@ -1,0 +1,134 @@
+//===- tools/usher-fuzz.cpp - Differential fuzzing CLI --------------------===//
+//
+// Part of the Usher project, reproducing "Accelerating Dynamic Detection of
+// Uses of Undefined Values with Static Value-Flow Analysis" (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Command-line driver for the coverage-guided differential fuzzer:
+///
+///   usher-fuzz --seed=42 --runs=500 --json=report.json
+///
+/// Runs one campaign (see src/fuzz/Fuzzer.h), prints a human-readable
+/// summary to stdout and, on request, the machine-readable report
+/// (schema "usher-fuzz-v1", validated by tools/check_fuzz_json.py) to a
+/// file or stdout. The campaign — scheduling, reduction, and both
+/// outputs — is a deterministic function of --seed.
+///
+/// Exit codes: 0 = campaign clean, 2 = usage error, 3 = divergences.
+///
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Fuzzer.h"
+#include "support/RawStream.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+using namespace usher;
+
+namespace {
+
+struct CliOptions {
+  fuzz::FuzzOptions Fuzz;
+  std::string JsonPath; ///< Empty = no JSON; "-" = stdout.
+};
+
+void printUsage(raw_ostream &OS) {
+  OS << "usage: usher-fuzz [options]\n"
+     << "  --seed=N        campaign seed (default 1)\n"
+     << "  --runs=N        inputs to schedule (default 256)\n"
+     << "  --json=PATH     write the usher-fuzz-v1 report (- for stdout)\n"
+     << "  --no-reduce     report divergences without minimizing them\n"
+     << "  --max-corpus=N  corpus capacity (default 64)\n"
+     << "  --max-steps=N   interpreter step budget per run\n";
+}
+
+bool parseUInt(const std::string &Text, uint64_t &Out) {
+  if (Text.empty())
+    return false;
+  char *End = nullptr;
+  Out = std::strtoull(Text.c_str(), &End, 10);
+  return End && *End == '\0';
+}
+
+bool parseArgs(int Argc, char **Argv, CliOptions &Cli) {
+  for (int I = 1; I != Argc; ++I) {
+    std::string Arg = Argv[I];
+    uint64_t N = 0;
+    if (Arg.rfind("--seed=", 0) == 0) {
+      if (!parseUInt(Arg.substr(7), N))
+        return false;
+      Cli.Fuzz.Seed = N;
+    } else if (Arg.rfind("--runs=", 0) == 0) {
+      if (!parseUInt(Arg.substr(7), N))
+        return false;
+      Cli.Fuzz.Runs = static_cast<unsigned>(N);
+    } else if (Arg.rfind("--json=", 0) == 0) {
+      Cli.JsonPath = Arg.substr(7);
+    } else if (Arg == "--no-reduce") {
+      Cli.Fuzz.Reduce = false;
+    } else if (Arg.rfind("--max-corpus=", 0) == 0) {
+      if (!parseUInt(Arg.substr(13), N) || N == 0)
+        return false;
+      Cli.Fuzz.MaxCorpus = static_cast<unsigned>(N);
+    } else if (Arg.rfind("--max-steps=", 0) == 0) {
+      if (!parseUInt(Arg.substr(12), N) || N == 0)
+        return false;
+      Cli.Fuzz.Oracle.MaxSteps = N;
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  CliOptions Cli;
+  if (!parseArgs(Argc, Argv, Cli)) {
+    printUsage(errs());
+    return 2;
+  }
+
+  fuzz::FuzzReport Rep = fuzz::runFuzzer(Cli.Fuzz);
+
+  raw_ostream &OS = outs();
+  OS << "usher-fuzz: seed " << Rep.Seed << ", " << Rep.Runs << " runs ("
+     << Rep.NumValid << " valid, " << Rep.NumInvalid << " invalid)\n";
+  OS << "  scheduled: " << Rep.NumGenerated << " generated, "
+     << Rep.NumMutated << " mutated, " << Rep.NumSpliced << " spliced, "
+     << Rep.NumWrapped << " wrapped\n";
+  OS << "  corpus: " << Rep.CorpusSize << " entries, " << Rep.CoverageKeys
+     << " coverage keys\n";
+  for (unsigned K = 0; K != fuzz::NumOracleKinds; ++K)
+    OS << "  oracle " << fuzz::oracleKindName(static_cast<fuzz::OracleKind>(K))
+       << ": " << Rep.OracleChecked[K] << " checked, "
+       << Rep.OracleDiverged[K] << " divergences\n";
+  OS << "divergences: " << Rep.Divergences.size() << "\n";
+  for (const fuzz::DivergenceRecord &D : Rep.Divergences)
+    OS << "  [" << fuzz::oracleKindName(D.Oracle) << "] run " << D.Run
+       << ": " << D.Detail << " (" << D.OriginalLines << " -> "
+       << D.ReducedLines << " lines)\n";
+
+  if (!Cli.JsonPath.empty()) {
+    if (Cli.JsonPath == "-") {
+      Rep.printJson(outs());
+    } else {
+      std::FILE *FP = std::fopen(Cli.JsonPath.c_str(), "w");
+      if (!FP) {
+        errs() << "error: cannot open " << Cli.JsonPath << " for writing\n";
+        return 2;
+      }
+      raw_fd_ostream JOS(FP);
+      Rep.printJson(JOS);
+      JOS.flush();
+      std::fclose(FP);
+    }
+  }
+
+  return Rep.clean() ? 0 : 3;
+}
