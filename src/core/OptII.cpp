@@ -54,97 +54,141 @@ const Instruction *definingStatement(const VFG &G, const ssa::MemorySSA &SSA,
 
 } // namespace
 
+namespace {
+
+/// Stage-1 output for one critical use: the must-flow-from closure plus
+/// the dominated outside users whose edges into it will be redirected.
+/// Pure function of the immutable analyses, so it can run on any worker.
+struct UsePlan {
+  bool Redirecting = false;
+  std::unordered_set<uint32_t> Closure;
+  std::vector<uint32_t> Redirectees;
+};
+
+/// Computes the plan for \p Use, charging \p B exactly as the serial
+/// algorithm does: one step per use, one per closure worklist pop, one
+/// per candidate examined. Returns false on budget exhaustion.
+bool planUse(const VFG::CriticalUse &Use, const ssa::MemorySSA &SSA,
+             const analysis::PointerAnalysis &PA,
+             const analysis::CallGraph &CG, const VFG &G,
+             const Definedness &BaseGamma, Budget *B, UsePlan &Plan) {
+  constexpr size_t MaxClosure = 128;
+  if (B && !B->step())
+    return false;
+  // Only checks that are actually performed can justify suppressing
+  // dominated re-detections.
+  if (BaseGamma.isDefined(Use.Node))
+    return true;
+  const Function *Fn = G.node(Use.Node).Fn;
+  const FunctionSSA &FS = SSA.get(Fn);
+
+  // Compute the must-flow-from closure X of the checked variable
+  // (Definition 2), plus concrete memory locations feeding loads in it
+  // (Algorithm 1, line 4).
+  std::unordered_set<uint32_t> &Closure = Plan.Closure;
+  std::vector<uint32_t> Work{Use.Node};
+  bool TooBig = false;
+  while (!Work.empty() && !TooBig) {
+    if (B && !B->step())
+      return false;
+    uint32_t Node = Work.back();
+    Work.pop_back();
+    if (!Closure.insert(Node).second)
+      continue;
+    if (Closure.size() > MaxClosure) {
+      TooBig = true;
+      break;
+    }
+    const Instruction *I = definingStatement(G, SSA, Node);
+    if (!I)
+      continue;
+    if (isa<CopyInst>(I) || isa<BinOpInst>(I)) {
+      for (const Edge &E : G.deps(Node))
+        if (!G.isRoot(E.Node))
+          Work.push_back(E.Node);
+    } else if (isa<LoadInst>(I) && G.node(Node).Key.Sp == Space::TopLevel) {
+      for (const Edge &E : G.deps(Node)) {
+        if (G.isRoot(E.Node))
+          continue;
+        const VFG::NodeData &Mem = G.node(E.Node);
+        if (Mem.Key.Sp == Space::Memory && isConcreteLoc(PA, CG, Mem.Key.Id))
+          Closure.insert(E.Node);
+      }
+    }
+  }
+  if (TooBig)
+    return true;
+
+  // R_x: users of the closure outside it whose defining statement is
+  // dominated by the checking statement.
+  std::unordered_set<uint32_t> Candidates;
+  for (uint32_t Member : Closure)
+    for (const Edge &E : G.users(Member))
+      if (!Closure.count(E.Node))
+        Candidates.insert(E.Node);
+
+  for (uint32_t R : Candidates) {
+    if (B && !B->step())
+      return false;
+    const Instruction *DefStmt = definingStatement(G, SSA, R);
+    if (!DefStmt || DefStmt->getParent()->getParent() != Fn)
+      continue;
+    if (!FS.getDomTree().dominates(Use.I, DefStmt))
+      continue;
+    Plan.Redirectees.push_back(R);
+  }
+  Plan.Redirecting = true;
+  return true;
+}
+
+} // namespace
+
 OptIIResult core::runRedundantCheckElimination(
     const Module &M, const ssa::MemorySSA &SSA,
     const analysis::PointerAnalysis &PA, const analysis::CallGraph &CG,
-    const VFG &G, const Definedness &BaseGamma, Budget *B) {
+    const VFG &G, const Definedness &BaseGamma, Budget *B, ThreadPool *Pool) {
   (void)M;
   OptIIResult Result;
-  constexpr size_t MaxClosure = 128;
 
   if (B && !B->step()) {
     Result.Exhausted = true;
     return Result;
   }
 
-  for (const VFG::CriticalUse &Use : G.criticalUses()) {
-    if (B && !B->step()) {
-      Result.Exhausted = true;
-      return Result;
-    }
-    // Only checks that are actually performed can justify suppressing
-    // dominated re-detections.
-    if (BaseGamma.isDefined(Use.Node))
+  // Stage 1 — per-use closure + dominance filtering. Reads only the
+  // immutable analyses and charges the budget with the same multiset of
+  // steps as the serial loop, so whether the phase exhausts does not
+  // depend on scheduling (Exhausted results are discarded wholesale by
+  // the caller either way).
+  const std::vector<VFG::CriticalUse> &Uses = G.criticalUses();
+  std::vector<UsePlan> Plans(Uses.size());
+  std::atomic<bool> Exhausted{false};
+  parallelForOrdered(Pool, Uses.size(), [&](size_t I) {
+    if (Exhausted.load(std::memory_order_relaxed))
+      return;
+    if (!planUse(Uses[I], SSA, PA, CG, G, BaseGamma, B, Plans[I]))
+      Exhausted.store(true, std::memory_order_relaxed);
+  });
+  if (Exhausted.load(std::memory_order_relaxed)) {
+    Result.Exhausted = true;
+    return Result;
+  }
+
+  // Stage 2 — serial ordered merge in critical-use order. Within one use
+  // the redirectee order only decides which of its own edges get rewritten
+  // first (the rewrites commute); across uses later plans read the
+  // redirect lists earlier ones installed, exactly as the serial loop did.
+  for (const UsePlan &Plan : Plans) {
+    if (!Plan.Redirecting)
       continue;
-    const Function *Fn = G.node(Use.Node).Fn;
-    const FunctionSSA &FS = SSA.get(Fn);
-
-    // Compute the must-flow-from closure X of the checked variable
-    // (Definition 2), plus concrete memory locations feeding loads in it
-    // (Algorithm 1, line 4).
-    std::unordered_set<uint32_t> Closure;
-    std::vector<uint32_t> Work{Use.Node};
-    bool TooBig = false;
-    while (!Work.empty() && !TooBig) {
-      if (B && !B->step()) {
-        Result.Exhausted = true;
-        return Result;
-      }
-      uint32_t Node = Work.back();
-      Work.pop_back();
-      if (!Closure.insert(Node).second)
-        continue;
-      if (Closure.size() > MaxClosure) {
-        TooBig = true;
-        break;
-      }
-      const Instruction *I = definingStatement(G, SSA, Node);
-      if (!I)
-        continue;
-      if (isa<CopyInst>(I) || isa<BinOpInst>(I)) {
-        for (const Edge &E : G.deps(Node))
-          if (!G.isRoot(E.Node))
-            Work.push_back(E.Node);
-      } else if (isa<LoadInst>(I) &&
-                 G.node(Node).Key.Sp == Space::TopLevel) {
-        for (const Edge &E : G.deps(Node)) {
-          if (G.isRoot(E.Node))
-            continue;
-          const VFG::NodeData &Mem = G.node(E.Node);
-          if (Mem.Key.Sp == Space::Memory &&
-              isConcreteLoc(PA, CG, Mem.Key.Id))
-            Closure.insert(E.Node);
-        }
-      }
-    }
-    if (TooBig)
-      continue;
-
-    // R_x: users of the closure outside it whose defining statement is
-    // dominated by the checking statement.
-    std::unordered_set<uint32_t> Candidates;
-    for (uint32_t Member : Closure)
-      for (const Edge &E : G.users(Member))
-        if (!Closure.count(E.Node))
-          Candidates.insert(E.Node);
-
-    for (uint32_t R : Candidates) {
-      if (B && !B->step()) {
-        Result.Exhausted = true;
-        return Result;
-      }
-      const Instruction *DefStmt = definingStatement(G, SSA, R);
-      if (!DefStmt || DefStmt->getParent()->getParent() != Fn)
-        continue;
-      if (!FS.getDomTree().dominates(Use.I, DefStmt))
-        continue;
+    for (uint32_t R : Plan.Redirectees) {
       // Redirect every dependency of R that lands in the closure to T.
       auto It = Result.Redirects.find(R);
       std::vector<Edge> NewDeps =
           It != Result.Redirects.end() ? It->second : G.deps(R);
       bool Changed = false;
       for (Edge &E : NewDeps) {
-        if (Closure.count(E.Node)) {
+        if (Plan.Closure.count(E.Node)) {
           E.Node = VFG::RootT;
           E.Kind = EdgeKind::Direct;
           E.CallSite = ~0u;

@@ -110,6 +110,14 @@ UsherResult core::runUsher(Module &M, const UsherOptions &Opts) {
   if (Opts.Variant == ToolVariant::MSanFull)
     return FinishMSan();
 
+  // One pool for all parallel phases; null means "run inline". The phases
+  // joined on it merge their results in item order, so the pool's
+  // existence is invisible in every output byte.
+  unsigned Jobs = Opts.Jobs == 0 ? ThreadPool::defaultJobs() : Opts.Jobs;
+  std::unique_ptr<ThreadPool> Pool;
+  if (Jobs > 1)
+    Pool = std::make_unique<ThreadPool>(Jobs);
+
   Budget B(Opts.Limits, Opts.Fault);
   auto Fail = [&](BudgetPhase P, std::string Action) {
     DR.Degraded = true;
@@ -159,7 +167,7 @@ UsherResult core::runUsher(Module &M, const UsherOptions &Opts) {
   Record("1.pointer-analysis");
 
   auto MR = std::make_unique<analysis::ModRefAnalysis>(M, *CG, *PA);
-  auto SSA = std::make_unique<ssa::MemorySSA>(M, *PA, *MR);
+  auto SSA = std::make_unique<ssa::MemorySSA>(M, *PA, *MR, Pool.get());
   Record("2.memory-ssa");
   auto G = std::make_unique<vfg::VFG>(
       vfg::VFGBuilder(M, *SSA, *PA, *CG, Opts.Vfg).build());
@@ -189,7 +197,8 @@ UsherResult core::runUsher(Module &M, const UsherOptions &Opts) {
   if (Opts.Variant == ToolVariant::UsherFull && !Gamma->wasPessimized()) {
     B.beginPhase(BudgetPhase::OptII);
     OptIIResult Opt2 =
-        runRedundantCheckElimination(M, *SSA, *PA, *CG, *G, *Gamma, &B);
+        runRedundantCheckElimination(M, *SSA, *PA, *CG, *G, *Gamma, &B,
+                                     Pool.get());
     if (Opt2.Exhausted) {
       // Partial redirect sets are not individually sound (each redirect
       // assumes its whole closure stays checked): drop them all.
@@ -266,7 +275,7 @@ UsherResult core::runUsher(Module &M, const UsherOptions &Opts) {
     Cuts += Count;
   Stats.SemiStrongCutsPerHeapSite =
       HeapSites ? static_cast<double>(Cuts) / HeapSites : 0.0;
-  BitSet Reaching = computeCheckReaching(*G, *Gamma);
+  BitSet Reaching = computeCheckReaching(*G, *Gamma, Pool.get());
   Stats.PercentReachingCheck =
       G->numNodes() ? 100.0 * Reaching.count() / G->numNodes() : 0.0;
   Stats.StaticPropagations = Result.Plan.countPropagationReads();

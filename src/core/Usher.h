@@ -63,6 +63,11 @@ struct UsherOptions {
   BudgetLimits Limits;
   /// Deterministic exhaustion injection for tests and --inject-fault.
   std::optional<FaultPlan> Fault;
+  /// Worker threads for the parallel phases (memory-SSA construction,
+  /// check-reachability, Opt II). 1 (the default) runs everything inline;
+  /// 0 resolves to the hardware concurrency. Every value produces
+  /// byte-identical results — parallel phases merge by ordered reduction.
+  unsigned Jobs = 1;
 };
 
 /// One rung descent of the degradation ladder.

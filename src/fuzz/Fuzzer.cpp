@@ -10,8 +10,11 @@
 #include "ir/IR.h"
 #include "support/RNG.h"
 #include "support/RawStream.h"
+#include "support/ThreadPool.h"
 
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 using namespace usher;
@@ -70,6 +73,35 @@ void jsonEscape(raw_ostream &OS, const std::string &S) {
   }
 }
 
+/// How one campaign round obtained its input.
+enum class SchedKind { Generated, Mutated, Spliced, Wrapped };
+
+/// Draws the next input exactly as the serial campaign loop always has:
+/// the branch taken and the number of RNG draws are a function of the RNG
+/// state and whether the corpus is empty, so running this against a
+/// cloned RNG and a corpus snapshot *predicts* the schedule, and running
+/// it against the authoritative RNG/corpus *is* the schedule.
+static std::pair<std::string, SchedKind>
+scheduleOne(RNG &Rng, const std::vector<std::string> &Corpus,
+            const workload::GeneratorOptions &Gen) {
+  unsigned Choice = Corpus.empty() ? 0 : static_cast<unsigned>(Rng.below(100));
+  if (Corpus.empty() || Choice < 30)
+    return {printModule(*workload::generateProgram(Rng.next(), Gen)),
+            SchedKind::Generated};
+  if (Choice < 65)
+    return {workload::mutateProgram(Corpus[Rng.below(Corpus.size())],
+                                    Rng.next()),
+            SchedKind::Mutated};
+  if (Choice < 85) {
+    const std::string &Recv = Corpus[Rng.below(Corpus.size())];
+    const std::string &Donor = Corpus[Rng.below(Corpus.size())];
+    return {workload::spliceProgram(Recv, Donor, Rng.next()),
+            SchedKind::Spliced};
+  }
+  return {workload::wrapMainInCall(Corpus[Rng.below(Corpus.size())]),
+          SchedKind::Wrapped};
+}
+
 } // namespace
 
 FuzzReport fuzz::runFuzzer(const FuzzOptions &Opts) {
@@ -80,35 +112,35 @@ FuzzReport fuzz::runFuzzer(const FuzzOptions &Opts) {
   Rep.Seed = Opts.Seed;
   Rep.Runs = Opts.Runs;
 
-  for (unsigned Run = 0; Run != Opts.Runs; ++Run) {
-    // -- Schedule the next input ----------------------------------------
-    std::string Source;
-    unsigned Choice =
-        Corpus.empty() ? 0 : static_cast<unsigned>(Rng.below(100));
-    if (Corpus.empty() || Choice < 30) {
-      Source = printModule(*workload::generateProgram(Rng.next(), Opts.Gen));
-      ++Rep.NumGenerated;
-    } else if (Choice < 65) {
-      Source = workload::mutateProgram(Corpus[Rng.below(Corpus.size())],
-                                       Rng.next());
-      ++Rep.NumMutated;
-    } else if (Choice < 85) {
-      const std::string &Recv = Corpus[Rng.below(Corpus.size())];
-      const std::string &Donor = Corpus[Rng.below(Corpus.size())];
-      Source = workload::spliceProgram(Recv, Donor, Rng.next());
-      ++Rep.NumSpliced;
-    } else {
-      Source = workload::wrapMainInCall(Corpus[Rng.below(Corpus.size())]);
-      ++Rep.NumWrapped;
-    }
+  unsigned Jobs = Opts.Jobs == 0 ? ThreadPool::defaultJobs() : Opts.Jobs;
+  std::unique_ptr<ThreadPool> Pool;
+  if (Jobs > 1 && Opts.Runs > 1)
+    Pool = std::make_unique<ThreadPool>(Jobs);
 
-    // -- Evaluate the oracles -------------------------------------------
-    OracleOutcome Out = runOracles(Source, Opts.Oracle);
-    for (unsigned K = 0; K != NumOracleKinds; ++K)
-      Rep.OracleChecked[K] += Out.Checked[K] ? 1 : 0;
+  // Applies one round's outcome to the campaign state. This — like the
+  // scheduling itself — always runs on the main thread, in run order:
+  // parallelism only ever memoizes runOracles results.
+  auto Apply = [&](unsigned Run, const std::string &Source, SchedKind K,
+                   OracleOutcome &&Out) {
+    switch (K) {
+    case SchedKind::Generated:
+      ++Rep.NumGenerated;
+      break;
+    case SchedKind::Mutated:
+      ++Rep.NumMutated;
+      break;
+    case SchedKind::Spliced:
+      ++Rep.NumSpliced;
+      break;
+    case SchedKind::Wrapped:
+      ++Rep.NumWrapped;
+      break;
+    }
+    for (unsigned OK = 0; OK != NumOracleKinds; ++OK)
+      Rep.OracleChecked[OK] += Out.Checked[OK] ? 1 : 0;
     if (!Out.Valid) {
       ++Rep.NumInvalid;
-      continue;
+      return;
     }
     ++Rep.NumValid;
 
@@ -121,11 +153,11 @@ FuzzReport fuzz::runFuzzer(const FuzzOptions &Opts) {
 
     // -- Divergences: tally, then minimize the first one ----------------
     if (Out.Divergences.empty())
-      continue;
+      return;
     for (const Divergence &D : Out.Divergences)
       ++Rep.OracleDiverged[static_cast<unsigned>(D.Oracle)];
     if (Rep.Divergences.size() >= Opts.MaxDivergences)
-      continue;
+      return;
 
     const Divergence &D0 = Out.Divergences.front();
     DivergenceRecord Rec;
@@ -147,6 +179,47 @@ FuzzReport fuzz::runFuzzer(const FuzzOptions &Opts) {
     }
     Rec.ReducedLines = countLines(Rec.Reduced);
     Rep.Divergences.push_back(std::move(Rec));
+  };
+
+  if (!Pool) {
+    for (unsigned Run = 0; Run != Opts.Runs; ++Run) {
+      auto [Source, K] = scheduleOne(Rng, Corpus, Opts.Gen);
+      Apply(Run, Source, K, runOracles(Source, Opts.Oracle));
+    }
+  } else {
+    // Speculative sharding. Predict a window of inputs from a cloned RNG
+    // against the current corpus, evaluate the oracles (a pure function
+    // of the program text) on the pool, then replay the window serially
+    // from the authoritative RNG: a replayed input byte-equal to its
+    // prediction reuses the precomputed outcome; a mismatch (the corpus
+    // changed mid-window) is evaluated inline and ends the window so the
+    // next one speculates against the updated corpus. Every decision the
+    // report can observe is made by the replay, which is exactly the
+    // serial loop above.
+    const unsigned Window = Pool->numThreads() * 2;
+    unsigned Run = 0;
+    std::vector<std::string> SpecSources;
+    while (Run != Opts.Runs) {
+      unsigned W = std::min(Window, Opts.Runs - Run);
+      RNG SpecRng = Rng;
+      SpecSources.clear();
+      for (unsigned I = 0; I != W; ++I)
+        SpecSources.push_back(scheduleOne(SpecRng, Corpus, Opts.Gen).first);
+      std::vector<OracleOutcome> SpecOuts =
+          parallelMapOrdered(Pool.get(), W, [&](size_t I) {
+            return runOracles(SpecSources[I], Opts.Oracle);
+          });
+      for (unsigned I = 0; I != W; ++I) {
+        auto [Source, K] = scheduleOne(Rng, Corpus, Opts.Gen);
+        bool Hit = Source == SpecSources[I];
+        OracleOutcome Out =
+            Hit ? std::move(SpecOuts[I]) : runOracles(Source, Opts.Oracle);
+        Apply(Run, Source, K, std::move(Out));
+        ++Run;
+        if (!Hit)
+          break;
+      }
+    }
   }
 
   Rep.CorpusSize = static_cast<unsigned>(Corpus.size());

@@ -21,6 +21,15 @@
 /// campaign seed, and the JSON report (schema "usher-fuzz-v1") contains
 /// no timings, so same-seed campaigns are byte-identical.
 ///
+/// With Jobs > 1 the campaign parallelizes by *speculation*: a window of
+/// upcoming inputs is predicted from a cloned RNG and the current corpus,
+/// their oracle outcomes (a pure function of the program text) are
+/// evaluated on pool workers, and a serial replay then re-makes every
+/// scheduling decision from the authoritative RNG/corpus, reusing a
+/// worker's outcome only when the replayed input is byte-equal to the
+/// prediction. Mispredictions (the corpus changed mid-window) fall back
+/// to inline evaluation, so the report stays byte-identical to Jobs = 1.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef USHER_FUZZ_FUZZER_H
@@ -56,6 +65,11 @@ struct FuzzOptions {
                                  /*MaxStmtsPerSegment=*/6};
   OracleOptions Oracle;
   ReducerOptions Reducer;
+  /// Campaign worker threads. 1 (the default) is the serial loop; 0
+  /// resolves to the hardware concurrency. Any value yields byte-identical
+  /// reports: workers only evaluate speculatively predicted inputs, and an
+  /// authoritative serial replay makes every scheduling decision.
+  unsigned Jobs = 1;
 };
 
 /// One minimized oracle violation.

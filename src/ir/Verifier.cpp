@@ -9,6 +9,7 @@
 
 #include "ir/IR.h"
 #include "support/RawStream.h"
+#include "support/ThreadPool.h"
 
 #include <cstdlib>
 #include <unordered_map>
@@ -19,70 +20,36 @@ using namespace usher::ir;
 
 namespace {
 
-class VerifierImpl {
+/// Checks one function. Self-contained — its sets and error list are
+/// local, so distinct functions can be checked on distinct pool workers;
+/// the caller concatenates the error lists in module function order.
+class FunctionChecker {
 public:
-  VerifierImpl(const Module &M, std::vector<std::string> &Errors)
-      : M(M), Errors(Errors) {}
+  explicit FunctionChecker(const Function &F) : F(F) {}
 
-  bool run();
+  std::vector<std::string> run();
 
 private:
   void error(const std::string &Msg) { Errors.push_back(Msg); }
 
-  void checkFunction(const Function &F);
-  void checkInstruction(const Function &F, const BasicBlock &BB,
-                        const Instruction &I, bool IsLast);
-  void checkOperand(const Function &F, const Instruction &I,
-                    const Operand &Op);
+  void checkInstruction(const BasicBlock &BB, const Instruction &I,
+                        bool IsLast);
+  void checkOperand(const Instruction &I, const Operand &Op);
 
-  const Module &M;
-  std::vector<std::string> &Errors;
+  const Function &F;
+  std::vector<std::string> Errors;
   std::unordered_set<const BasicBlock *> FunctionBlocks;
   std::unordered_set<const Variable *> FunctionVars;
 };
 
 } // namespace
 
-bool VerifierImpl::run() {
-  const Function *Main = M.findFunction("main");
-  if (!Main)
-    error("module has no 'main' function");
-  else if (!Main->params().empty())
-    error("'main' must take no parameters");
-
-  // Each non-global object must have exactly one allocation site.
-  std::unordered_map<const MemObject *, unsigned> AllocCounts;
-  for (const auto &F : M.functions())
-    for (const auto &BB : F->blocks())
-      for (const auto &I : BB->instructions())
-        if (const auto *A = dyn_cast<AllocInst>(I.get()))
-          ++AllocCounts[A->getObject()];
-  for (const auto &Obj : M.objects()) {
-    unsigned N = AllocCounts.count(Obj.get()) ? AllocCounts[Obj.get()] : 0;
-    if (Obj->isGlobal()) {
-      if (N != 0)
-        error("global object '" + Obj->getName() + "' has an alloc site");
-    } else if (Obj->getCloneOrigin()) {
-      // Heap clones are analysis artifacts and need no syntactic site.
-    } else if (N != 1) {
-      error("object '" + Obj->getName() + "' has " + std::to_string(N) +
-            " allocation sites (expected 1)");
-    }
-  }
-
-  for (const auto &F : M.functions())
-    checkFunction(*F);
-  return Errors.empty();
-}
-
-void VerifierImpl::checkFunction(const Function &F) {
+std::vector<std::string> FunctionChecker::run() {
   if (F.blocks().empty()) {
     error("function '" + F.getName() + "' has no blocks");
-    return;
+    return std::move(Errors);
   }
 
-  FunctionBlocks.clear();
-  FunctionVars.clear();
   for (const auto &BB : F.blocks())
     FunctionBlocks.insert(BB.get());
   for (const auto &V : F.variables())
@@ -98,13 +65,12 @@ void VerifierImpl::checkFunction(const Function &F) {
       error("function '" + F.getName() + "': block '" + BB->getName() +
             "' lacks a terminator");
     for (size_t Idx = 0; Idx != BB->size(); ++Idx)
-      checkInstruction(F, *BB, *BB->instructions()[Idx],
-                       Idx + 1 == BB->size());
+      checkInstruction(*BB, *BB->instructions()[Idx], Idx + 1 == BB->size());
   }
+  return std::move(Errors);
 }
 
-void VerifierImpl::checkOperand(const Function &F, const Instruction &I,
-                                const Operand &Op) {
+void FunctionChecker::checkOperand(const Instruction &I, const Operand &Op) {
   if (Op.isVar() && !FunctionVars.count(Op.getVar()))
     error("function '" + F.getName() + "': instruction #" +
           std::to_string(I.getId()) + " uses variable '" +
@@ -114,8 +80,8 @@ void VerifierImpl::checkOperand(const Function &F, const Instruction &I,
           "': global-address operand names a non-global object");
 }
 
-void VerifierImpl::checkInstruction(const Function &F, const BasicBlock &BB,
-                                    const Instruction &I, bool IsLast) {
+void FunctionChecker::checkInstruction(const BasicBlock &BB,
+                                       const Instruction &I, bool IsLast) {
   if (I.isTerminator() && !IsLast)
     error("function '" + F.getName() + "': block '" + BB.getName() +
           "' has a terminator in mid-block");
@@ -123,7 +89,7 @@ void VerifierImpl::checkInstruction(const Function &F, const BasicBlock &BB,
   std::vector<Operand> Ops;
   I.collectOperands(Ops);
   for (const Operand &Op : Ops)
-    checkOperand(F, I, Op);
+    checkOperand(I, Op);
 
   const bool NeedsDef = isa<CopyInst>(&I) || isa<BinOpInst>(&I) ||
                         isa<AllocInst>(&I) || isa<FieldAddrInst>(&I) ||
@@ -162,13 +128,51 @@ void VerifierImpl::checkInstruction(const Function &F, const BasicBlock &BB,
   }
 }
 
-bool ir::verifyModule(const Module &M, std::vector<std::string> &Errors) {
-  return VerifierImpl(M, Errors).run();
+bool ir::verifyModule(const Module &M, std::vector<std::string> &Errors,
+                      ThreadPool *Pool) {
+  const Function *Main = M.findFunction("main");
+  if (!Main)
+    Errors.push_back("module has no 'main' function");
+  else if (!Main->params().empty())
+    Errors.push_back("'main' must take no parameters");
+
+  // Each non-global object must have exactly one allocation site.
+  std::unordered_map<const MemObject *, unsigned> AllocCounts;
+  for (const auto &F : M.functions())
+    for (const auto &BB : F->blocks())
+      for (const auto &I : BB->instructions())
+        if (const auto *A = dyn_cast<AllocInst>(I.get()))
+          ++AllocCounts[A->getObject()];
+  for (const auto &Obj : M.objects()) {
+    unsigned N = AllocCounts.count(Obj.get()) ? AllocCounts[Obj.get()] : 0;
+    if (Obj->isGlobal()) {
+      if (N != 0)
+        Errors.push_back("global object '" + Obj->getName() +
+                         "' has an alloc site");
+    } else if (Obj->getCloneOrigin()) {
+      // Heap clones are analysis artifacts and need no syntactic site.
+    } else if (N != 1) {
+      Errors.push_back("object '" + Obj->getName() + "' has " +
+                       std::to_string(N) + " allocation sites (expected 1)");
+    }
+  }
+
+  std::vector<const Function *> Funcs;
+  for (const auto &F : M.functions())
+    Funcs.push_back(F.get());
+  std::vector<std::vector<std::string>> PerFunc =
+      parallelMapOrdered(Pool, Funcs.size(), [&](size_t I) {
+        return FunctionChecker(*Funcs[I]).run();
+      });
+  for (std::vector<std::string> &FE : PerFunc)
+    for (std::string &E : FE)
+      Errors.push_back(std::move(E));
+  return Errors.empty();
 }
 
-void ir::verifyModuleOrAbort(const Module &M) {
+void ir::verifyModuleOrAbort(const Module &M, ThreadPool *Pool) {
   std::vector<std::string> Errors;
-  if (verifyModule(M, Errors))
+  if (verifyModule(M, Errors, Pool))
     return;
   for (const std::string &E : Errors)
     errs() << "verifier: " << E << '\n';

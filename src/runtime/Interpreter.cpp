@@ -9,6 +9,7 @@
 
 #include "ir/IR.h"
 
+#include <algorithm>
 #include <cassert>
 #include <map>
 #include <unordered_map>
@@ -502,10 +503,18 @@ ExecutionReport Interpreter::Impl::run() {
   while (!Done && step()) {
   }
 
+  // The count maps are keyed by pointer; emit the warnings in program
+  // order (module-unique instruction ids), not heap-layout order, so the
+  // report is stable across runs and processes.
+  auto ById = [](const Warning &A, const Warning &B) {
+    return A.At->getId() < B.At->getId();
+  };
   for (const auto &[I, N] : ToolWarnCounts)
     Report.ToolWarnings.push_back({I, N});
+  std::sort(Report.ToolWarnings.begin(), Report.ToolWarnings.end(), ById);
   for (const auto &[I, N] : OracleWarnCounts)
     Report.OracleWarnings.push_back({I, N});
+  std::sort(Report.OracleWarnings.begin(), Report.OracleWarnings.end(), ById);
   return Report;
 }
 

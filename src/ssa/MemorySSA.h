@@ -33,6 +33,7 @@
 
 #include "analysis/CFG.h"
 #include "analysis/Dominators.h"
+#include "support/ThreadPool.h"
 
 #include <cstdint>
 #include <memory>
@@ -190,8 +191,13 @@ private:
 /// Memory SSA for every function in a module.
 class MemorySSA {
 public:
+  /// Builds per-function SSA overlays. With a non-null \p Pool the
+  /// functions are built in parallel — each FunctionSSA reads only the
+  /// immutable module/PA/MR and writes only its own overlay, and the
+  /// overlays are deposited in module function order, so the result is
+  /// identical to a serial build.
   MemorySSA(const ir::Module &M, const analysis::PointerAnalysis &PA,
-            const analysis::ModRefAnalysis &MR);
+            const analysis::ModRefAnalysis &MR, ThreadPool *Pool = nullptr);
 
   const FunctionSSA &get(const ir::Function *F) const {
     return *Funcs.at(F);

@@ -18,6 +18,15 @@
 /// cached flag. Wall-clock and memory probes are rate-limited so an armed
 /// budget stays cheap too.
 ///
+/// step() may be called concurrently from pool workers (parallel Opt II
+/// charges from every worker). Charging uses a relaxed atomic counter, and
+/// exhaustion is attributed deterministically: thresholds fire on the
+/// unique step() call whose charged interval contains the crossing value
+/// (limit + 1), and when several thresholds are crossed the one with the
+/// lowest crossing step wins — exactly the serial attribution, regardless
+/// of scheduling. beginPhase() must not race with step(): phases are
+/// separated by joins.
+///
 /// Exhaustion never throws and never crashes the pipeline: the driver
 /// (core/Usher.cpp) reacts by walking a sound degradation ladder and the
 /// worst outcome is the MSan full-instrumentation plan.
@@ -27,6 +36,7 @@
 #ifndef USHER_SUPPORT_BUDGET_H
 #define USHER_SUPPORT_BUDGET_H
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <optional>
@@ -80,6 +90,8 @@ struct FaultPlan {
 };
 
 /// The budget token. Default-constructed tokens are unlimited and free.
+/// Non-copyable: exactly one token exists per pipeline run and everyone
+/// charges it by pointer.
 class Budget {
 public:
   Budget() = default;
@@ -87,36 +99,53 @@ public:
                   std::optional<FaultPlan> F = std::nullopt)
       : Limits(L), Fault(F), Armed(L.any() || F.has_value()) {}
 
+  Budget(const Budget &) = delete;
+  Budget &operator=(const Budget &) = delete;
+
   /// Re-arms the token for phase \p P: resets the step count, the phase
   /// deadline and any previous exhaustion. An AtStep == 0 fault for \p P
   /// fires immediately, so injection is deterministic even for phases
-  /// whose worklists happen to be empty.
+  /// whose worklists happen to be empty. Serial only — never call while
+  /// workers may still be charging.
   void beginPhase(BudgetPhase P);
 
   /// Consumes \p N steps. Returns true while the phase is within budget;
-  /// once false, it stays false until the next beginPhase().
+  /// once false, it stays false until the next beginPhase(). Safe to call
+  /// concurrently; the total charged is the sum of all grants, exactly as
+  /// in a serial run.
   bool step(uint64_t N = 1) {
     if (!Armed)
       return true;
     return stepSlow(N);
   }
 
-  bool exhausted() const { return Kind != ExhaustKind::None; }
-  ExhaustKind exhaustKind() const { return Kind; }
+  bool exhausted() const {
+    return Exhaust.load(std::memory_order_acquire) != NotExhausted;
+  }
+  ExhaustKind exhaustKind() const;
   BudgetPhase currentPhase() const { return Cur; }
-  uint64_t stepsUsed() const { return Steps; }
+  uint64_t stepsUsed() const { return Steps.load(std::memory_order_relaxed); }
 
 private:
   bool stepSlow(uint64_t N);
+  /// Records exhaustion \p K attributed to charged-step \p CrossStep; the
+  /// lowest crossing step wins (with serial check order breaking ties) so
+  /// attribution is schedule-independent.
+  void install(ExhaustKind K, uint64_t CrossStep);
+
+  /// Exhaustion state packed into one word — (CrossStep << 8) | check-rank
+  /// of the kind — so the pair is installed and read atomically and a
+  /// CAS-min linearizes racing crossings.
+  static constexpr uint64_t NotExhausted = ~0ull;
 
   BudgetLimits Limits;
   std::optional<FaultPlan> Fault;
   bool Armed = false;
-  bool FaultFired = false;
+  std::atomic<bool> FaultFired{false};
   BudgetPhase Cur = BudgetPhase::PointerAnalysis;
-  ExhaustKind Kind = ExhaustKind::None;
-  uint64_t Steps = 0;
-  uint64_t Checks = 0;
+  std::atomic<uint64_t> Exhaust{NotExhausted};
+  std::atomic<uint64_t> Steps{0};
+  std::atomic<uint64_t> Checks{0};
   std::chrono::steady_clock::time_point PhaseStart{};
 };
 

@@ -12,6 +12,7 @@
 using namespace usher;
 
 void StatisticRegistry::print(raw_ostream &OS) const {
+  std::lock_guard<std::mutex> L(Mtx);
   for (const auto &[Name, Value] : Counters)
     OS << Name << " = " << Value << '\n';
 }

@@ -10,6 +10,12 @@
 /// without global constructors: counters live in an explicit registry object
 /// that analyses thread through their contexts.
 ///
+/// The registry itself is thread-safe (a mutex guards the map — these are
+/// cold, name-keyed updates). Hot parallel loops should instead count into
+/// a per-worker StatisticShard and fold() it into the registry after the
+/// join; folding is additive and name-keyed, so the final counters equal
+/// the serial totals no matter how work was partitioned.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef USHER_SUPPORT_STATISTIC_H
@@ -17,25 +23,51 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 
 namespace usher {
 
 class raw_ostream;
 
+/// A private, unsynchronized bag of counters for one worker's slice of a
+/// parallel region. Fold into the shared registry after the region joins.
+class StatisticShard {
+public:
+  void add(const std::string &Name, uint64_t Delta = 1) {
+    Counters[Name] += Delta;
+  }
+  const std::map<std::string, uint64_t> &counters() const { return Counters; }
+
+private:
+  std::map<std::string, uint64_t> Counters;
+};
+
 /// Collects named counters during an analysis run.
 class StatisticRegistry {
 public:
   /// Adds \p Delta to the counter named \p Name, creating it at zero first.
   void add(const std::string &Name, uint64_t Delta = 1) {
+    std::lock_guard<std::mutex> L(Mtx);
     Counters[Name] += Delta;
   }
 
   /// Sets the counter named \p Name to \p Value.
-  void set(const std::string &Name, uint64_t Value) { Counters[Name] = Value; }
+  void set(const std::string &Name, uint64_t Value) {
+    std::lock_guard<std::mutex> L(Mtx);
+    Counters[Name] = Value;
+  }
+
+  /// Adds every counter of \p Shard into the registry.
+  void fold(const StatisticShard &Shard) {
+    std::lock_guard<std::mutex> L(Mtx);
+    for (const auto &[Name, Value] : Shard.counters())
+      Counters[Name] += Value;
+  }
 
   /// Returns the value of the counter named \p Name, or 0 if absent.
   uint64_t get(const std::string &Name) const {
+    std::lock_guard<std::mutex> L(Mtx);
     auto It = Counters.find(Name);
     return It == Counters.end() ? 0 : It->second;
   }
@@ -44,12 +76,19 @@ public:
   void print(raw_ostream &OS) const;
 
   /// Removes all counters.
-  void clear() { Counters.clear(); }
+  void clear() {
+    std::lock_guard<std::mutex> L(Mtx);
+    Counters.clear();
+  }
 
-  /// Returns the underlying counter map (sorted by name).
-  const std::map<std::string, uint64_t> &counters() const { return Counters; }
+  /// Returns a snapshot of the counter map (sorted by name).
+  std::map<std::string, uint64_t> counters() const {
+    std::lock_guard<std::mutex> L(Mtx);
+    return Counters;
+  }
 
 private:
+  mutable std::mutex Mtx;
   std::map<std::string, uint64_t> Counters;
 };
 

@@ -189,8 +189,8 @@ const char *transforms::optPresetName(OptPreset P) {
   return "?";
 }
 
-void transforms::runPreset(Module &M, OptPreset P) {
-  promoteMemoryToRegisters(M);
+void transforms::runPreset(Module &M, OptPreset P, ThreadPool *Pool) {
+  promoteMemoryToRegisters(M, Pool);
   if (P != OptPreset::O0IM) {
     bool Changed = true;
     unsigned Rounds = P == OptPreset::O2 ? 4 : 2;
@@ -202,12 +202,12 @@ void transforms::runPreset(Module &M, OptPreset P) {
     }
     if (P == OptPreset::O2) {
       inlineSmallFunctions(M);
-      promoteMemoryToRegisters(M);
+      promoteMemoryToRegisters(M, Pool);
       propagateAndFold(M);
       eliminateDeadCode(M);
       simplifyCFG(M);
     }
   }
   M.renumber();
-  verifyModuleOrAbort(M);
+  verifyModuleOrAbort(M, Pool);
 }

@@ -8,6 +8,7 @@
 #include "transforms/Transforms.h"
 
 #include "ir/IR.h"
+#include "support/ThreadPool.h"
 
 #include <algorithm>
 #include <unordered_map>
@@ -127,11 +128,13 @@ static std::vector<Candidate> findCandidates(Function &F) {
   return Candidates;
 }
 
-bool transforms::promoteMemoryToRegisters(Module &M) {
-  bool Changed = false;
-  std::unordered_set<const MemObject *> Promoted;
-
-  for (const auto &F : M.functions()) {
+/// Promotes within one function; only this function's blocks, variables
+/// and instructions are touched, so distinct functions can run on
+/// distinct workers. Returns the objects promoted here (the caller folds
+/// them into the module-level purge in function order).
+static std::vector<const MemObject *> promoteInFunction(Function *F) {
+  std::vector<const MemObject *> PromotedHere;
+  {
     std::vector<Candidate> Candidates = findCandidates(*F);
     std::unordered_map<const Variable *, std::pair<Candidate *, unsigned>>
         CellOf; // pointer var -> (candidate, field)
@@ -150,11 +153,10 @@ bool transforms::promoteMemoryToRegisters(Module &M) {
       for (const auto &[GepVar, Field] : C.GepFields)
         CellOf[GepVar] = {&C, Field};
       Dead.insert(C.Alloc);
-      Promoted.insert(Obj);
-      Changed = true;
+      PromotedHere.push_back(Obj);
     }
     if (CellOf.empty())
-      continue;
+      return PromotedHere;
 
     // Phase 1: rewrite every promoted load/store in the whole function.
     for (auto &BB : F->blocks()) {
@@ -228,10 +230,24 @@ bool transforms::promoteMemoryToRegisters(Module &M) {
                   Insts.end());
     }
   }
+  return PromotedHere;
+}
 
-  if (Changed) {
-    M.purgeObjects([&](const MemObject *Obj) { return Promoted.count(Obj); });
-    M.renumber();
-  }
-  return Changed;
+bool transforms::promoteMemoryToRegisters(Module &M, ThreadPool *Pool) {
+  std::vector<Function *> Funcs;
+  for (const auto &F : M.functions())
+    Funcs.push_back(F.get());
+  // Per-function promotion is independent; the promoted-object sets are
+  // merged in module function order before the serial purge + renumber.
+  std::vector<std::vector<const MemObject *>> PerFunc = parallelMapOrdered(
+      Pool, Funcs.size(), [&](size_t I) { return promoteInFunction(Funcs[I]); });
+
+  std::unordered_set<const MemObject *> Promoted;
+  for (const std::vector<const MemObject *> &Objs : PerFunc)
+    Promoted.insert(Objs.begin(), Objs.end());
+  if (Promoted.empty())
+    return false;
+  M.purgeObjects([&](const MemObject *Obj) { return Promoted.count(Obj); });
+  M.renumber();
+  return true;
 }

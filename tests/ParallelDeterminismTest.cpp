@@ -1,0 +1,210 @@
+//===- tests/ParallelDeterminismTest.cpp - jobs=N == jobs=1, byte for byte -===//
+//
+// Part of the Usher project, reproducing "Accelerating Dynamic Detection of
+// Uses of Undefined Values with Static Value-Flow Analysis" (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The parallel engine's hard contract: running the pipeline with any
+/// --jobs value produces byte-identical observable output to the serial
+/// run. This file sweeps seeded random programs through the full
+/// pipeline (O1 preset — parallel mem2reg + verifier — then runUsher
+/// with parallel memory-SSA / check-reachability / Opt II) at jobs 1, 2
+/// and 8 and compares every rendering a user can see:
+///
+///  - the instrumented run's warnings (and result / degradation note),
+///  - the --stats block (minus the wall-clock line, which is
+///    nondeterministic even between two serial runs),
+///  - the static diagnosis text and usher-diagnosis-v1 JSON,
+///  - the VFG Graphviz dump (a structural fingerprint of the analysis),
+///  - the usher-fuzz-v1 campaign report under sharded workers.
+///
+/// Budgeted runs are swept too: whether and where a budget exhausts must
+/// not depend on the schedule either.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/StaticDiagnosis.h"
+#include "core/Usher.h"
+#include "fuzz/Fuzzer.h"
+#include "runtime/Interpreter.h"
+#include "support/RawStream.h"
+#include "support/ThreadPool.h"
+#include "transforms/Transforms.h"
+#include "workload/Generator.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+using namespace usher;
+using core::ToolVariant;
+using core::UsherOptions;
+
+namespace {
+
+/// Everything observable from one pipeline run, rendered to strings so a
+/// mismatch fails with a readable diff.
+struct Snapshot {
+  std::string Warnings;
+  std::string Stats;
+  std::string DiagText;
+  std::string DiagJson;
+  std::string Dot;
+  std::string Degradation;
+};
+
+/// Renders the Table 1 statistics the way usher-cli --stats does, minus
+/// the timing/memory lines (AnalysisSeconds, PhaseSeconds, PeakRSSBytes
+/// vary between any two runs, serial or not).
+std::string renderStats(const core::UsherStatistics &S) {
+  std::string Buf;
+  raw_string_ostream OS(Buf);
+  OS << "instructions: " << S.NumInstructions << '\n'
+     << "top-level: " << S.NumTopLevelVars << '\n'
+     << "objects: " << S.NumStackObjects << '/' << S.NumHeapObjects << '/'
+     << S.NumGlobalObjects << '\n'
+     << "uninit%: " << static_cast<int>(S.PercentUninitObjects) << '\n'
+     << "vfg: " << S.NumVFGNodes << '/' << S.NumVFGEdges << '\n'
+     << "stores: " << static_cast<int>(S.PercentStrongStores) << '/'
+     << static_cast<int>(S.PercentWeakStores) << '\n'
+     << "reaching%: " << static_cast<int>(S.PercentReachingCheck) << '\n'
+     << "mfc: " << S.NumSimplifiedMFCs << '\n'
+     << "redirected: " << S.NumRedirectedNodes << '\n'
+     << "static: " << S.StaticPropagations << '/' << S.StaticChecks << '\n'
+     << "solver: " << S.Solver.NumConstraints << '/'
+     << S.Solver.NumPropagations << '/' << S.Solver.NumCollapses << '/'
+     << S.Solver.NumCollapsedNodes << '\n';
+  return Buf;
+}
+
+/// Runs the whole user-visible pipeline for one seed at one jobs value.
+Snapshot runPipeline(uint64_t Seed, unsigned Jobs, const UsherOptions &Base) {
+  // Regenerate the module each time: the preset and heap cloning mutate
+  // it, and generation is a pure function of the seed.
+  std::unique_ptr<ir::Module> M = workload::generateProgram(Seed);
+
+  std::unique_ptr<ThreadPool> Pool;
+  if (Jobs > 1)
+    Pool = std::make_unique<ThreadPool>(Jobs);
+  transforms::runPreset(*M, transforms::OptPreset::O1, Pool.get());
+
+  UsherOptions Opts = Base;
+  Opts.Jobs = Jobs;
+  core::UsherResult R = core::runUsher(*M, Opts);
+
+  Snapshot Snap;
+  Snap.Degradation = R.Degradation.summary();
+  Snap.Stats = renderStats(R.Stats);
+
+  {
+    raw_string_ostream OS(Snap.Warnings);
+    runtime::ExecutionReport Rep = runtime::Interpreter(*M, &R.Plan).run();
+    OS << "result " << Rep.MainResult << " reason "
+       << static_cast<int>(Rep.Reason) << " checks " << R.Plan.countChecks()
+       << " shadow " << R.Plan.countShadowOps() << '\n';
+    for (const runtime::Warning &W : Rep.ToolWarnings) {
+      OS << W.At->getParent()->getParent()->getName() << ": \"";
+      W.At->print(OS);
+      OS << "\" x" << W.Occurrences << '\n';
+    }
+  }
+
+  if (R.G && R.PA && R.CG) {
+    core::StaticDiagnosis Diag(*R.PA, *R.CG, *R.G);
+    raw_string_ostream TextOS(Snap.DiagText), JsonOS(Snap.DiagJson),
+        DotOS(Snap.Dot);
+    Diag.printText(TextOS);
+    Diag.printJson(JsonOS);
+    std::vector<vfg::VFG::DotVerdict> Verdicts = Diag.dotVerdicts();
+    R.G->dumpDot(DotOS, &Verdicts);
+  }
+  return Snap;
+}
+
+void expectEqual(const Snapshot &Serial, const Snapshot &Par, unsigned Jobs,
+                 uint64_t Seed) {
+  EXPECT_EQ(Serial.Warnings, Par.Warnings) << "jobs=" << Jobs << " seed " << Seed;
+  EXPECT_EQ(Serial.Stats, Par.Stats) << "jobs=" << Jobs << " seed " << Seed;
+  EXPECT_EQ(Serial.DiagText, Par.DiagText)
+      << "jobs=" << Jobs << " seed " << Seed;
+  EXPECT_EQ(Serial.DiagJson, Par.DiagJson)
+      << "jobs=" << Jobs << " seed " << Seed;
+  EXPECT_EQ(Serial.Dot, Par.Dot) << "jobs=" << Jobs << " seed " << Seed;
+  EXPECT_EQ(Serial.Degradation, Par.Degradation)
+      << "jobs=" << Jobs << " seed " << Seed;
+}
+
+//===----------------------------------------------------------------------===//
+// Pipeline sweep: >= 20 generator seeds x jobs {1, 2, 8}
+//===----------------------------------------------------------------------===//
+
+class ParallelDeterminism : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ParallelDeterminism, PipelineOutputsAreByteIdentical) {
+  const uint64_t Seed = GetParam();
+  UsherOptions Base;
+  Base.Variant = ToolVariant::UsherFull;
+  Snapshot Serial = runPipeline(Seed, 1, Base);
+  for (unsigned Jobs : {2u, 8u})
+    expectEqual(Serial, runPipeline(Seed, Jobs, Base), Jobs, Seed);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParallelDeterminism,
+                         ::testing::Range<uint64_t>(0, 24));
+
+//===----------------------------------------------------------------------===//
+// Budgeted runs: exhaustion decisions are schedule-independent
+//===----------------------------------------------------------------------===//
+
+class BudgetedParallelDeterminism : public ::testing::TestWithParam<uint64_t> {
+};
+
+TEST_P(BudgetedParallelDeterminism, ExhaustionMatchesSerial) {
+  const uint64_t Seed = GetParam();
+  // Tight enough to exhaust on some seeds, loose enough to pass on
+  // others — both classes must agree with serial, including *which*
+  // degradation rung was taken.
+  UsherOptions Base;
+  Base.Variant = ToolVariant::UsherFull;
+  Base.Limits.MaxStepsPerPhase = 400;
+  Snapshot Serial = runPipeline(Seed, 1, Base);
+  for (unsigned Jobs : {2u, 8u})
+    expectEqual(Serial, runPipeline(Seed, Jobs, Base), Jobs, Seed);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BudgetedParallelDeterminism,
+                         ::testing::Range<uint64_t>(100, 108));
+
+//===----------------------------------------------------------------------===//
+// Fuzz campaigns: sharded workers, byte-identical usher-fuzz-v1 report
+//===----------------------------------------------------------------------===//
+
+std::string campaignJson(uint64_t Seed, unsigned Jobs) {
+  fuzz::FuzzOptions Opts;
+  Opts.Seed = Seed;
+  Opts.Runs = 24;
+  Opts.Jobs = Jobs;
+  fuzz::FuzzReport Rep = fuzz::runFuzzer(Opts);
+  std::string Buf;
+  raw_string_ostream OS(Buf);
+  Rep.printJson(OS);
+  return Buf;
+}
+
+class FuzzParallelDeterminism : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FuzzParallelDeterminism, CampaignReportIsByteIdentical) {
+  const uint64_t Seed = GetParam();
+  std::string Serial = campaignJson(Seed, 1);
+  for (unsigned Jobs : {2u, 8u})
+    EXPECT_EQ(Serial, campaignJson(Seed, Jobs))
+        << "jobs=" << Jobs << " campaign seed " << Seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzParallelDeterminism,
+                         ::testing::Values(1, 7, 42, 1234, 9001));
+
+} // namespace

@@ -1,16 +1,21 @@
 #!/usr/bin/env python3
-"""Schema validator for bench_solver's BENCH_solver.json.
+"""Schema validator for the benchmark harness JSON reports.
+
+Dispatches on the report's "schema" tag:
+  usher-bench-solver-v1    bench_solver's BENCH_solver.json
+  usher-bench-parallel-v1  bench_parallel's BENCH_parallel.json
 
 Usage:
   check_bench_json.py FILE.json              validate an existing report
   check_bench_json.py --run-smoke BENCH_BIN  run `BENCH_BIN --smoke` into a
                                              temp file, then validate it
 
-The bench-smoke ctest uses --run-smoke so the benchmark harness and its
-machine-readable output stay covered without burning tier-1 time on the
-full workload sizes. Speedup thresholds are deliberately NOT enforced for
-smoke runs (tiny sizes measure nothing); for full runs the summary must
-merely be well-formed — EXPERIMENTS.md records the expected >=2x.
+The bench-smoke ctests use --run-smoke so the benchmark harnesses and
+their machine-readable output stay covered without burning tier-1 time on
+the full workload sizes. Speedup thresholds are deliberately NOT enforced
+(tiny smoke sizes measure nothing, and bench_parallel's ratio depends on
+the host's core count); the summary must merely be well-formed —
+EXPERIMENTS.md records and interprets the measured numbers.
 """
 
 import json
@@ -58,20 +63,27 @@ def check_engine(workload, key):
         )
 
 
-def check_report(path):
-    try:
-        with open(path) as f:
-            report = json.load(f)
-    except (OSError, json.JSONDecodeError) as e:
-        fail(f"cannot load {path}: {e}")
+def check_summary(report):
+    summary = report.get("summary")
+    if not isinstance(summary, dict):
+        fail("missing 'summary'")
+    for field in ("min_speedup", "geomean_speedup"):
+        value = summary.get(field)
+        if not isinstance(value, (int, float)) or value <= 0:
+            fail(f"summary: bad {field!r}: {value!r}")
+    if summary["min_speedup"] > summary["geomean_speedup"] + 1e-9:
+        fail("summary: min_speedup exceeds geomean_speedup")
 
-    if report.get("schema") != "usher-bench-solver-v1":
-        fail(f"unexpected schema tag: {report.get('schema')!r}")
+
+def check_common_header(report):
     if not isinstance(report.get("smoke"), bool):
         fail("missing boolean 'smoke' flag")
     if not isinstance(report.get("iterations"), int) or report["iterations"] < 1:
         fail("missing positive integer 'iterations'")
 
+
+def check_solver_report(report, path):
+    check_common_header(report)
     workloads = report.get("workloads")
     if not isinstance(workloads, list) or not workloads:
         fail("'workloads' missing or empty")
@@ -99,23 +111,71 @@ def check_report(path):
                 "reference's — difference propagation is not working"
             )
 
-    summary = report.get("summary")
-    if not isinstance(summary, dict):
-        fail("missing 'summary'")
-    for field in ("min_speedup", "geomean_speedup"):
-        value = summary.get(field)
-        if not isinstance(value, (int, float)) or value <= 0:
-            fail(f"summary: bad {field!r}: {value!r}")
-    if summary["min_speedup"] > summary["geomean_speedup"] + 1e-9:
-        fail("summary: min_speedup exceeds geomean_speedup")
-
+    check_summary(report)
     print(f"check_bench_json: OK: {path} ({len(workloads)} workloads)")
+
+
+def check_parallel_report(report, path):
+    check_common_header(report)
+    for field in ("jobs", "hardware_concurrency"):
+        if not isinstance(report.get(field), int) or report[field] < 1:
+            fail(f"missing positive integer {field!r}")
+    if report["jobs"] < 2:
+        fail("parallel configuration must use at least 2 workers")
+
+    benchmarks = report.get("benchmarks")
+    if not isinstance(benchmarks, list) or not benchmarks:
+        fail("'benchmarks' missing or empty")
+    if not report["smoke"] and len(benchmarks) != 15:
+        fail(f"full run must cover the 15-program suite, got {len(benchmarks)}")
+    names = set()
+    for bench in benchmarks:
+        name = bench.get("name")
+        if not isinstance(name, str) or not name:
+            fail("benchmark with missing name")
+        if name in names:
+            fail(f"duplicate benchmark name {name!r}")
+        names.add(name)
+        for field in ("serial_ms", "parallel_ms", "speedup"):
+            value = bench.get(field)
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                fail(f"benchmark {name!r}: bad {field!r}: {value!r}")
+            if value <= 0:
+                fail(f"benchmark {name!r}: non-positive {field!r}: {value!r}")
+        for field in ("vfg_nodes", "vfg_edges", "checks"):
+            value = bench.get(field)
+            if not isinstance(value, int) or value < 0:
+                fail(f"benchmark {name!r}: bad {field!r}: {value!r}")
+        # Loose tolerance: both timings and the speedup are independently
+        # rounded to 4 decimals, which compounds for sub-millisecond runs.
+        ratio = bench["serial_ms"] / bench["parallel_ms"]
+        if abs(ratio - bench["speedup"]) > max(0.01, 0.01 * ratio):
+            fail(f"benchmark {name!r}: speedup inconsistent with timings")
+
+    check_summary(report)
+    print(f"check_bench_json: OK: {path} ({len(benchmarks)} benchmarks)")
+
+
+def check_report(path):
+    try:
+        with open(path) as f:
+            report = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot load {path}: {e}")
+
+    schema = report.get("schema")
+    if schema == "usher-bench-solver-v1":
+        check_solver_report(report, path)
+    elif schema == "usher-bench-parallel-v1":
+        check_parallel_report(report, path)
+    else:
+        fail(f"unexpected schema tag: {schema!r}")
 
 
 def main(argv):
     if len(argv) == 3 and argv[1] == "--run-smoke":
         with tempfile.TemporaryDirectory() as tmp:
-            out = os.path.join(tmp, "BENCH_solver.json")
+            out = os.path.join(tmp, "report.json")
             proc = subprocess.run([argv[2], "--smoke", f"--out={out}"])
             if proc.returncode != 0:
                 fail(f"{argv[2]} --smoke exited with {proc.returncode}")

@@ -27,6 +27,9 @@
 ///   usher-cli prog.tc --inject-fault=pta@0  force budget exhaustion
 ///   usher-cli prog.tc --naive-solver  reference Andersen engine (no SCC
 ///                                     collapsing / difference propagation)
+///   usher-cli prog.tc --jobs=8        run the parallel analysis phases on
+///                                     8 workers (output byte-identical to
+///                                     --jobs=1)
 ///
 /// Exit codes: 0 success (including degraded analysis — a note goes to
 /// stderr), 2 usage/parse/input error, 3 runtime warnings were reported,
@@ -40,6 +43,7 @@
 #include "runtime/Interpreter.h"
 #include "support/FaultInjection.h"
 #include "support/RawStream.h"
+#include "support/ThreadPool.h"
 #include "transforms/Transforms.h"
 
 #include <cstdio>
@@ -73,6 +77,7 @@ struct CliOptions {
   analysis::SolverKind Solver = analysis::SolverKind::Optimized;
   BudgetLimits Limits;
   std::optional<FaultPlan> Fault;
+  uint64_t Jobs = 1;
 };
 
 int usage(const char *Argv0) {
@@ -81,7 +86,12 @@ int usage(const char *Argv0) {
             "[--opt=O0|O1|O2] [--compare] [--stats] [--print-ir] [--dot] "
             "[--no-run] [--naive-solver] [--budget-ms=<N>] "
             "[--budget-steps=<N>] [--inject-fault=<phase>@<step>[:once]] "
-            "[--diagnose] [--diag-json=<file>]\n"
+            "[--diagnose] [--diag-json=<file>] [--jobs=<N>]\n"
+            "\n"
+            "  --jobs=<N>          worker threads for the parallel analysis\n"
+            "                      phases (default 1 = serial; 0 = all\n"
+            "                      cores). Output is byte-identical for\n"
+            "                      every value of N.\n"
             "\n"
             "  --diagnose          classify every critical operation as\n"
             "                      CLEAN, MAY-UUV or DEFINITE-UUV and print\n"
@@ -172,6 +182,9 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
         Opts.Preset = transforms::OptPreset::O2;
       else
         return false;
+    } else if (Arg.rfind("--jobs=", 0) == 0) {
+      if (!parseUInt(Arg.substr(7), Opts.Jobs) || Opts.Jobs > 64)
+        return false;
     } else if (Arg.rfind("--budget-ms=", 0) == 0) {
       if (!parseUInt(Arg.substr(12), Opts.Limits.PhaseDeadlineMs))
         return false;
@@ -260,7 +273,12 @@ int main(int Argc, char **Argv) {
     return ExitInputError;
   }
   ir::Module &M = *Parsed.M;
-  transforms::runPreset(M, Opts.Preset);
+  unsigned Jobs = Opts.Jobs == 0 ? ThreadPool::defaultJobs()
+                                 : static_cast<unsigned>(Opts.Jobs);
+  std::unique_ptr<ThreadPool> Pool;
+  if (Jobs > 1)
+    Pool = std::make_unique<ThreadPool>(Jobs);
+  transforms::runPreset(M, Opts.Preset, Pool.get());
 
   raw_ostream &OS = outs();
   if (Opts.PrintIR)
@@ -283,6 +301,7 @@ int main(int Argc, char **Argv) {
     UO.Pta.Solver = Opts.Solver;
     UO.Limits = Opts.Limits;
     UO.Fault = Opts.Fault;
+    UO.Jobs = Jobs;
     core::UsherResult R = core::runUsher(M, UO);
     if (R.Degradation.Degraded)
       errs() << "note: analysis degraded: " << R.Degradation.summary()

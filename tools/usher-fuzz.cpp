@@ -43,7 +43,10 @@ void printUsage(raw_ostream &OS) {
      << "  --json=PATH     write the usher-fuzz-v1 report (- for stdout)\n"
      << "  --no-reduce     report divergences without minimizing them\n"
      << "  --max-corpus=N  corpus capacity (default 64)\n"
-     << "  --max-steps=N   interpreter step budget per run\n";
+     << "  --max-steps=N   interpreter step budget per run\n"
+     << "  --jobs=N        campaign worker threads (default 1 = serial;\n"
+     << "                  0 = all cores; report is byte-identical for\n"
+     << "                  every value)\n";
 }
 
 bool parseUInt(const std::string &Text, uint64_t &Out) {
@@ -78,6 +81,10 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Cli) {
       if (!parseUInt(Arg.substr(12), N) || N == 0)
         return false;
       Cli.Fuzz.Oracle.MaxSteps = N;
+    } else if (Arg.rfind("--jobs=", 0) == 0) {
+      if (!parseUInt(Arg.substr(7), N) || N > 64)
+        return false;
+      Cli.Fuzz.Jobs = static_cast<unsigned>(N);
     } else {
       return false;
     }
