@@ -1,0 +1,205 @@
+//===- bench/bench_serve.cpp - Analysis service throughput/latency ---------===//
+//
+// Part of the Usher project, reproducing "Accelerating Dynamic Detection of
+// Uses of Undefined Values with Static Value-Flow Analysis" (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Measures the analysis service end to end: a real Daemon on an AF_UNIX
+/// socket (hosted in-process on its own thread), driven by the blocking
+/// ServeClient exactly as usher-serve --client would. Two legs over the
+/// SPEC-like suite programs:
+///
+///   cold — every request is the first sight of its program (the
+///          snapshot directory starts empty per round), so each reply
+///          pays a full pipeline run plus the wire round trip.
+///   warm — the identical request stream replayed against the now-seeded
+///          store, so each reply is assembled from validated snapshots.
+///
+/// Every warm payload is byte-compared against its cold counterpart; any
+/// mismatch aborts the harness (warm_identical would be false), because
+/// a speedup bought with a different answer is a bug, not a result.
+/// Emits BENCH_serve.json (schema usher-serve-v1, kind "bench",
+/// validated by tools/check_serve_json.py).
+///
+/// Usage: bench_serve [--smoke] [--out=FILE]
+///   --smoke     first three suite programs, one round; used by the
+///               bench-smoke ctest.
+///   --out=FILE  where to write the JSON (default: BENCH_serve.json).
+///
+//===----------------------------------------------------------------------===//
+
+#include "ir/IR.h"
+#include "serve/Client.h"
+#include "serve/Daemon.h"
+#include "support/RawStream.h"
+#include "workload/Spec2000.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+using namespace usher;
+using namespace usher::serve;
+
+namespace {
+
+double percentile(std::vector<double> Sorted, double P) {
+  if (Sorted.empty())
+    return 0.0;
+  std::sort(Sorted.begin(), Sorted.end());
+  const size_t Idx = static_cast<size_t>(P * (Sorted.size() - 1) + 0.5);
+  return Sorted[std::min(Idx, Sorted.size() - 1)];
+}
+
+struct LegResult {
+  double RequestsPerSec = 0.0;
+  double P50Ms = 0.0;
+  double P99Ms = 0.0;
+  std::vector<std::string> Payloads;
+};
+
+/// Issues one analyze request per source through \p Client, timing each
+/// call; \p Rounds repeats the stream to accumulate a latency sample.
+LegResult runLeg(ServeClient &Client, const std::vector<std::string> &Sources,
+                 unsigned Rounds) {
+  LegResult R;
+  std::vector<double> LatMs;
+  const auto T0 = std::chrono::steady_clock::now();
+  for (unsigned Round = 0; Round != Rounds; ++Round) {
+    for (size_t I = 0; I != Sources.size(); ++I) {
+      Request Rq;
+      Rq.Kind = Op::Analyze;
+      Rq.Id = Round * Sources.size() + I + 1;
+      Rq.Source = Sources[I];
+      const auto C0 = std::chrono::steady_clock::now();
+      CallResult CR = Client.call(Rq);
+      const auto C1 = std::chrono::steady_clock::now();
+      if (CR.Outcome != CallOutcome::Ok ||
+          CR.Rp.Status != ReplyStatus::Ok) {
+        std::fprintf(stderr, "bench_serve: request %llu failed: %s\n",
+                     static_cast<unsigned long long>(Rq.Id),
+                     CR.Error.empty() ? replyStatusName(CR.Rp.Status)
+                                      : CR.Error.c_str());
+        std::exit(1);
+      }
+      LatMs.push_back(
+          std::chrono::duration<double, std::milli>(C1 - C0).count());
+      if (Round == 0)
+        R.Payloads.push_back(std::move(CR.Rp.Payload));
+    }
+  }
+  const double TotalSec =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - T0)
+          .count();
+  R.RequestsPerSec = TotalSec > 0 ? LatMs.size() / TotalSec : 0.0;
+  R.P50Ms = percentile(LatMs, 0.50);
+  R.P99Ms = percentile(LatMs, 0.99);
+  return R;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  bool Smoke = false;
+  std::string OutPath = "BENCH_serve.json";
+  for (int I = 1; I != argc; ++I) {
+    if (std::strcmp(argv[I], "--smoke") == 0)
+      Smoke = true;
+    else if (std::strncmp(argv[I], "--out=", 6) == 0)
+      OutPath = argv[I] + 6;
+    else {
+      std::fprintf(stderr, "usage: bench_serve [--smoke] [--out=FILE]\n");
+      return 2;
+    }
+  }
+
+  // Program stream: the canonical suite, printed to source text once.
+  std::vector<std::string> Sources;
+  for (const workload::BenchmarkProgram &B : workload::spec2000Suite()) {
+    auto M = workload::loadBenchmark(B);
+    std::string Text;
+    raw_string_ostream OS(Text);
+    M->print(OS);
+    Sources.push_back(std::move(Text));
+    if (Smoke && Sources.size() == 3)
+      break;
+  }
+  const unsigned Rounds = Smoke ? 1 : 5;
+
+  const auto Base = std::filesystem::temp_directory_path() /
+                    ("usher-bench-serve-" + std::to_string(::getpid()));
+  std::filesystem::remove_all(Base);
+  std::filesystem::create_directories(Base / "snap");
+
+  DaemonOptions DO;
+  DO.SocketPath = (Base / "bench.sock").string();
+  DO.SnapshotDir = (Base / "snap").string();
+  DO.Workers = 2;
+  Daemon D(DO);
+  if (!D.listen()) {
+    std::fprintf(stderr, "bench_serve: cannot listen on %s\n",
+                 DO.SocketPath.c_str());
+    return 1;
+  }
+  std::thread Loop([&D] { D.run(); });
+
+  ClientOptions CO;
+  CO.SocketPath = DO.SocketPath;
+  ServeClient Client(CO);
+
+  // Cold leg: requests_per_sec over Rounds passes of the stream, where
+  // only the first pass is truly cold; latencies beyond pass one are
+  // warm, so the cold percentiles are taken from pass one alone. Keep it
+  // honest by timing the cold pass separately.
+  LegResult Cold = runLeg(Client, Sources, 1);
+  LegResult Warm = runLeg(Client, Sources, Rounds);
+
+  bool WarmIdentical = Cold.Payloads == Warm.Payloads;
+  D.requestStop();
+  Loop.join();
+  std::filesystem::remove_all(Base);
+
+  if (!WarmIdentical) {
+    std::fprintf(stderr,
+                 "bench_serve: warm payloads differ from cold — refusing "
+                 "to report a speedup bought with a different answer\n");
+    return 1;
+  }
+
+  FILE *Out = std::fopen(OutPath.c_str(), "w");
+  if (!Out) {
+    std::fprintf(stderr, "bench_serve: cannot write %s\n", OutPath.c_str());
+    return 1;
+  }
+  raw_fd_ostream OS(Out);
+  OS << "{\n";
+  OS << "  \"schema\": \"usher-serve-v1\",\n";
+  OS << "  \"kind\": \"bench\",\n";
+  OS << "  \"smoke\": " << (Smoke ? "true" : "false") << ",\n";
+  OS << "  \"requests\": " << (Sources.size() * (Rounds + 1)) << ",\n";
+  OS.printf("  \"cold\": {\"requests_per_sec\": %.2f, \"p50_ms\": %.4f, "
+            "\"p99_ms\": %.4f},\n",
+            Cold.RequestsPerSec, Cold.P50Ms, Cold.P99Ms);
+  OS.printf("  \"warm\": {\"requests_per_sec\": %.2f, \"p50_ms\": %.4f, "
+            "\"p99_ms\": %.4f},\n",
+            Warm.RequestsPerSec, Warm.P50Ms, Warm.P99Ms);
+  OS << "  \"warm_identical\": true\n";
+  OS << "}\n";
+  OS.flush();
+  std::fclose(Out);
+
+  std::printf("bench_serve: cold %.1f req/s (p50 %.3f ms, p99 %.3f ms), "
+              "warm %.1f req/s (p50 %.3f ms, p99 %.3f ms) -> %s\n",
+              Cold.RequestsPerSec, Cold.P50Ms, Cold.P99Ms,
+              Warm.RequestsPerSec, Warm.P50Ms, Warm.P99Ms, OutPath.c_str());
+  return 0;
+}

@@ -46,6 +46,7 @@ OracleOptions onlyOracle(OracleKind K, const OracleOptions &Base) {
   Only.CheckSolver = K == OracleKind::SolverEquivalence;
   Only.CheckDiagnosis = K == OracleKind::DiagnosisSoundness;
   Only.CheckDegradation = K == OracleKind::DegradationSoundness;
+  Only.CheckServe = K == OracleKind::ServeEquivalence;
   return Only;
 }
 
@@ -181,10 +182,20 @@ FuzzReport fuzz::runFuzzer(const FuzzOptions &Opts) {
     Rep.Divergences.push_back(std::move(Rec));
   };
 
+  auto Stopped = [&Opts, &Rep] {
+    if (Opts.Stop && Opts.Stop->load(std::memory_order_relaxed)) {
+      Rep.Interrupted = true;
+      return true;
+    }
+    return false;
+  };
+  unsigned Completed = 0;
+
   if (!Pool) {
-    for (unsigned Run = 0; Run != Opts.Runs; ++Run) {
+    for (unsigned Run = 0; Run != Opts.Runs && !Stopped(); ++Run) {
       auto [Source, K] = scheduleOne(Rng, Corpus, Opts.Gen);
       Apply(Run, Source, K, runOracles(Source, Opts.Oracle));
+      Completed = Run + 1;
     }
   } else {
     // Speculative sharding. Predict a window of inputs from a cloned RNG
@@ -199,7 +210,9 @@ FuzzReport fuzz::runFuzzer(const FuzzOptions &Opts) {
     const unsigned Window = Pool->numThreads() * 2;
     unsigned Run = 0;
     std::vector<std::string> SpecSources;
-    while (Run != Opts.Runs) {
+    // Interruption is checked at window boundaries: completed rounds are
+    // whole rounds either way, so the partial report stays consistent.
+    while (Run != Opts.Runs && !Stopped()) {
       unsigned W = std::min(Window, Opts.Runs - Run);
       RNG SpecRng = Rng;
       SpecSources.clear();
@@ -220,8 +233,10 @@ FuzzReport fuzz::runFuzzer(const FuzzOptions &Opts) {
           break;
       }
     }
+    Completed = Run;
   }
 
+  Rep.Runs = Completed;
   Rep.CorpusSize = static_cast<unsigned>(Corpus.size());
   Rep.CoverageKeys = Cov.size();
   return Rep;
@@ -232,6 +247,7 @@ void FuzzReport::printJson(raw_ostream &OS) const {
   OS << "  \"schema\": \"usher-fuzz-v1\",\n";
   OS << "  \"seed\": " << Seed << ",\n";
   OS << "  \"runs\": " << Runs << ",\n";
+  OS << "  \"interrupted\": " << (Interrupted ? "true" : "false") << ",\n";
   OS << "  \"valid\": " << NumValid << ",\n";
   OS << "  \"invalid\": " << NumInvalid << ",\n";
   OS << "  \"scheduled\": {\"generated\": " << NumGenerated

@@ -39,6 +39,7 @@
 #include "fuzz/Reducer.h"
 #include "workload/Generator.h"
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -70,6 +71,12 @@ struct FuzzOptions {
   /// reports: workers only evaluate speculatively predicted inputs, and an
   /// authoritative serial replay makes every scheduling decision.
   unsigned Jobs = 1;
+  /// Cooperative cancellation: when non-null and raised (e.g. by a
+  /// SIGINT/SIGTERM handler), the campaign stops at the next round
+  /// boundary. The report then covers exactly the completed rounds
+  /// (Runs is adjusted) and carries Interrupted = true, so a flushed
+  /// partial campaign still satisfies every schema invariant.
+  const std::atomic<bool> *Stop = nullptr;
 };
 
 /// One minimized oracle violation.
@@ -87,7 +94,10 @@ struct DivergenceRecord {
 /// Campaign summary; printJson emits schema "usher-fuzz-v1".
 struct FuzzReport {
   uint64_t Seed = 0;
+  /// Rounds actually completed: equals the scheduled count unless the
+  /// campaign was interrupted, so per-round tallies always sum to Runs.
   unsigned Runs = 0;
+  bool Interrupted = false;
   unsigned NumValid = 0;
   unsigned NumInvalid = 0;
   unsigned NumGenerated = 0;
@@ -97,8 +107,8 @@ struct FuzzReport {
   unsigned CorpusSize = 0;
   uint64_t CoverageKeys = 0;
   /// Per-oracle tallies, indexed by OracleKind.
-  unsigned OracleChecked[NumOracleKinds] = {0, 0, 0, 0};
-  unsigned OracleDiverged[NumOracleKinds] = {0, 0, 0, 0};
+  unsigned OracleChecked[NumOracleKinds] = {};
+  unsigned OracleDiverged[NumOracleKinds] = {};
   std::vector<DivergenceRecord> Divergences;
 
   bool clean() const { return Divergences.empty(); }

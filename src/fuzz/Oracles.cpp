@@ -14,6 +14,8 @@
 #include "ir/IR.h"
 #include "ir/Verifier.h"
 #include "parser/Parser.h"
+#include "serve/Protocol.h"
+#include "serve/Session.h"
 
 #include <map>
 #include <set>
@@ -41,6 +43,8 @@ const char *fuzz::oracleKindName(OracleKind K) {
     return "diagnosis-soundness";
   case OracleKind::DegradationSoundness:
     return "degradation-soundness";
+  case OracleKind::ServeEquivalence:
+    return "serve-equivalence";
   }
   return "unknown";
 }
@@ -378,6 +382,89 @@ OracleOutcome fuzz::runOracles(const std::string &Source,
         Diverge(OracleKind::DegradationSoundness,
                 Tag + ": " +
                     describeSetDiff(warnIds(Rep.ToolWarnings), Oracle));
+    }
+  }
+
+  // -- Oracle 5: analysis service equivalence ----------------------------
+  if (Opts.CheckServe) {
+    Out.Checked[static_cast<unsigned>(OracleKind::ServeEquivalence)] = true;
+    // One in-process Session with an in-memory snapshot store; every
+    // request goes through the full wire encoding round trip so the
+    // protocol layer is part of the differential surface.
+    serve::SessionOptions SOpts;
+    serve::Session Sess(SOpts);
+    auto RoundTrip = [&Sess, &Diverge](serve::Request Rq,
+                                       serve::Reply &Rp) -> bool {
+      std::string Wire = serve::frame(serve::encodeRequest(Rq));
+      serve::FrameReader Reader;
+      // Split the feed so the incremental reassembly path is exercised.
+      Reader.append(Wire.data(), Wire.size() / 2);
+      Reader.append(Wire.data() + Wire.size() / 2,
+                    Wire.size() - Wire.size() / 2);
+      std::string Body, Err;
+      if (Reader.next(Body, &Err) != serve::FrameReader::Result::Frame) {
+        Diverge(OracleKind::ServeEquivalence, "request frame lost: " + Err);
+        return false;
+      }
+      serve::Request Decoded;
+      if (!serve::decodeRequest(Body, Decoded, &Err)) {
+        Diverge(OracleKind::ServeEquivalence,
+                "request did not survive encoding: " + Err);
+        return false;
+      }
+      serve::Reply Raw = Sess.handle(Decoded);
+      if (!serve::decodeReply(serve::encodeReply(Raw), Rp, &Err)) {
+        Diverge(OracleKind::ServeEquivalence,
+                "reply did not survive encoding: " + Err);
+        return false;
+      }
+      return true;
+    };
+
+    for (serve::Op O : {serve::Op::Analyze, serve::Op::Diagnose}) {
+      serve::Request Rq;
+      Rq.Kind = O;
+      Rq.Id = static_cast<uint64_t>(O) + 1;
+      Rq.Source = Source;
+      serve::Reply Cold, Warm;
+      if (!RoundTrip(Rq, Cold) || !RoundTrip(Rq, Warm))
+        continue;
+      const char *Name = serve::opName(O);
+      if (Cold.Status != serve::ReplyStatus::Ok)
+        Diverge(OracleKind::ServeEquivalence,
+                std::string(Name) + ": unbudgeted request not OK: " +
+                    Cold.Payload);
+      if (Warm.Payload != Cold.Payload ||
+          Warm.Status != Cold.Status)
+        Diverge(OracleKind::ServeEquivalence,
+                std::string(Name) + ": warm reply differs from cold");
+    }
+    // Both ops must have warm-started from their snapshots.
+    if (Sess.servedWarm() != 2)
+      Diverge(OracleKind::ServeEquivalence,
+              "expected 2 warm replies, got " +
+                  std::to_string(Sess.servedWarm()));
+
+    // Cross-check the service's totals against a direct pipeline run: the
+    // module line carries the plan's check count.
+    auto M = parseFresh(Source);
+    core::UsherOptions UOpts;
+    core::UsherResult R = core::runUsher(*M, UOpts);
+    serve::Request Rq;
+    Rq.Kind = serve::Op::Analyze;
+    Rq.Id = 99;
+    Rq.Source = Source;
+    serve::Reply Rp;
+    if (RoundTrip(Rq, Rp)) {
+      const std::string Needle =
+          "module: variant=" +
+          std::string(core::toolVariantName(R.Degradation.Rung)) +
+          " checks=" + std::to_string(R.Plan.countChecks()) + " ";
+      if (Rp.Payload.find(Needle) == std::string::npos)
+        Diverge(OracleKind::ServeEquivalence,
+                "service check total disagrees with in-process pipeline "
+                "(expected" +
+                    Needle + ")");
     }
   }
 

@@ -6,7 +6,7 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The four differential oracles the fuzzer evaluates on every valid
+/// The five differential oracles the fuzzer evaluates on every valid
 /// input, each reusing an existing piece of the project's verification
 /// infrastructure:
 ///
@@ -25,6 +25,12 @@
 ///  4. DegradationSoundness — injected budget exhaustion in each pipeline
 ///     phase must land on the documented rung and keep the plan's
 ///     warnings exact.
+///  5. ServeEquivalence — the analysis service must answer what the
+///     in-process pipeline computes: each program is replayed through the
+///     full wire protocol (encode, frame, reassemble, decode) into a
+///     Session backed by an in-memory snapshot store, twice. The cold
+///     reply's check totals must match a direct runUsher, and the warm
+///     (snapshot-assembled) reply must be byte-identical to the cold one.
 ///
 /// Programs are interchanged as TinyC source text; each pipeline run
 /// parses its own fresh module because heap cloning mutates modules, and
@@ -50,9 +56,10 @@ enum class OracleKind : uint8_t {
   SolverEquivalence,
   DiagnosisSoundness,
   DegradationSoundness,
+  ServeEquivalence,
 };
 
-constexpr unsigned NumOracleKinds = 4;
+constexpr unsigned NumOracleKinds = 5;
 
 /// Stable lower-case name used in reports and JSON
 /// ("variant-equivalence", "solver-equivalence", ...).
@@ -71,6 +78,7 @@ struct OracleOptions {
   bool CheckSolver = true;
   bool CheckDiagnosis = true;
   bool CheckDegradation = true;
+  bool CheckServe = true;
   /// Applied to every interpreter run. Mutants can manufacture infinite
   /// loops, so the default step budget is far below the interpreter's.
   uint64_t MaxSteps = 2'000'000;
@@ -87,7 +95,7 @@ struct OracleOutcome {
   /// Coverage fingerprint (populated only for valid inputs).
   FeatureSet Features;
   /// Which oracles actually ran, indexed by OracleKind.
-  bool Checked[NumOracleKinds] = {false, false, false, false};
+  bool Checked[NumOracleKinds] = {};
 
   int64_t MainResult = 0;
   uint64_t NumOracleWarnings = 0;

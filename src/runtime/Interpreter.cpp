@@ -318,6 +318,13 @@ bool Interpreter::Impl::step() {
     Report.Reason = ExitReason::StepLimit;
     return false;
   }
+  // Cooperative interrupt poll, rate-limited so the common case stays one
+  // untaken branch per step.
+  if (Limits.Interrupt && (Report.Steps & 0xFFF) == 0 &&
+      Limits.Interrupt->load(std::memory_order_relaxed)) {
+    Report.Reason = ExitReason::Interrupted;
+    return false;
+  }
   Report.BaseCost += Model.baseCost(*I);
 
   if (Plan && !runOps(Plan->before(I), F, I))

@@ -25,6 +25,7 @@
 #include "core/InstrumentationPlan.h"
 #include "runtime/CostModel.h"
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -39,6 +40,7 @@ enum class ExitReason {
   Finished,       ///< main returned.
   StepLimit,      ///< exceeded ExecLimits::MaxSteps.
   Trap,           ///< wild pointer, out-of-range field, call-depth, ...
+  Interrupted,    ///< ExecLimits::Interrupt was raised (e.g. SIGINT).
 };
 
 /// Resource limits for one execution.
@@ -46,6 +48,12 @@ struct ExecLimits {
   uint64_t MaxSteps = 200'000'000;
   uint32_t MaxCallDepth = 4096;
   uint32_t MaxInstances = 4'000'000;
+  /// Cooperative cancellation: when non-null, the interpreter polls this
+  /// flag periodically (every few thousand steps) and stops with
+  /// ExitReason::Interrupted once it reads true. Signal handlers set the
+  /// flag; the interpreter does the orderly stop, so a partial report is
+  /// always available for flushing.
+  const std::atomic<bool> *Interrupt = nullptr;
   /// Record executed control-flow edges and the peak frame depth in the
   /// report (ExecutionReport::EdgeHits / MaxFrameDepth). Off by default:
   /// the counters are cheap but not free, and only the fuzzer's coverage

@@ -7,8 +7,10 @@
 
 #include "support/FaultInjection.h"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 
 using namespace usher;
 
@@ -77,4 +79,150 @@ std::optional<FaultPlan> usher::faultPlanFromEnv() {
     std::fprintf(stderr, "warning: ignoring %s: %s\n", FaultInjectionEnvVar,
                  Err.c_str());
   return Plan;
+}
+
+//===----------------------------------------------------------------------===//
+// Deterministic I/O fault sites
+//===----------------------------------------------------------------------===//
+
+const char *usher::ioFaultSiteName(IoFaultSite S) {
+  switch (S) {
+  case IoFaultSite::SnapshotRead:
+    return "snapshot-read";
+  case IoFaultSite::SnapshotWrite:
+    return "snapshot-write";
+  case IoFaultSite::SnapshotTornWrite:
+    return "snapshot-torn-write";
+  case IoFaultSite::SocketDropReply:
+    return "socket-drop-reply";
+  case IoFaultSite::ParseAlloc:
+    return "parse-alloc";
+  }
+  return "unknown";
+}
+
+bool usher::parseIoFaultSiteName(std::string_view Name, IoFaultSite &Out) {
+  for (unsigned I = 0; I != NumIoFaultSites; ++I) {
+    IoFaultSite S = static_cast<IoFaultSite>(I);
+    if (Name == ioFaultSiteName(S)) {
+      Out = S;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::optional<IoFaultSpec> usher::parseIoFaultSpec(std::string_view Spec,
+                                                   std::string *Err) {
+  auto Fail = [&](const char *Msg) -> std::optional<IoFaultSpec> {
+    if (Err)
+      *Err = std::string(Msg) + " in I/O fault spec '" + std::string(Spec) +
+             "' (expected <site>@<hit>[:once], site one of "
+             "snapshot-read|snapshot-write|snapshot-torn-write|"
+             "socket-drop-reply|parse-alloc)";
+    return std::nullopt;
+  };
+
+  size_t At = Spec.find('@');
+  if (At == std::string_view::npos)
+    return Fail("missing '@'");
+
+  IoFaultSpec Plan;
+  if (!parseIoFaultSiteName(Spec.substr(0, At), Plan.Site))
+    return Fail("unknown site");
+
+  std::string_view Rest = Spec.substr(At + 1);
+  if (Rest.size() >= 5 && Rest.substr(Rest.size() - 5) == ":once") {
+    Plan.Once = true;
+    Rest = Rest.substr(0, Rest.size() - 5);
+  }
+  if (Rest.empty())
+    return Fail("missing hit ordinal");
+  uint64_t Hit = 0;
+  for (char C : Rest) {
+    if (C < '0' || C > '9')
+      return Fail("non-numeric hit ordinal");
+    Hit = Hit * 10 + static_cast<uint64_t>(C - '0');
+  }
+  if (Hit == 0)
+    return Fail("hit ordinal is 1-based");
+  Plan.AtHit = Hit;
+  return Plan;
+}
+
+std::optional<IoFaultSpec> usher::ioFaultSpecFromEnv() {
+  const char *Val = std::getenv(IoFaultInjectionEnvVar);
+  if (!Val || !*Val)
+    return std::nullopt;
+  std::string Err;
+  std::optional<IoFaultSpec> Plan = parseIoFaultSpec(Val, &Err);
+  if (!Plan)
+    std::fprintf(stderr, "warning: ignoring %s: %s\n", IoFaultInjectionEnvVar,
+                 Err.c_str());
+  return Plan;
+}
+
+namespace {
+
+/// Process-global state of one I/O site. Traversals are counted with a
+/// relaxed atomic; arming takes a mutex (rare, test/setup only).
+struct IoSiteState {
+  std::atomic<bool> Armed{false};
+  std::atomic<uint64_t> AtHit{0};
+  std::atomic<bool> Once{false};
+  std::atomic<uint64_t> Hits{0};
+};
+
+IoSiteState &ioSite(IoFaultSite S) {
+  static IoSiteState Sites[NumIoFaultSites];
+  return Sites[static_cast<unsigned>(S)];
+}
+
+std::mutex &ioArmMutex() {
+  static std::mutex M;
+  return M;
+}
+
+} // namespace
+
+void usher::armIoFault(const IoFaultSpec &Spec) {
+  std::lock_guard<std::mutex> L(ioArmMutex());
+  IoSiteState &St = ioSite(Spec.Site);
+  St.Hits.store(0, std::memory_order_relaxed);
+  St.AtHit.store(Spec.AtHit, std::memory_order_relaxed);
+  St.Once.store(Spec.Once, std::memory_order_relaxed);
+  St.Armed.store(true, std::memory_order_release);
+}
+
+void usher::disarmIoFaults() {
+  std::lock_guard<std::mutex> L(ioArmMutex());
+  for (unsigned I = 0; I != NumIoFaultSites; ++I) {
+    IoSiteState &St = ioSite(static_cast<IoFaultSite>(I));
+    St.Armed.store(false, std::memory_order_release);
+    St.Hits.store(0, std::memory_order_relaxed);
+  }
+}
+
+bool usher::ioFaultShouldFail(IoFaultSite S) {
+  IoSiteState &St = ioSite(S);
+  uint64_t Ordinal = St.Hits.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (!St.Armed.load(std::memory_order_acquire))
+    return false;
+  uint64_t At = St.AtHit.load(std::memory_order_relaxed);
+  if (St.Once.load(std::memory_order_relaxed))
+    return Ordinal == At;
+  return Ordinal >= At;
+}
+
+uint64_t usher::ioFaultTraversals(IoFaultSite S) {
+  return ioSite(S).Hits.load(std::memory_order_relaxed);
+}
+
+std::vector<std::string> usher::allFaultSiteNames() {
+  std::vector<std::string> Names;
+  for (unsigned P = 0; P != NumBudgetPhases; ++P)
+    Names.push_back(budgetPhaseName(static_cast<BudgetPhase>(P)));
+  for (unsigned I = 0; I != NumIoFaultSites; ++I)
+    Names.push_back(ioFaultSiteName(static_cast<IoFaultSite>(I)));
+  return Names;
 }

@@ -25,6 +25,7 @@ ORACLE_NAMES = [
     "solver-equivalence",
     "diagnosis-soundness",
     "degradation-soundness",
+    "serve-equivalence",
 ]
 
 COUNTER_FIELDS = ["seed", "runs", "valid", "invalid", "corpus_size", "coverage_keys"]
@@ -55,6 +56,9 @@ def check_report(path):
         fail(f"unexpected schema tag: {report.get('schema')!r}")
     for field in COUNTER_FIELDS:
         check_count("report", report, field)
+    if not isinstance(report.get("interrupted"), bool):
+        fail(f"field 'interrupted' missing or not a bool: "
+             f"{report.get('interrupted')!r}")
 
     scheduled = report.get("scheduled")
     if not isinstance(scheduled, dict):

@@ -46,6 +46,8 @@
 #include "support/ThreadPool.h"
 #include "transforms/Transforms.h"
 
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -62,6 +64,15 @@ constexpr int ExitInputError = 2;   // Bad usage, unreadable or unparsable
 constexpr int ExitWarnings = 3;     // The instrumented run reported
                                     // undefined-value uses.
 constexpr int ExitLimits = 4;       // Execution limits exceeded.
+constexpr int ExitInterrupted = 5;  // SIGINT/SIGTERM; partial output was
+                                    // flushed before exiting.
+
+/// Raised by the SIGINT/SIGTERM handler; the interpreter polls it and
+/// stops cooperatively, so the report (and any --diag-json file) is
+/// flushed rather than lost.
+std::atomic<bool> InterruptRaised{false};
+
+void onSignal(int) { InterruptRaised.store(true, std::memory_order_relaxed); }
 
 struct CliOptions {
   std::string InputPath;
@@ -74,6 +85,7 @@ struct CliOptions {
   bool Diagnose = false;
   std::string DiagJsonPath;
   bool Run = true;
+  bool ListFaultSites = false;
   analysis::SolverKind Solver = analysis::SolverKind::Optimized;
   BudgetLimits Limits;
   std::optional<FaultPlan> Fault;
@@ -120,7 +132,11 @@ int usage(const char *Argv0) {
             "  0  success (including degraded analysis)\n"
             "  2  usage, unreadable input, or parse error\n"
             "  3  the instrumented run reported undefined-value uses\n"
-            "  4  execution limits exceeded\n";
+            "  4  execution limits exceeded\n"
+            "  5  interrupted (SIGINT/SIGTERM); partial output flushed\n"
+            "\n"
+            "  --list-fault-sites  print every deterministic fault site\n"
+            "                      (budget phases and I/O sites) and exit\n";
   return ExitInputError;
 }
 
@@ -156,6 +172,8 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
         return false;
     } else if (Arg == "--no-run") {
       Opts.Run = false;
+    } else if (Arg == "--list-fault-sites") {
+      Opts.ListFaultSites = true;
     } else if (Arg == "--naive-solver") {
       Opts.Solver = analysis::SolverKind::NaiveReference;
     } else if (Arg.rfind("--variant=", 0) == 0) {
@@ -204,7 +222,7 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
       return false;
     }
   }
-  return !Opts.InputPath.empty();
+  return Opts.ListFaultSites || !Opts.InputPath.empty();
 }
 
 std::string readFile(const std::string &Path, bool &Ok) {
@@ -236,6 +254,11 @@ void reportRun(raw_ostream &OS, const char *Tool,
     OS << "stopped: step limit exceeded\n";
     return;
   }
+  if (Rep.Reason == runtime::ExitReason::Interrupted) {
+    OS << "interrupted after " << Rep.Steps << " steps, shadow ops "
+       << Rep.DynShadowOps << ", checks " << Rep.DynChecks << '\n';
+    return;
+  }
   OS << "result " << Rep.MainResult << ", slowdown "
      << static_cast<int>(Rep.slowdownPercent()) << "%, shadow ops "
      << Rep.DynShadowOps << ", checks " << Rep.DynChecks << '\n';
@@ -256,8 +279,16 @@ int main(int Argc, char **Argv) {
   CliOptions Opts;
   if (!parseArgs(Argc, Argv, Opts))
     return usage(Argv[0]);
+  if (Opts.ListFaultSites) {
+    for (const std::string &Name : allFaultSiteNames())
+      outs() << Name << '\n';
+    return ExitSuccess;
+  }
   if (!Opts.Fault)
     Opts.Fault = faultPlanFromEnv();
+
+  std::signal(SIGINT, onSignal);
+  std::signal(SIGTERM, onSignal);
 
   bool Ok = false;
   std::string Source = readFile(Opts.InputPath, Ok);
@@ -359,12 +390,21 @@ int main(int Argc, char **Argv) {
     }
 
     if (Opts.Run) {
-      runtime::ExecutionReport Rep = runtime::Interpreter(M, &R.Plan).run();
+      runtime::ExecLimits Limits;
+      Limits.Interrupt = &InterruptRaised;
+      runtime::ExecutionReport Rep =
+          runtime::Interpreter(M, &R.Plan, runtime::CostModel(), Limits).run();
       reportRun(OS, core::toolVariantName(V), Rep);
       if (!Rep.ToolWarnings.empty())
         ExitCode = ExitWarnings; // Like a sanitizer: nonzero on bugs.
       if (Rep.Reason != runtime::ExitReason::Finished)
         ExitCode = ExitLimits;
+      if (Rep.Reason == runtime::ExitReason::Interrupted) {
+        // Everything produced so far (including any --diag-json file) is
+        // already flushed; make the interruption visible to callers.
+        OS.flush();
+        return ExitInterrupted;
+      }
     } else if (!Opts.Compare) {
       OS << "static checks kept: " << R.Plan.countChecks()
          << ", shadow ops kept: " << R.Plan.countShadowOps() << '\n';

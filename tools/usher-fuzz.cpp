@@ -16,13 +16,17 @@
 /// file or stdout. The campaign — scheduling, reduction, and both
 /// outputs — is a deterministic function of --seed.
 ///
-/// Exit codes: 0 = campaign clean, 2 = usage error, 3 = divergences.
+/// Exit codes: 0 = campaign clean, 2 = usage error, 3 = divergences,
+/// 5 = interrupted (SIGINT/SIGTERM) — the partial campaign summary and
+/// JSON report are flushed before exiting.
 ///
 //===----------------------------------------------------------------------===//
 
 #include "fuzz/Fuzzer.h"
 #include "support/RawStream.h"
 
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -30,6 +34,12 @@
 using namespace usher;
 
 namespace {
+
+/// Raised by SIGINT/SIGTERM; the campaign stops at the next round
+/// boundary and the (partial) report is still printed and flushed.
+std::atomic<bool> InterruptRaised{false};
+
+void onSignal(int) { InterruptRaised.store(true, std::memory_order_relaxed); }
 
 struct CliOptions {
   fuzz::FuzzOptions Fuzz;
@@ -101,11 +111,16 @@ int main(int Argc, char **Argv) {
     return 2;
   }
 
+  std::signal(SIGINT, onSignal);
+  std::signal(SIGTERM, onSignal);
+  Cli.Fuzz.Stop = &InterruptRaised;
+
   fuzz::FuzzReport Rep = fuzz::runFuzzer(Cli.Fuzz);
 
   raw_ostream &OS = outs();
   OS << "usher-fuzz: seed " << Rep.Seed << ", " << Rep.Runs << " runs ("
-     << Rep.NumValid << " valid, " << Rep.NumInvalid << " invalid)\n";
+     << Rep.NumValid << " valid, " << Rep.NumInvalid << " invalid)"
+     << (Rep.Interrupted ? " [interrupted]" : "") << "\n";
   OS << "  scheduled: " << Rep.NumGenerated << " generated, "
      << Rep.NumMutated << " mutated, " << Rep.NumSpliced << " spliced, "
      << Rep.NumWrapped << " wrapped\n";
@@ -137,5 +152,7 @@ int main(int Argc, char **Argv) {
     }
   }
 
+  if (Rep.Interrupted)
+    return 5; // Partial campaign; summary and JSON were flushed above.
   return Rep.clean() ? 0 : 3;
 }
