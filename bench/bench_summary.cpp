@@ -1,0 +1,391 @@
+//===- bench/bench_summary.cpp - Summary-cache warm-edit speedup ----------===//
+//
+// Part of the Usher project, reproducing "Accelerating Dynamic Detection of
+// Uses of Undefined Values with Static Value-Flow Analysis" (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Times the summary engine's definedness resolution cold (empty
+/// content-hash cache, every per-function summary computed) against warm
+/// (cache primed by the cold run, then one instruction-count-preserving
+/// single-function edit), over synthetic call-graph shapes where the
+/// function count — and therefore the reusable fraction — is the knob.
+/// Emits machine-readable BENCH_summary.json (schema
+/// usher-bench-summary-v1, validated by tools/check_bench_json.py).
+///
+/// The edit swaps the operand order of one addition in the *first*
+/// function of the module. That keeps the instruction count (call sites
+/// are absolute instruction ids, so an id-shifting edit would honestly
+/// dirty every shifted segment — see DESIGN.md) and keeps the edited
+/// function's summary *value*, so a correct cache recomputes exactly one
+/// summary and revalidates the rest. The harness asserts those counts and
+/// cross-checks every bottom set against an uncached engine run and the
+/// global fixpoint: a speedup bought with a different answer is a bug.
+///
+/// The timer wraps only the engine's run() — the phases upstream of it
+/// (pointer analysis, SSA, VFG construction) are identical in both
+/// configurations and would only dilute the measured ratio.
+///
+/// Usage: bench_summary [--smoke] [--out=FILE]
+///   --smoke     small function counts, single timing iteration; used by
+///               the bench-smoke ctest.
+///   --out=FILE  where to write the JSON (default: BENCH_summary.json).
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/CallGraph.h"
+#include "analysis/ModRef.h"
+#include "analysis/PointerAnalysis.h"
+#include "analysis/SummaryEngine.h"
+#include "core/Definedness.h"
+#include "parser/Parser.h"
+#include "ssa/MemorySSA.h"
+#include "vfg/VFG.h"
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+using namespace usher;
+
+namespace {
+
+/// Call-graph shapes. Every generated function body has the same
+/// instruction count, so the count-preserving edit below never shifts an
+/// instruction id.
+enum class Shape { Chain, Diamond, Recursive, Wide };
+
+/// Renders one arithmetic-and-calls module of \p NumFns functions plus
+/// main. \p SwapFirst applies the benchmark's edit: f0's first addition
+/// becomes b + a instead of a + b.
+std::string generateProgram(Shape S, unsigned NumFns, bool SwapFirst) {
+  std::string Src;
+  // Bodies are deliberately long and branchy relative to each function's
+  // two-formal interface: computing a summary (and propagating realized
+  // facts through it) walks every phi in the body, while revalidating a
+  // cached record only deserializes interface-sized bytes. Every third
+  // diamond assigns its target on one arm only, so genuine maybe-
+  // undefined facts flow through the whole module and the concrete
+  // expansion phase has real work to memoize.
+  const unsigned BodyLen = 36;
+  auto Body = [&](const std::string &Seed) {
+    Src += "  t0 = " + Seed + ";\n";
+    for (unsigned J = 1; J != BodyLen; ++J) {
+      std::string T = "t" + std::to_string(J);
+      std::string P = "t" + std::to_string(J - 1);
+      std::string LA = "A" + std::to_string(J);
+      std::string LB = "B" + std::to_string(J);
+      if (J % 3 == 0) {
+        Src += "  if " + P + " goto " + LB + ";\n";
+        Src += "  " + T + " = " + P + " + a;\n";
+        Src += LB + ":\n";
+      } else {
+        Src += "  if " + P + " goto " + LA + ";\n";
+        Src += "  " + T + " = " + P + " + a;\n";
+        Src += "  goto " + LB + ";\n";
+        Src += LA + ":\n  " + T + " = " + P + " + b;\n";
+        Src += LB + ":\n";
+      }
+    }
+    Src += "  ret t" + std::to_string(BodyLen - 1) + ";\n}\n";
+  };
+  for (unsigned I = 0; I != NumFns; ++I) {
+    std::string N = "f" + std::to_string(I);
+    Src += "func " + N + "(a, b) {\n";
+    if (I == 0 || S == Shape::Wide) {
+      // Leaf: pure arithmetic. The edit target is always f0.
+      Body(I == 0 && SwapFirst ? "b + a" : "a + b");
+      continue;
+    }
+    std::string Prev = "f" + std::to_string(I - 1);
+    switch (S) {
+    case Shape::Chain:
+      Src += "  c = " + Prev + "(a, b);\n";
+      Body("c + b");
+      break;
+    case Shape::Diamond: {
+      std::string Prev2 = "f" + std::to_string(I >= 2 ? I - 2 : 0);
+      Src += "  c = " + Prev + "(a, b);\n";
+      Src += "  d = " + Prev2 + "(b, a);\n";
+      Body("c + d");
+      break;
+    }
+    case Shape::Recursive:
+      Src += "  c = " + Prev + "(a, b);\n";
+      if (I % 4 == 0)
+        Src += "  s = " + N + "(b, c);\n";
+      else
+        Src += "  s = " + Prev + "(b, c);\n";
+      Body("c + s");
+      break;
+    case Shape::Wide:
+      break; // Handled above.
+    }
+  }
+  Src += "func main() {\n  x = 1;\n  y = 2;\n";
+  if (S == Shape::Wide) {
+    // Four distinct call sites per leaf: each one realizes another calling
+    // context the cold run must propagate through the body, while the warm
+    // run replays the memoized union.
+    for (unsigned I = 0; I != NumFns; ++I)
+      for (unsigned Site = 0; Site != 4; ++Site)
+        Src += "  r" + std::to_string(I) + "_" + std::to_string(Site) +
+               " = f" + std::to_string(I) +
+               (Site % 2 ? "(y, x);\n" : "(x, y);\n");
+    Src += "  ret r0_0;\n}\n";
+  } else {
+    Src += "  r = f" + std::to_string(NumFns - 1) + "(x, y);\n";
+    Src += "  ret r;\n}\n";
+  }
+  return Src;
+}
+
+/// The analysis phases upstream of the definedness resolution, built
+/// exactly as core::runUsher builds them. Owned together because the VFG
+/// borrows from every earlier stage.
+struct Pipeline {
+  std::unique_ptr<ir::Module> M;
+  std::unique_ptr<analysis::CallGraph> CG;
+  std::unique_ptr<analysis::PointerAnalysis> PA;
+  std::unique_ptr<analysis::ModRefAnalysis> MR;
+  std::unique_ptr<ssa::MemorySSA> SSA;
+  std::unique_ptr<vfg::VFG> G;
+};
+
+Pipeline buildPipeline(const std::string &Source) {
+  Pipeline P;
+  P.M = parser::parseModuleOrAbort(Source);
+  P.CG = std::make_unique<analysis::CallGraph>(*P.M);
+  P.PA = std::make_unique<analysis::PointerAnalysis>(*P.M, *P.CG,
+                                                     analysis::PtaOptions());
+  P.MR = std::make_unique<analysis::ModRefAnalysis>(*P.M, *P.CG, *P.PA);
+  P.SSA = std::make_unique<ssa::MemorySSA>(*P.M, *P.PA, *P.MR, nullptr);
+  P.G = std::make_unique<vfg::VFG>(
+      vfg::VFGBuilder(*P.M, *P.SSA, *P.PA, *P.CG).build());
+  return P;
+}
+
+std::string bottomString(const vfg::VFG &G, const BitSet &Bottom) {
+  std::string S;
+  for (uint32_t N = 0; N != G.numNodes(); ++N)
+    if (Bottom.test(N))
+      S += std::to_string(N) + " ";
+  return S;
+}
+
+struct EngineRun {
+  double Ms = 0;
+  std::string Bottom;
+  analysis::SummaryEngineStats Stats;
+};
+
+/// One timed SummaryEngine resolution over \p P.
+EngineRun runEngine(const Pipeline &P, analysis::SummaryCache *Cache) {
+  EngineRun R;
+  analysis::SummaryEngine SE(*P.G, analysis::SummaryEngineOptions(), nullptr,
+                             Cache);
+  auto T0 = std::chrono::steady_clock::now();
+  analysis::SummaryRunResult RR = SE.run();
+  auto T1 = std::chrono::steady_clock::now();
+  R.Ms = std::chrono::duration<double, std::milli>(T1 - T0).count();
+  if (!RR.Bottom) {
+    std::fprintf(stderr, "FATAL: summary engine delegated on a benchmark "
+                         "workload\n");
+    std::abort();
+  }
+  R.Bottom = bottomString(*P.G, *RR.Bottom);
+  R.Stats = SE.stats();
+  return R;
+}
+
+struct BenchRow {
+  std::string Name;
+  unsigned Functions = 0;
+  double ColdMs = 1e100;
+  double WarmMs = 1e100;
+  uint64_t SummariesTotal = 0;
+  uint64_t WarmRecomputed = 0;
+  uint64_t WarmReused = 0;
+  uint64_t PrunedTransfers = 0;
+  uint64_t MergedContexts = 0;
+  uint64_t PrunedCalleeEntries = 0;
+  double speedup() const { return WarmMs > 0 ? ColdMs / WarmMs : 0; }
+  double hitRate() const {
+    uint64_t Total = WarmRecomputed + WarmReused;
+    return Total ? static_cast<double>(WarmReused) / Total : 0;
+  }
+};
+
+BenchRow runWorkload(const char *Name, Shape S, unsigned NumFns,
+                     unsigned Iters) {
+  BenchRow Row;
+  Row.Name = Name;
+  Row.Functions = NumFns + 1; // + main
+  const std::string Base = generateProgram(S, NumFns, false);
+  const std::string Edited = generateProgram(S, NumFns, true);
+
+  // Reference answers once, outside any timing loop: the global fixpoint
+  // on the base program and an uncached engine on the edited one.
+  {
+    Pipeline P = buildPipeline(Base);
+    core::Definedness Global(*P.G, core::DefinednessOptions());
+    std::string GlobalBottom;
+    for (uint32_t N = 0; N != P.G->numNodes(); ++N)
+      if (Global.mayBeUndefined(N))
+        GlobalBottom += std::to_string(N) + " ";
+    if (runEngine(P, nullptr).Bottom != GlobalBottom) {
+      std::fprintf(stderr, "FATAL: %s: summary engine diverged from the "
+                           "global fixpoint\n",
+                   Name);
+      std::abort();
+    }
+  }
+  const std::string FreshEditedBottom =
+      runEngine(buildPipeline(Edited), nullptr).Bottom;
+
+  for (unsigned It = 0; It != Iters; ++It) {
+    // A fresh cache per iteration: the warm configuration must always
+    // measure the first re-analysis after the edit, not a second hit on
+    // an already-updated cache.
+    analysis::SummaryCache Cache;
+    Pipeline ColdP = buildPipeline(Base);
+    EngineRun Cold = runEngine(ColdP, &Cache);
+    Pipeline WarmP = buildPipeline(Edited);
+    EngineRun Warm = runEngine(WarmP, &Cache);
+
+    if (Warm.Bottom != FreshEditedBottom) {
+      std::fprintf(stderr, "FATAL: %s: warm result diverged from an "
+                           "uncached run on the edited program\n",
+                   Name);
+      std::abort();
+    }
+    if (Cold.Stats.SummariesReused != 0 ||
+        Warm.Stats.SummariesComputed != 1) {
+      std::fprintf(stderr,
+                   "FATAL: %s: invalidation not exact (cold reused %llu, "
+                   "warm recomputed %llu of %llu)\n",
+                   Name,
+                   static_cast<unsigned long long>(Cold.Stats.SummariesReused),
+                   static_cast<unsigned long long>(
+                       Warm.Stats.SummariesComputed),
+                   static_cast<unsigned long long>(
+                       Cold.Stats.SummariesComputed));
+      std::abort();
+    }
+    Row.SummariesTotal = Cold.Stats.SummariesComputed;
+    Row.WarmRecomputed = Warm.Stats.SummariesComputed;
+    Row.WarmReused = Warm.Stats.SummariesReused;
+    Row.PrunedTransfers = Cold.Stats.PrunedTransfers;
+    Row.MergedContexts = Cold.Stats.MergedContexts;
+    Row.PrunedCalleeEntries = Cold.Stats.PrunedCalleeEntries;
+    if (Cold.Ms < Row.ColdMs)
+      Row.ColdMs = Cold.Ms;
+    if (Warm.Ms < Row.WarmMs)
+      Row.WarmMs = Warm.Ms;
+  }
+  return Row;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  bool Smoke = false;
+  std::string OutPath = "BENCH_summary.json";
+  for (int I = 1; I != argc; ++I) {
+    if (std::strcmp(argv[I], "--smoke") == 0) {
+      Smoke = true;
+    } else if (std::strncmp(argv[I], "--out=", 6) == 0) {
+      OutPath = argv[I] + 6;
+    } else {
+      std::fprintf(stderr, "usage: %s [--smoke] [--out=FILE]\n", argv[0]);
+      return 2;
+    }
+  }
+  const unsigned Iters = Smoke ? 1 : 5;
+  const unsigned Scale = Smoke ? 1 : 8;
+
+  struct Workload {
+    const char *Name;
+    Shape S;
+    unsigned NumFns;
+  };
+  const Workload Workloads[] = {
+      {"chain", Shape::Chain, 8 * Scale},
+      {"diamond", Shape::Diamond, 8 * Scale},
+      {"recursive", Shape::Recursive, 8 * Scale},
+      {"wide", Shape::Wide, 16 * Scale},
+  };
+
+  std::printf("%-12s %5s %10s %10s %8s %8s %8s\n", "workload", "fns",
+              "cold_ms", "warm_ms", "speedup", "reused", "pruned");
+  std::vector<BenchRow> Rows;
+  double MinSpeedup = 1e100, GeoAcc = 1.0;
+  uint64_t TotalPruned = 0;
+  for (const Workload &W : Workloads) {
+    BenchRow Row = runWorkload(W.Name, W.S, W.NumFns, Iters);
+    uint64_t Pruned =
+        Row.PrunedTransfers + Row.MergedContexts + Row.PrunedCalleeEntries;
+    std::printf("%-12s %5u %10.3f %10.3f %7.2fx %5llu/%-2llu %8llu\n",
+                Row.Name.c_str(), Row.Functions, Row.ColdMs, Row.WarmMs,
+                Row.speedup(),
+                static_cast<unsigned long long>(Row.WarmReused),
+                static_cast<unsigned long long>(Row.SummariesTotal),
+                static_cast<unsigned long long>(Pruned));
+    if (Row.speedup() < MinSpeedup)
+      MinSpeedup = Row.speedup();
+    GeoAcc *= Row.speedup();
+    TotalPruned += Pruned;
+    Rows.push_back(std::move(Row));
+  }
+  double Geomean =
+      Rows.empty() ? 0 : std::pow(GeoAcc, 1.0 / static_cast<double>(Rows.size()));
+  std::printf("min speedup %.2fx, geomean %.2fx%s\n", MinSpeedup, Geomean,
+              Smoke ? " (smoke sizes; not meaningful)" : "");
+  if (TotalPruned == 0) {
+    std::fprintf(stderr, "FATAL: no workload exercised redundant-summary "
+                         "elimination\n");
+    return 1;
+  }
+
+  std::FILE *F = std::fopen(OutPath.c_str(), "w");
+  if (!F) {
+    std::fprintf(stderr, "FATAL: cannot write %s\n", OutPath.c_str());
+    return 1;
+  }
+  std::fprintf(F, "{\n  \"schema\": \"usher-bench-summary-v1\",\n");
+  std::fprintf(F, "  \"smoke\": %s,\n", Smoke ? "true" : "false");
+  std::fprintf(F, "  \"iterations\": %u,\n", Iters);
+  std::fprintf(F, "  \"workloads\": [\n");
+  for (size_t I = 0; I != Rows.size(); ++I) {
+    const BenchRow &R = Rows[I];
+    std::fprintf(
+        F,
+        "    {\"name\": \"%s\", \"functions\": %u, \"cold_ms\": %.4f, "
+        "\"warm_ms\": %.4f, \"speedup\": %.4f, \"summaries_total\": %llu, "
+        "\"warm_recomputed\": %llu, \"warm_reused\": %llu, "
+        "\"cache_hit_rate\": %.4f, \"pruned_transfers\": %llu, "
+        "\"merged_contexts\": %llu, \"pruned_callee_entries\": %llu}%s\n",
+        R.Name.c_str(), R.Functions, R.ColdMs, R.WarmMs, R.speedup(),
+        static_cast<unsigned long long>(R.SummariesTotal),
+        static_cast<unsigned long long>(R.WarmRecomputed),
+        static_cast<unsigned long long>(R.WarmReused), R.hitRate(),
+        static_cast<unsigned long long>(R.PrunedTransfers),
+        static_cast<unsigned long long>(R.MergedContexts),
+        static_cast<unsigned long long>(R.PrunedCalleeEntries),
+        I + 1 != Rows.size() ? "," : "");
+  }
+  std::fprintf(F, "  ],\n");
+  std::fprintf(F,
+               "  \"summary\": {\"min_speedup\": %.4f, "
+               "\"geomean_speedup\": %.4f, \"total_pruned\": %llu}\n}\n",
+               MinSpeedup, Geomean,
+               static_cast<unsigned long long>(TotalPruned));
+  std::fclose(F);
+  std::printf("wrote %s\n", OutPath.c_str());
+  return 0;
+}

@@ -1,0 +1,1837 @@
+//===- analysis/SummaryEngine.cpp - Bottom-up summary engine ---------------===//
+//
+// Part of the Usher project, reproducing "Accelerating Dynamic Detection of
+// Uses of Undefined Values with Static Value-Flow Analysis" (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+//
+// Equivalence architecture (k <= 1; k >= 2 delegates to the global engine):
+//
+// Every Direct VFG edge is intra-function (VFGBuilder only crosses function
+// boundaries with Call/Ret edges), so a function's segment is the subgraph
+// induced by its nodes, and all interprocedural flow enters through
+// *boundary* nodes (nodes with a Call- or Ret-kind dependency) and leaves
+// through *exit* nodes (nodes with a Ret-kind user).
+//
+// For k <= 1 the context transformation along any intra-segment path is one
+// of three closed forms over the 1-bounded unmatched-call stack:
+//   ID          — context preserved (no push/pop on the path);
+//   Always(o)   — any input context maps to the concrete context o
+//                 (the path contains a push, which overwrites the window);
+//   Match(s, o) — defined only for inputs {[], [s]} (the path starts with a
+//                 pop at site s before any push), output o.
+// Phase 1 computes, bottom-up over call-graph SCCs (intra-SCC to fixpoint),
+// the set of such transfers from each boundary node to each exit (T), the
+// callee entries a parametric flow reaches with the composed transfer (CE),
+// and the concrete facts seeded inside the function (IX: exits reached from
+// internal undefinedness sources; ICE: callee entries reached from them).
+// Call edges into *other* functions apply the callee's T instead of
+// traversing its body; same-function Call/Ret edges (direct recursion) are
+// ordinary local push/pop edges.
+//
+// Phase 2 prunes summary entries no caller can distinguish (see header).
+//
+// Phase 3 is a tiny interface-level worklist over *concrete* boundary
+// facts: IX exits pop through live Ret users into callers, CE/ICE realize
+// callee entries, T maps realized entries to new exits. The k-window can
+// forget a pending call, so an exit fact may pop into a *sibling* caller;
+// running this globally (it touches boundary nodes only) keeps that exact.
+//
+// Phase 4 expands each function independently (parallel across functions):
+// seeds are the function's realized boundary facts plus its internal
+// sources, propagation is local (Direct/self-Call/self-Ret edges) with
+// callee T applied at cross-Call edges, and members of a local Direct-SCC
+// are marked bottom on first arrival — mirroring the global engine's
+// condensed reachability exactly. If any component accumulates
+// MaxContextsPerRep distinct contexts, the global engine would have
+// saturated it to the universal context; the run then answers "delegate"
+// (deterministically: phases run to completion so budget charges do not
+// depend on scheduling).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/SummaryEngine.h"
+
+#include "ir/IR.h"
+#include "support/Budget.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <cstring>
+#include <set>
+#include <unordered_set>
+
+using namespace usher;
+using namespace usher::analysis;
+using vfg::Edge;
+using vfg::EdgeKind;
+using vfg::VFG;
+
+namespace {
+
+/// Must equal the global engine's per-representative context cap
+/// (core/Definedness.cpp); reaching it means the global engine would widen
+/// and the summary engine must delegate. Checked by SummaryEngineTest.
+constexpr size_t MaxContextsPerRep = 64;
+
+constexpr uint64_t FnvSeed = 0xcbf29ce484222325ull;
+constexpr uint64_t FnvPrime = 0x100000001b3ull;
+
+uint64_t fnvBytes(const void *Data, size_t Len, uint64_t H = FnvSeed) {
+  const unsigned char *P = static_cast<const unsigned char *>(Data);
+  for (size_t I = 0; I != Len; ++I) {
+    H ^= P[I];
+    H *= FnvPrime;
+  }
+  return H;
+}
+
+/// Little-endian append-only byte buffer used for both hashing and the
+/// persisted payloads (one canonical serialization serves both).
+struct ByteSink {
+  std::string Bytes;
+  void u8(uint8_t V) { Bytes.push_back(static_cast<char>(V)); }
+  void u32(uint32_t V) {
+    for (int I = 0; I != 4; ++I)
+      Bytes.push_back(static_cast<char>((V >> (8 * I)) & 0xFF));
+  }
+  void u64(uint64_t V) {
+    for (int I = 0; I != 8; ++I)
+      Bytes.push_back(static_cast<char>((V >> (8 * I)) & 0xFF));
+  }
+  void str(const std::string &S) {
+    u32(static_cast<uint32_t>(S.size()));
+    Bytes.append(S);
+  }
+};
+
+/// Streams the exact byte sequence a ByteSink would produce straight into
+/// the running FNV state. The hash-only call sites (segment hashes,
+/// component keys, dependency signatures, expansion keys) never need the
+/// bytes themselves, and skipping the buffer materialization is most of
+/// what a fully-warm run still pays per function.
+struct HashSink {
+  uint64_t H = FnvSeed;
+  void byte(uint8_t V) {
+    H ^= V;
+    H *= FnvPrime;
+  }
+  void u8(uint8_t V) { byte(V); }
+  void u32(uint32_t V) {
+    for (int I = 0; I != 4; ++I)
+      byte(static_cast<uint8_t>((V >> (8 * I)) & 0xFF));
+  }
+  void u64(uint64_t V) {
+    for (int I = 0; I != 8; ++I)
+      byte(static_cast<uint8_t>((V >> (8 * I)) & 0xFF));
+  }
+  void str(const std::string &S) {
+    u32(static_cast<uint32_t>(S.size()));
+    for (char C : S)
+      byte(static_cast<uint8_t>(C));
+  }
+};
+
+/// Bounds-checked reader over a persisted payload.
+struct ByteSource {
+  const std::string &Bytes;
+  size_t Pos = 0;
+  bool Bad = false;
+  explicit ByteSource(const std::string &B) : Bytes(B) {}
+  uint8_t u8() {
+    if (Pos + 1 > Bytes.size()) {
+      Bad = true;
+      return 0;
+    }
+    return static_cast<uint8_t>(Bytes[Pos++]);
+  }
+  uint32_t u32() {
+    uint32_t V = 0;
+    if (Pos + 4 > Bytes.size()) {
+      Bad = true;
+      return 0;
+    }
+    for (int I = 0; I != 4; ++I)
+      V |= static_cast<uint32_t>(static_cast<unsigned char>(Bytes[Pos++]))
+           << (8 * I);
+    return V;
+  }
+  uint64_t u64() {
+    uint64_t V = 0;
+    if (Pos + 8 > Bytes.size()) {
+      Bad = true;
+      return 0;
+    }
+    for (int I = 0; I != 8; ++I)
+      V |= static_cast<uint64_t>(static_cast<unsigned char>(Bytes[Pos++]))
+           << (8 * I);
+    return V;
+  }
+  std::string str() {
+    uint32_t Len = u32();
+    if (Bad || Pos + Len > Bytes.size()) {
+      Bad = true;
+      return "";
+    }
+    std::string S = Bytes.substr(Pos, Len);
+    Pos += Len;
+    return S;
+  }
+};
+
+/// A context is stored as a *code*: 0 is the empty stack, S+1 is the
+/// 1-deep stack [S]. For k <= 1 the global engine's ContextStack never
+/// holds two entries, so codes and stacks are in bijection; all transfer
+/// arithmetic below reproduces ContextStack::pushed/popped exactly.
+enum TransferKind : uint8_t { TID = 0, TAlways = 1, TMatch = 2 };
+
+struct Transfer {
+  uint8_t Kind = TID;
+  uint32_t Site = 0;    ///< Guard site (TMatch only).
+  uint32_t OutCode = 0; ///< Concrete output context (TAlways/TMatch).
+};
+
+uint64_t packT(Transfer T) {
+  return (static_cast<uint64_t>(T.Kind) << 49) |
+         (static_cast<uint64_t>(T.Site & 0xFFFFFF) << 25) | T.OutCode;
+}
+Transfer unpackT(uint64_t P) {
+  Transfer T;
+  T.Kind = static_cast<uint8_t>(P >> 49);
+  T.Site = static_cast<uint32_t>((P >> 25) & 0xFFFFFF);
+  T.OutCode = static_cast<uint32_t>(P & 0x1FFFFFF);
+  return T;
+}
+
+/// One callee-entry obligation of a parametric flow: applying \p T to the
+/// realized entry context yields the context entering \p Callee.
+struct CEFact {
+  uint64_t T;
+  uint32_t Callee;
+  bool operator<(const CEFact &O) const {
+    return T != O.T ? T < O.T : Callee < O.Callee;
+  }
+  bool operator==(const CEFact &O) const {
+    return T == O.T && Callee == O.Callee;
+  }
+};
+
+struct FunctionSummary {
+  std::vector<uint32_t> Boundary; ///< Sorted node ids with Call/Ret deps.
+  std::vector<uint32_t> Exits;    ///< Sorted node ids with Ret users.
+  /// (entry, exit) -> sorted packed transfers.
+  std::map<std::pair<uint32_t, uint32_t>, std::vector<uint64_t>> T;
+  /// entry -> sorted callee-entry obligations.
+  std::map<uint32_t, std::vector<CEFact>> CE;
+  /// exit -> sorted concrete context codes from internal sources.
+  std::map<uint32_t, std::vector<uint32_t>> IX;
+  /// Sorted (callee entry node, context code) from internal sources.
+  std::vector<std::pair<uint32_t, uint32_t>> ICE;
+
+  uint64_t SegHash = 0;
+  uint64_t ValueHash = 0;
+};
+
+bool insertSorted(std::vector<uint64_t> &V, uint64_t X) {
+  auto It = std::lower_bound(V.begin(), V.end(), X);
+  if (It != V.end() && *It == X)
+    return false;
+  V.insert(It, X);
+  return true;
+}
+template <typename T> bool insertSortedV(std::vector<T> &V, T X) {
+  auto It = std::lower_bound(V.begin(), V.end(), X);
+  if (It != V.end() && *It == X)
+    return false;
+  V.insert(It, X);
+  return true;
+}
+
+/// Stable (run-independent) reference to a node of a known function.
+struct NodeKeyRef {
+  uint8_t Sp;
+  uint32_t Loc;
+  uint32_t Ver;
+};
+
+} // namespace
+
+std::optional<std::string> SummaryCache::lookup(uint64_t Key) {
+  std::lock_guard<std::mutex> Lock(M);
+  auto It = Mem.find(Key);
+  if (It != Mem.end()) {
+    ++S.Hits;
+    return It->second;
+  }
+  std::string Payload;
+  if (Load && Load(Key, Payload)) {
+    Mem.emplace(Key, Payload);
+    ++S.Hits;
+    return Payload;
+  }
+  ++S.Misses;
+  return std::nullopt;
+}
+
+void SummaryCache::store(uint64_t Key, std::string Payload) {
+  std::lock_guard<std::mutex> Lock(M);
+  if (Save)
+    Save(Key, Payload);
+  Mem[Key] = std::move(Payload);
+}
+
+void SummaryCache::noteStale() {
+  std::lock_guard<std::mutex> Lock(M);
+  ++S.StaleDiscarded;
+}
+
+//===----------------------------------------------------------------------===//
+// Impl
+//===----------------------------------------------------------------------===//
+
+struct SummaryEngine::Impl {
+  const VFG &G;
+  SummaryEngineOptions Opts;
+  const std::unordered_map<uint32_t, std::vector<Edge>> *Redirects;
+  SummaryCache *Cache;
+  ThreadPool *Pool;
+  Budget *B;
+  SummaryEngineStats &St;
+
+  unsigned K;
+  uint32_t N = 0;
+
+  std::vector<const std::vector<Edge> *> Flows;   ///< Effective users.
+  /// Backing store for Flows entries that had to be filtered (redirected
+  /// graphs only); without redirects every entry aliases G.users().
+  std::vector<std::unique_ptr<std::vector<Edge>>> FilteredFlows;
+  std::vector<const std::vector<Edge> *> EffDeps; ///< Effective deps.
+
+  std::vector<const ir::Function *> Fns; ///< Order of first node id.
+  std::unordered_map<const ir::Function *, uint32_t> FnIdx;
+  std::unordered_map<std::string, const ir::Function *> FnByName;
+  static constexpr uint32_t NoFn = ~0u;
+  std::vector<uint32_t> NodeFn;               ///< Per node; NoFn for roots.
+  std::vector<std::vector<uint32_t>> FnNodes; ///< Sorted ids per function.
+
+  std::vector<uint8_t> IsBoundary, IsExit;
+  std::vector<FunctionSummary> Summaries;
+  uint64_t CfgHash = 0;
+
+  // Call-graph condensation: per-function component id and ascending
+  // bottom-up levels of component indices.
+  std::vector<uint32_t> FnComp;
+  std::vector<std::vector<uint32_t>> CompFns;
+  std::vector<std::vector<uint32_t>> Levels;
+
+  // Phase 3 products: realized boundary facts per function, sorted.
+  std::vector<std::vector<std::pair<uint32_t, uint32_t>>> Realized;
+
+  std::atomic<bool> Bail{false};
+  std::atomic<bool> Exhausted{false};
+  std::atomic<uint64_t> AComputed{0}, AReused{0}, AExpComputed{0},
+      AExpReused{0}, APrunedT{0}, APrunedCE{0}, AMerged{0};
+
+  Impl(const VFG &G, SummaryEngineOptions Opts,
+       const std::unordered_map<uint32_t, std::vector<Edge>> *Redirects,
+       SummaryCache *Cache, ThreadPool *Pool, Budget *B,
+       SummaryEngineStats &St)
+      : G(G), Opts(Opts), Redirects(Redirects), Cache(Cache), Pool(Pool),
+        B(B), St(St), K(Opts.ContextK) {}
+
+  //===--------------------------------------------------------------------===//
+  // Context/transfer arithmetic (mirrors ContextStack under k <= 1)
+  //===--------------------------------------------------------------------===//
+
+  uint32_t pushCtx(uint32_t Code, uint32_t Site) const {
+    return K == 0 ? Code : Site + 1;
+  }
+  bool popCtx(uint32_t &Code, uint32_t Site) const {
+    if (K == 0)
+      return true; // The insensitive engine propagates Ret without popping.
+    if (Code == 0)
+      return true; // Origin inside the callee (or beyond the window).
+    if (Code == Site + 1) {
+      Code = 0;
+      return true;
+    }
+    return false;
+  }
+  Transfer pushT(Transfer T, uint32_t Site) const {
+    if (K == 0)
+      return T;
+    if (T.Kind == TID)
+      return Transfer{TAlways, 0, Site + 1};
+    T.OutCode = Site + 1;
+    return T;
+  }
+  bool popT(Transfer &T, uint32_t Site) const {
+    if (K == 0)
+      return true;
+    if (T.Kind == TID) {
+      T = Transfer{TMatch, Site, 0};
+      return true;
+    }
+    return popCtx(T.OutCode, Site);
+  }
+  /// Applies callee transfer \p U after \p T (whose output is concrete
+  /// unless k == 0, where everything is ID over the empty context).
+  bool applyT(Transfer &T, Transfer U) const {
+    if (U.Kind == TID)
+      return true;
+    if (U.Kind == TMatch && T.OutCode != 0 && T.OutCode != U.Site + 1)
+      return false;
+    T.OutCode = U.OutCode;
+    return true;
+  }
+  bool applyCtx(uint32_t &Code, Transfer U) const {
+    if (U.Kind == TID)
+      return true;
+    if (U.Kind == TMatch && Code != 0 && Code != U.Site + 1)
+      return false;
+    Code = U.OutCode;
+    return true;
+  }
+
+  bool charge(uint64_t Steps = 1) {
+    if (B && !B->step(Steps)) {
+      Exhausted.store(true, std::memory_order_relaxed);
+      return false;
+    }
+    return true;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Graph preparation
+  //===--------------------------------------------------------------------===//
+
+  /// Returns false when the graph has a shape the engine does not model
+  /// (defensive; never expected from VFGBuilder).
+  bool prepare() {
+    N = G.numNodes();
+    EffDeps.resize(N);
+    for (uint32_t Id = 0; Id != N; ++Id) {
+      EffDeps[Id] = &G.deps(Id);
+      if (Redirects) {
+        auto It = Redirects->find(Id);
+        if (It != Redirects->end())
+          EffDeps[Id] = &It->second;
+      }
+    }
+    // Effective forward flows, exactly as the global engine filters them.
+    // Without redirects the user lists pass through unchanged, so alias
+    // the graph's own vectors instead of copying every edge.
+    Flows.resize(N);
+    for (uint32_t S = 0; S != N; ++S) {
+      if (!Redirects) {
+        Flows[S] = &G.users(S);
+        continue;
+      }
+      auto Filtered = std::make_unique<std::vector<Edge>>();
+      for (const Edge &E : G.users(S)) {
+        auto It = Redirects->find(E.Node);
+        if (It != Redirects->end()) {
+          bool StillDepends = false;
+          for (const Edge &D : It->second) {
+            if (D.Node == S && D.Kind == E.Kind && D.CallSite == E.CallSite) {
+              StillDepends = true;
+              break;
+            }
+          }
+          if (!StillDepends)
+            continue;
+        }
+        Filtered->push_back(E);
+      }
+      Flows[S] = Filtered.get();
+      FilteredFlows.push_back(std::move(Filtered));
+    }
+
+    NodeFn.assign(N, NoFn);
+    for (uint32_t Id = 2; Id < N; ++Id) {
+      const ir::Function *Fn = G.node(Id).Fn;
+      if (!Fn)
+        return false;
+      auto It = FnIdx.find(Fn);
+      uint32_t F;
+      if (It == FnIdx.end()) {
+        F = static_cast<uint32_t>(Fns.size());
+        FnIdx.emplace(Fn, F);
+        Fns.push_back(Fn);
+        FnNodes.emplace_back();
+        FnByName.emplace(Fn->getName(), Fn);
+      } else {
+        F = It->second;
+      }
+      NodeFn[Id] = F;
+      FnNodes[F].push_back(Id);
+    }
+    // A Direct edge crossing functions would break the segment model.
+    for (uint32_t S = 0; S != N; ++S)
+      for (const Edge &E : (*Flows[S]))
+        if (E.Kind == EdgeKind::Direct && S >= 2 && E.Node >= 2 &&
+            NodeFn[S] != NodeFn[E.Node])
+          return false;
+
+    IsBoundary.assign(N, 0);
+    IsExit.assign(N, 0);
+    for (uint32_t Id = 2; Id < N; ++Id) {
+      for (const Edge &E : *EffDeps[Id])
+        if (E.Kind != EdgeKind::Direct) {
+          IsBoundary[Id] = 1;
+          break;
+        }
+      for (const Edge &E : (*Flows[Id]))
+        if (E.Kind == EdgeKind::Ret) {
+          IsExit[Id] = 1;
+          break;
+        }
+    }
+
+    ByteSink Cfg;
+    Cfg.str("USHSUM1");
+    Cfg.u32(K);
+    Cfg.u8(Opts.AddressTakenAware ? 1 : 0);
+    CfgHash = fnvBytes(Cfg.Bytes.data(), Cfg.Bytes.size());
+
+    Summaries.assign(Fns.size(), FunctionSummary());
+    St.NumFunctions = Fns.size();
+    return true;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Segment hashing
+  //===--------------------------------------------------------------------===//
+
+  NodeKeyRef refOf(uint32_t Id) const {
+    const VFG::NodeData &D = G.node(Id);
+    return NodeKeyRef{static_cast<uint8_t>(D.Key.Sp), D.Key.Id, D.Version};
+  }
+  static bool refLess(const NodeKeyRef &A, const NodeKeyRef &B) {
+    if (A.Sp != B.Sp)
+      return A.Sp < B.Sp;
+    if (A.Loc != B.Loc)
+      return A.Loc < B.Loc;
+    return A.Ver < B.Ver;
+  }
+  template <typename Sink> void sinkRef(Sink &S, uint32_t Id) const {
+    NodeKeyRef R = refOf(Id);
+    S.u8(R.Sp);
+    S.u32(R.Loc);
+    S.u32(R.Ver);
+  }
+
+  /// The content hash of one function's VFG segment: everything that
+  /// determines the summary *value*. Caller-side identity is deliberately
+  /// excluded — cross-function Call dependencies (the caller's actuals)
+  /// and the labels of cross Ret users contribute only existence flags, so
+  /// editing a caller never invalidates a callee's summary unless it
+  /// changes which nodes are interface nodes. Downward references (callee
+  /// identities, this function's own call sites) are hashed fully; drift
+  /// in a callee's *summary* is caught separately by the value-hash chain.
+  uint64_t segmentHash(uint32_t F) const {
+    HashSink S{CfgHash};
+    S.str("USHSEG1");
+    std::vector<uint32_t> Sorted = FnNodes[F];
+    std::sort(Sorted.begin(), Sorted.end(),
+              [&](uint32_t A, uint32_t Bn) {
+                return refLess(refOf(A), refOf(Bn));
+              });
+    for (uint32_t Id : Sorted) {
+      sinkRef(S, Id);
+      S.u8(static_cast<uint8_t>(G.origin(Id)));
+      uint8_t HasCrossCallDep = 0, HasRetUser = IsExit[Id];
+      for (const Edge &E : *EffDeps[Id]) {
+        switch (E.Kind) {
+        case EdgeKind::Direct:
+          S.u8(1);
+          if (G.isRoot(E.Node)) {
+            S.u8(E.Node == VFG::RootT ? 'T' : 'F');
+          } else {
+            S.u8('L');
+            sinkRef(S, E.Node);
+          }
+          break;
+        case EdgeKind::Call:
+          // Self-recursive and root-sourced call edges are this segment's
+          // own structure; caller-side actuals are not.
+          if (G.isRoot(E.Node)) {
+            S.u8(2);
+            S.u32(E.CallSite);
+            S.u8(E.Node == VFG::RootT ? 'T' : 'F');
+          } else if (NodeFn[E.Node] == F) {
+            S.u8(2);
+            S.u32(E.CallSite);
+            S.u8('L');
+            sinkRef(S, E.Node);
+          } else {
+            HasCrossCallDep = 1;
+          }
+          break;
+        case EdgeKind::Ret:
+          S.u8(3);
+          S.u32(E.CallSite);
+          if (G.isRoot(E.Node)) {
+            S.u8(E.Node == VFG::RootT ? 'T' : 'F');
+          } else {
+            S.u8('X');
+            S.str(Fns[NodeFn[E.Node]]->getName());
+            sinkRef(S, E.Node);
+          }
+          break;
+        }
+      }
+      S.u8(0xFE);
+      S.u8(HasCrossCallDep);
+      S.u8(HasRetUser);
+      // Outgoing cross calls: which callee entries this node's value flows
+      // into, at which of this function's call sites (a call can have no
+      // Ret-kind residue in this segment, so deps alone would miss it).
+      for (const Edge &E : (*Flows[Id])) {
+        if (E.Kind != EdgeKind::Call || E.Node < 2 || NodeFn[E.Node] == F)
+          continue;
+        S.u8(4);
+        S.u32(E.CallSite);
+        S.str(Fns[NodeFn[E.Node]]->getName());
+        sinkRef(S, E.Node);
+      }
+      S.u8(0xFF);
+    }
+    return S.H;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Call-graph condensation and scheduling levels
+  //===--------------------------------------------------------------------===//
+
+  void buildCallCondensation() {
+    uint32_t NF = static_cast<uint32_t>(Fns.size());
+    std::vector<std::vector<uint32_t>> Adj(NF); // F -> callee G.
+    for (uint32_t Id = 2; Id < N; ++Id) {
+      uint32_t SrcF = NodeFn[Id];
+      for (const Edge &E : (*Flows[Id])) {
+        if (E.Node < 2)
+          continue;
+        uint32_t DstF = NodeFn[E.Node];
+        if (E.Kind == EdgeKind::Call && DstF != SrcF)
+          Adj[SrcF].push_back(DstF); // SrcF calls DstF.
+        else if (E.Kind == EdgeKind::Ret && DstF != SrcF)
+          Adj[DstF].push_back(SrcF); // DstF (caller) depends on SrcF.
+      }
+    }
+    for (auto &A : Adj) {
+      std::sort(A.begin(), A.end());
+      A.erase(std::unique(A.begin(), A.end()), A.end());
+    }
+
+    // Iterative Tarjan over functions; components finish callee-first.
+    FnComp.assign(NF, ~0u);
+    std::vector<uint32_t> Index(NF, 0), Low(NF, 0), SccStack;
+    std::vector<uint8_t> OnStack(NF, 0);
+    struct Frame {
+      uint32_t Fn, NextEdge;
+    };
+    std::vector<Frame> Stack;
+    uint32_t NextIndex = 1;
+    for (uint32_t Root = 0; Root != NF; ++Root) {
+      if (Index[Root])
+        continue;
+      Index[Root] = Low[Root] = NextIndex++;
+      OnStack[Root] = 1;
+      SccStack.push_back(Root);
+      Stack.push_back({Root, 0});
+      while (!Stack.empty()) {
+        Frame &Fr = Stack.back();
+        uint32_t U = Fr.Fn;
+        if (Fr.NextEdge < Adj[U].size()) {
+          uint32_t V = Adj[U][Fr.NextEdge++];
+          if (!Index[V]) {
+            Index[V] = Low[V] = NextIndex++;
+            OnStack[V] = 1;
+            SccStack.push_back(V);
+            Stack.push_back({V, 0});
+          } else if (OnStack[V]) {
+            Low[U] = std::min(Low[U], Index[V]);
+          }
+          continue;
+        }
+        Stack.pop_back();
+        if (!Stack.empty())
+          Low[Stack.back().Fn] = std::min(Low[Stack.back().Fn], Low[U]);
+        if (Low[U] == Index[U]) {
+          uint32_t C = static_cast<uint32_t>(CompFns.size());
+          CompFns.emplace_back();
+          while (true) {
+            uint32_t M = SccStack.back();
+            SccStack.pop_back();
+            OnStack[M] = 0;
+            FnComp[M] = C;
+            CompFns[C].push_back(M);
+            if (M == U)
+              break;
+          }
+          std::sort(CompFns[C].begin(), CompFns[C].end());
+        }
+      }
+    }
+    St.NumSCCs = CompFns.size();
+
+    // Components pop in callee-first order, so a component's callees all
+    // have smaller component ids: level = 1 + max(callee levels).
+    uint32_t NC = static_cast<uint32_t>(CompFns.size());
+    std::vector<uint32_t> Level(NC, 0);
+    uint32_t MaxLevel = 0;
+    for (uint32_t C = 0; C != NC; ++C) {
+      uint32_t L = 0;
+      for (uint32_t F : CompFns[C])
+        for (uint32_t Callee : Adj[F])
+          if (FnComp[Callee] != C)
+            L = std::max(L, Level[FnComp[Callee]] + 1);
+      Level[C] = L;
+      MaxLevel = std::max(MaxLevel, L);
+    }
+    Levels.assign(MaxLevel + 1, {});
+    for (uint32_t C = 0; C != NC; ++C)
+      Levels[Level[C]].push_back(C);
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Phase 1: intra-function parametric/concrete propagation
+  //===--------------------------------------------------------------------===//
+
+  /// Concrete internal undefinedness seeds of function \p F, mirroring the
+  /// global engine's Reach() seeding restricted to this segment.
+  void collectConcreteSeeds(uint32_t F,
+                            std::vector<std::pair<uint32_t, uint32_t>> &Out) {
+    for (const Edge &E : (*Flows[VFG::RootF])) {
+      if (E.Node < 2 || NodeFn[E.Node] != F)
+        continue;
+      uint32_t Code = 0;
+      switch (E.Kind) {
+      case EdgeKind::Direct:
+        break;
+      case EdgeKind::Call:
+        Code = pushCtx(0, E.CallSite);
+        break;
+      case EdgeKind::Ret:
+        // popped() from the empty stack always succeeds unchanged.
+        break;
+      }
+      Out.push_back({E.Node, Code});
+    }
+    if (!Opts.AddressTakenAware)
+      for (uint32_t Id : FnNodes[F])
+        if (G.node(Id).Key.Sp == ssa::Space::Memory)
+          Out.push_back({Id, 0});
+  }
+
+  /// One monotone propagation pass over function \p F using the current
+  /// callee summaries. Returns true if any summary fact was added.
+  bool propagateFunction(uint32_t F) {
+    FunctionSummary &S = Summaries[F];
+    bool Changed = false;
+
+    struct Item {
+      uint32_t Node;
+      uint64_t T; ///< Packed transfer; concrete items use TAlways.
+    };
+    std::vector<Item> Work;
+    std::unordered_map<uint32_t, std::unordered_set<uint64_t>> Visited;
+
+    auto Enqueue = [&](uint32_t Node, Transfer T) {
+      uint64_t P = packT(T);
+      if (Visited[Node].insert(P).second)
+        Work.push_back({Node, P});
+    };
+
+    // Shared traversal for one origin. Parametric origins record into
+    // T/CE keyed by the entry node; the concrete origin records IX/ICE.
+    auto RunOrigin = [&](uint32_t EntryOrConcrete, bool Concrete) {
+      while (!Work.empty()) {
+        if (!charge())
+          return;
+        Item It = Work.back();
+        Work.pop_back();
+        Transfer T = unpackT(It.T);
+        uint32_t Node = It.Node;
+
+        if (IsExit[Node]) {
+          if (Concrete) {
+            if (insertSortedV(S.IX[Node], T.OutCode))
+              Changed = true;
+          } else {
+            if (insertSorted(S.T[{EntryOrConcrete, Node}], It.T))
+              Changed = true;
+          }
+        }
+        for (const Edge &E : (*Flows[Node])) {
+          if (E.Node < 2)
+            continue;
+          uint32_t TF = NodeFn[E.Node];
+          switch (E.Kind) {
+          case EdgeKind::Direct:
+            Enqueue(E.Node, T);
+            break;
+          case EdgeKind::Call: {
+            Transfer T2 = pushT(T, E.CallSite);
+            if (TF == F) {
+              Enqueue(E.Node, T2); // Direct recursion: an ordinary push.
+              break;
+            }
+            if (Concrete) {
+              if (insertSortedV(S.ICE, {E.Node, T2.OutCode}))
+                Changed = true;
+            } else {
+              if (insertSortedV(S.CE[EntryOrConcrete],
+                                CEFact{packT(T2), E.Node}))
+                Changed = true;
+            }
+            // Apply the callee summary instead of traversing its body;
+            // flows returning into this function continue locally. (Exits
+            // escaping into other callers are realized in phase 3 from
+            // the CE/ICE obligation recorded above.)
+            const FunctionSummary &CS = Summaries[TF];
+            for (auto TIt = CS.T.lower_bound({E.Node, 0});
+                 TIt != CS.T.end() && TIt->first.first == E.Node; ++TIt) {
+              uint32_t XNode = TIt->first.second;
+              for (uint64_t PU : TIt->second) {
+                Transfer T3 = T2;
+                if (!applyT(T3, unpackT(PU)))
+                  continue;
+                for (const Edge &RE : (*Flows[XNode])) {
+                  if (RE.Kind != EdgeKind::Ret || RE.Node < 2 ||
+                      NodeFn[RE.Node] != F)
+                    continue;
+                  Transfer T4 = T3;
+                  if (popT(T4, RE.CallSite))
+                    Enqueue(RE.Node, T4);
+                }
+              }
+            }
+            break;
+          }
+          case EdgeKind::Ret: {
+            if (TF != F)
+              break; // Cross exit: phase 3 pops it into the caller.
+            Transfer T2 = T;
+            if (popT(T2, E.CallSite))
+              Enqueue(E.Node, T2);
+            break;
+          }
+          }
+        }
+        if (Exhausted.load(std::memory_order_relaxed))
+          return;
+      }
+    };
+
+    // Parametric origins: one per boundary node.
+    for (uint32_t Bn : S.Boundary) {
+      Work.clear();
+      Visited.clear();
+      Enqueue(Bn, Transfer{});
+      RunOrigin(Bn, /*Concrete=*/false);
+      if (Exhausted.load(std::memory_order_relaxed))
+        return Changed;
+    }
+    // The concrete origin: all internal sources at once (their facts are
+    // per-(node, context), not per-entry, so one shared memo is exact).
+    std::vector<std::pair<uint32_t, uint32_t>> Seeds;
+    collectConcreteSeeds(F, Seeds);
+    Work.clear();
+    Visited.clear();
+    for (auto &[Node, Code] : Seeds)
+      Enqueue(Node, Transfer{TAlways, 0, Code});
+    RunOrigin(0, /*Concrete=*/true);
+    return Changed;
+  }
+
+  void initBoundary(uint32_t F) {
+    FunctionSummary &S = Summaries[F];
+    for (uint32_t Id : FnNodes[F]) {
+      if (IsBoundary[Id])
+        S.Boundary.push_back(Id);
+      if (IsExit[Id])
+        S.Exits.push_back(Id);
+    }
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Summary serialization (canonical, run-independent)
+  //===--------------------------------------------------------------------===//
+
+  /// Serializes \p F's summary in the canonical stable form. Within one
+  /// run node ids are ordered by creation, which can differ across runs;
+  /// interface vectors are therefore re-sorted by (space, loc, version)
+  /// reference before writing.
+  std::string serializeSummary(uint32_t F) const {
+    const FunctionSummary &S = Summaries[F];
+    ByteSink Out;
+
+    // Callee-name string table, sorted for stability.
+    std::vector<std::string> Names;
+    auto NoteCallee = [&](uint32_t Node) {
+      Names.push_back(Fns[NodeFn[Node]]->getName());
+    };
+    for (const auto &[BKey, Facts] : S.CE) {
+      (void)BKey;
+      for (const CEFact &CF : Facts)
+        NoteCallee(CF.Callee);
+    }
+    for (const auto &[Callee, Code] : S.ICE) {
+      (void)Code;
+      NoteCallee(Callee);
+    }
+    std::sort(Names.begin(), Names.end());
+    Names.erase(std::unique(Names.begin(), Names.end()), Names.end());
+    std::unordered_map<std::string, uint32_t> NameIdx;
+    Out.u32(static_cast<uint32_t>(Names.size()));
+    for (uint32_t I = 0; I != Names.size(); ++I) {
+      NameIdx.emplace(Names[I], I);
+      Out.str(Names[I]);
+    }
+    auto CalleeIdx = [&](uint32_t Node) {
+      return NameIdx.at(Fns[NodeFn[Node]]->getName());
+    };
+
+    // Ref-sorted interface orderings; Pos maps node id -> stable index.
+    auto RefSorted = [&](const std::vector<uint32_t> &Ids) {
+      std::vector<uint32_t> V = Ids;
+      std::sort(V.begin(), V.end(), [&](uint32_t A, uint32_t Bn) {
+        return refLess(refOf(A), refOf(Bn));
+      });
+      return V;
+    };
+    std::vector<uint32_t> BOrd = RefSorted(S.Boundary);
+    std::vector<uint32_t> XOrd = RefSorted(S.Exits);
+    std::unordered_map<uint32_t, uint32_t> BPos, XPos;
+    Out.u32(static_cast<uint32_t>(BOrd.size()));
+    for (uint32_t I = 0; I != BOrd.size(); ++I) {
+      BPos.emplace(BOrd[I], I);
+      sinkRef(Out, BOrd[I]);
+    }
+    Out.u32(static_cast<uint32_t>(XOrd.size()));
+    for (uint32_t I = 0; I != XOrd.size(); ++I) {
+      XPos.emplace(XOrd[I], I);
+      sinkRef(Out, XOrd[I]);
+    }
+
+    // T, ordered by stable (entry, exit) position.
+    std::vector<std::tuple<uint32_t, uint32_t, const std::vector<uint64_t> *>>
+        TRows;
+    for (const auto &[BX, Ts] : S.T)
+      TRows.push_back({BPos.at(BX.first), XPos.at(BX.second), &Ts});
+    std::sort(TRows.begin(), TRows.end(),
+              [](const auto &A, const auto &Bn) {
+                return std::get<0>(A) != std::get<0>(Bn)
+                           ? std::get<0>(A) < std::get<0>(Bn)
+                           : std::get<1>(A) < std::get<1>(Bn);
+              });
+    Out.u32(static_cast<uint32_t>(TRows.size()));
+    for (auto &[BP, XP, Ts] : TRows) {
+      Out.u32(BP);
+      Out.u32(XP);
+      Out.u32(static_cast<uint32_t>(Ts->size()));
+      for (uint64_t P : *Ts)
+        Out.u64(P);
+    }
+
+    // CE, ordered by (entry position, transfer, callee name idx, ref).
+    struct CERow {
+      uint32_t BP;
+      uint64_t T;
+      uint32_t NameI;
+      NodeKeyRef Ref;
+    };
+    std::vector<CERow> CERows;
+    for (const auto &[Bn, Facts] : S.CE)
+      for (const CEFact &CF : Facts)
+        CERows.push_back(
+            {BPos.at(Bn), CF.T, CalleeIdx(CF.Callee), refOf(CF.Callee)});
+    std::sort(CERows.begin(), CERows.end(),
+              [](const CERow &A, const CERow &Bn) {
+                if (A.BP != Bn.BP)
+                  return A.BP < Bn.BP;
+                if (A.T != Bn.T)
+                  return A.T < Bn.T;
+                if (A.NameI != Bn.NameI)
+                  return A.NameI < Bn.NameI;
+                return refLess(A.Ref, Bn.Ref);
+              });
+    Out.u32(static_cast<uint32_t>(CERows.size()));
+    for (const CERow &R : CERows) {
+      Out.u32(R.BP);
+      Out.u64(R.T);
+      Out.u32(R.NameI);
+      Out.u8(R.Ref.Sp);
+      Out.u32(R.Ref.Loc);
+      Out.u32(R.Ref.Ver);
+    }
+
+    // IX by stable exit position.
+    std::vector<std::pair<uint32_t, const std::vector<uint32_t> *>> IXRows;
+    for (const auto &[X, Codes] : S.IX)
+      IXRows.push_back({XPos.at(X), &Codes});
+    std::sort(IXRows.begin(), IXRows.end());
+    Out.u32(static_cast<uint32_t>(IXRows.size()));
+    for (auto &[XP, Codes] : IXRows) {
+      Out.u32(XP);
+      Out.u32(static_cast<uint32_t>(Codes->size()));
+      for (uint32_t C : *Codes)
+        Out.u32(C);
+    }
+
+    // ICE by (callee name idx, ref, code).
+    struct ICERow {
+      uint32_t NameI;
+      NodeKeyRef Ref;
+      uint32_t Code;
+    };
+    std::vector<ICERow> ICERows;
+    for (const auto &[Callee, Code] : S.ICE)
+      ICERows.push_back({CalleeIdx(Callee), refOf(Callee), Code});
+    std::sort(ICERows.begin(), ICERows.end(),
+              [](const ICERow &A, const ICERow &Bn) {
+                if (A.NameI != Bn.NameI)
+                  return A.NameI < Bn.NameI;
+                if (!(A.Ref.Sp == Bn.Ref.Sp && A.Ref.Loc == Bn.Ref.Loc &&
+                      A.Ref.Ver == Bn.Ref.Ver))
+                  return refLess(A.Ref, Bn.Ref);
+                return A.Code < Bn.Code;
+              });
+    Out.u32(static_cast<uint32_t>(ICERows.size()));
+    for (const ICERow &R : ICERows) {
+      Out.u32(R.NameI);
+      Out.u8(R.Ref.Sp);
+      Out.u32(R.Ref.Loc);
+      Out.u32(R.Ref.Ver);
+      Out.u32(R.Code);
+    }
+    return std::move(Out.Bytes);
+  }
+
+  uint32_t resolveRef(const ir::Function *Fn, uint8_t Sp, uint32_t Loc,
+                      uint32_t Ver) const {
+    return G.findNode(Fn, ssa::VarKey{static_cast<ssa::Space>(Sp), Loc}, Ver);
+  }
+
+  /// Rebuilds \p F's summary from \p Payload. False means the record is
+  /// stale for the current graph (unresolvable reference / malformed).
+  bool deserializeSummary(uint32_t F, const std::string &Payload) {
+    ByteSource In(Payload);
+    FunctionSummary S;
+    const ir::Function *Self = Fns[F];
+
+    uint32_t NNames = In.u32();
+    std::vector<const ir::Function *> NameFns;
+    for (uint32_t I = 0; I != NNames && !In.Bad; ++I) {
+      auto It = FnByName.find(In.str());
+      if (It == FnByName.end())
+        return false;
+      NameFns.push_back(It->second);
+    }
+    auto ReadOwnRef = [&]() -> uint32_t {
+      uint8_t Sp = In.u8();
+      uint32_t Loc = In.u32(), Ver = In.u32();
+      if (In.Bad)
+        return ~0u;
+      return resolveRef(Self, Sp, Loc, Ver);
+    };
+    auto ReadCalleeRef = [&](uint32_t NameI) -> uint32_t {
+      uint8_t Sp = In.u8();
+      uint32_t Loc = In.u32(), Ver = In.u32();
+      if (In.Bad || NameI >= NameFns.size())
+        return ~0u;
+      return resolveRef(NameFns[NameI], Sp, Loc, Ver);
+    };
+
+    uint32_t NB = In.u32();
+    std::vector<uint32_t> BOrd, XOrd;
+    for (uint32_t I = 0; I != NB && !In.Bad; ++I) {
+      uint32_t Id = ReadOwnRef();
+      if (Id == ~0u || !IsBoundary[Id])
+        return false;
+      BOrd.push_back(Id);
+    }
+    uint32_t NX = In.u32();
+    for (uint32_t I = 0; I != NX && !In.Bad; ++I) {
+      uint32_t Id = ReadOwnRef();
+      if (Id == ~0u || !IsExit[Id])
+        return false;
+      XOrd.push_back(Id);
+    }
+    uint32_t NT = In.u32();
+    for (uint32_t I = 0; I != NT && !In.Bad; ++I) {
+      uint32_t BP = In.u32(), XP = In.u32(), Cnt = In.u32();
+      if (In.Bad || BP >= BOrd.size() || XP >= XOrd.size())
+        return false;
+      auto &Ts = S.T[{BOrd[BP], XOrd[XP]}];
+      for (uint32_t J = 0; J != Cnt && !In.Bad; ++J)
+        Ts.push_back(In.u64());
+      std::sort(Ts.begin(), Ts.end());
+    }
+    uint32_t NCE = In.u32();
+    for (uint32_t I = 0; I != NCE && !In.Bad; ++I) {
+      uint32_t BP = In.u32();
+      uint64_t T = In.u64();
+      uint32_t NameI = In.u32();
+      uint32_t Callee = ReadCalleeRef(NameI);
+      if (In.Bad || BP >= BOrd.size() || Callee == ~0u)
+        return false;
+      insertSortedV(S.CE[BOrd[BP]], CEFact{T, Callee});
+    }
+    uint32_t NIX = In.u32();
+    for (uint32_t I = 0; I != NIX && !In.Bad; ++I) {
+      uint32_t XP = In.u32(), Cnt = In.u32();
+      if (In.Bad || XP >= XOrd.size())
+        return false;
+      auto &Codes = S.IX[XOrd[XP]];
+      for (uint32_t J = 0; J != Cnt && !In.Bad; ++J)
+        Codes.push_back(In.u32());
+      std::sort(Codes.begin(), Codes.end());
+    }
+    uint32_t NICE = In.u32();
+    for (uint32_t I = 0; I != NICE && !In.Bad; ++I) {
+      uint32_t NameI = In.u32();
+      uint32_t Callee = ReadCalleeRef(NameI);
+      uint32_t Code = In.u32();
+      if (In.Bad || Callee == ~0u)
+        return false;
+      insertSortedV(S.ICE, {Callee, Code});
+    }
+    if (In.Bad || In.Pos != Payload.size())
+      return false;
+
+    FunctionSummary &Dst = Summaries[F];
+    S.Boundary = std::move(Dst.Boundary);
+    S.Exits = std::move(Dst.Exits);
+    S.SegHash = Dst.SegHash;
+    Dst = std::move(S);
+    return true;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Phase 1 driver: per-SCC compute-or-reuse
+  //===--------------------------------------------------------------------===//
+
+  uint64_t externalDepSig(uint32_t C) const {
+    // Value hashes of callees outside the component, by sorted name.
+    std::set<std::pair<std::string, uint64_t>> Sig;
+    for (uint32_t F : CompFns[C])
+      for (uint32_t Id : FnNodes[F])
+        for (const Edge &E : (*Flows[Id])) {
+          if (E.Node < 2 || E.Kind != EdgeKind::Call)
+            continue;
+          uint32_t TF = NodeFn[E.Node];
+          if (FnComp[TF] != C)
+            Sig.insert({Fns[TF]->getName(), Summaries[TF].ValueHash});
+        }
+    // Ret flows from a callee into this component are the same dependency
+    // seen from the other side (result/chi receivers).
+    for (uint32_t F : CompFns[C])
+      for (uint32_t Id : FnNodes[F])
+        for (const Edge &E : *EffDeps[Id]) {
+          if (E.Kind != EdgeKind::Ret || G.isRoot(E.Node))
+            continue;
+          uint32_t TF = NodeFn[E.Node];
+          if (FnComp[TF] != C)
+            Sig.insert({Fns[TF]->getName(), Summaries[TF].ValueHash});
+        }
+    HashSink S{CfgHash};
+    for (const auto &[Name, VH] : Sig) {
+      S.str(Name);
+      S.u64(VH);
+    }
+    return S.H;
+  }
+
+  uint64_t componentKey(uint32_t C) const {
+    // Members sorted by name; their segment hashes pin the exact segments.
+    std::vector<std::pair<std::string, uint64_t>> Members;
+    for (uint32_t F : CompFns[C])
+      Members.push_back({Fns[F]->getName(), Summaries[F].SegHash});
+    std::sort(Members.begin(), Members.end());
+    HashSink S{CfgHash};
+    S.str("USHSCC1");
+    for (const auto &[Name, H] : Members) {
+      S.str(Name);
+      S.u64(H);
+    }
+    return S.H;
+  }
+
+  void processComponent(uint32_t C) {
+    uint64_t DepSig = externalDepSig(C);
+    uint64_t Key = componentKey(C);
+
+    if (Cache) {
+      if (auto Payload = Cache->lookup(Key)) {
+        // Payload: magic, depsig, member count, per member (name, bytes).
+        ByteSource In(*Payload);
+        bool Ok = In.str() == "USHSUM1" && In.u64() == DepSig;
+        uint32_t Cnt = Ok ? In.u32() : 0;
+        Ok = Ok && Cnt == CompFns[C].size();
+        std::vector<std::pair<uint32_t, std::string>> MemberBytes;
+        for (uint32_t I = 0; I != Cnt && Ok; ++I) {
+          std::string Name = In.str();
+          std::string Body = In.str();
+          auto It = FnByName.find(Name);
+          Ok = !In.Bad && It != FnByName.end() &&
+               FnIdx.count(It->second) != 0;
+          if (Ok) {
+            uint32_t F = FnIdx.at(It->second);
+            Ok = FnComp[F] == C;
+            MemberBytes.push_back({F, std::move(Body)});
+          }
+        }
+        Ok = Ok && !In.Bad && In.Pos == Payload->size();
+        if (Ok)
+          for (auto &[F, Body] : MemberBytes)
+            if (!deserializeSummary(F, Body)) {
+              Ok = false;
+              break;
+            }
+        if (Ok) {
+          for (auto &[F, Body] : MemberBytes)
+            Summaries[F].ValueHash =
+                fnvBytes(Body.data(), Body.size(), CfgHash);
+          AReused.fetch_add(CompFns[C].size(), std::memory_order_relaxed);
+          pruneComponent(C);
+          return;
+        }
+        Cache->noteStale();
+      }
+    }
+
+    // Compute: joint fixpoint over the component's members. Each pass
+    // re-propagates a member from scratch against the current summaries;
+    // facts only accumulate, so the iteration is monotone and finite.
+    bool Changed = true;
+    while (Changed && !Exhausted.load(std::memory_order_relaxed)) {
+      Changed = false;
+      for (uint32_t F : CompFns[C])
+        if (propagateFunction(F))
+          Changed = true;
+    }
+    AComputed.fetch_add(CompFns[C].size(), std::memory_order_relaxed);
+    if (Exhausted.load(std::memory_order_relaxed))
+      return; // Do not cache partial summaries.
+
+    if (Cache) {
+      ByteSink Out;
+      Out.str("USHSUM1");
+      Out.u64(DepSig);
+      Out.u32(static_cast<uint32_t>(CompFns[C].size()));
+      std::vector<std::pair<std::string, uint32_t>> ByName;
+      for (uint32_t F : CompFns[C])
+        ByName.push_back({Fns[F]->getName(), F});
+      std::sort(ByName.begin(), ByName.end());
+      for (const auto &[Name, F] : ByName) {
+        std::string Body = serializeSummary(F);
+        Summaries[F].ValueHash = fnvBytes(Body.data(), Body.size(), CfgHash);
+        Out.str(Name);
+        Out.str(Body);
+      }
+      Cache->store(Key, std::move(Out.Bytes));
+    } else {
+      for (uint32_t F : CompFns[C]) {
+        std::string Body = serializeSummary(F);
+        Summaries[F].ValueHash = fnvBytes(Body.data(), Body.size(), CfgHash);
+      }
+    }
+    pruneComponent(C);
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Phase 2: redundant-summary elimination
+  //===--------------------------------------------------------------------===//
+
+  /// Context codes a caller can realize at boundary node \p Bn: the sites
+  /// of its cross-function Call dependencies (entries realize under
+  /// exactly the pushing site), plus the empty context if it has any Ret
+  /// dependency (k <= 1 pops always land on the empty stack). Guards
+  /// outside this set are dead weight no caller can distinguish.
+  void realizableEntryCodes(uint32_t Bn, std::vector<uint32_t> &Out) const {
+    Out.clear();
+    if (K == 0) {
+      Out.push_back(0);
+      return;
+    }
+    uint32_t F = NodeFn[Bn];
+    for (const Edge &E : *EffDeps[Bn]) {
+      if (E.Kind == EdgeKind::Ret) {
+        Out.push_back(0);
+      } else if (E.Kind == EdgeKind::Call &&
+                 (G.isRoot(E.Node) || NodeFn[E.Node] != F)) {
+        // Root-sourced call args seed concretely but share the same code.
+        Out.push_back(E.CallSite + 1);
+      }
+    }
+    std::sort(Out.begin(), Out.end());
+    Out.erase(std::unique(Out.begin(), Out.end()), Out.end());
+  }
+
+  /// Prunes one transfer list in place against realizable entry codes \p R.
+  void pruneTransfers(std::vector<uint64_t> &Ts, const std::vector<uint32_t> &R,
+                      uint64_t &Dropped, uint64_t &Merged) {
+    if (K == 0)
+      return;
+    auto Realizes = [&](uint32_t Code) {
+      return std::binary_search(R.begin(), R.end(), Code);
+    };
+    std::vector<uint64_t> Kept;
+    for (uint64_t P : Ts) {
+      Transfer T = unpackT(P);
+      if (T.Kind != TMatch) {
+        Kept.push_back(P);
+        continue;
+      }
+      bool Pass0 = Realizes(0), PassS = Realizes(T.Site + 1);
+      if (!Pass0 && !PassS) {
+        ++Dropped; // Guard satisfiable by no caller: unreachable fact.
+        continue;
+      }
+      // Subsumed by an unconditional transfer with the same output?
+      if (std::binary_search(Ts.begin(), Ts.end(),
+                             packT(Transfer{TAlways, 0, T.OutCode}))) {
+        ++Dropped;
+        continue;
+      }
+      // Every realizable entry satisfies the guard: merge into Always.
+      bool AllPass = true;
+      for (uint32_t Code : R)
+        if (!(Code == 0 || Code == T.Site + 1)) {
+          AllPass = false;
+          break;
+        }
+      if (AllPass) {
+        ++Merged;
+        Kept.push_back(packT(Transfer{TAlways, 0, T.OutCode}));
+        continue;
+      }
+      Kept.push_back(P);
+    }
+    std::sort(Kept.begin(), Kept.end());
+    Kept.erase(std::unique(Kept.begin(), Kept.end()), Kept.end());
+    Ts = std::move(Kept);
+  }
+
+  void pruneComponent(uint32_t C) {
+    if (K == 0)
+      return;
+    uint64_t DroppedT = 0, DroppedCE = 0, Merged = 0;
+    std::vector<uint32_t> R;
+    for (uint32_t F : CompFns[C]) {
+      FunctionSummary &S = Summaries[F];
+      uint32_t CurB = ~0u;
+      for (auto &[BX, Ts] : S.T) {
+        if (BX.first != CurB) {
+          CurB = BX.first;
+          realizableEntryCodes(CurB, R);
+        }
+        pruneTransfers(Ts, R, DroppedT, Merged);
+      }
+      for (auto &[Bn, Facts] : S.CE) {
+        realizableEntryCodes(Bn, R);
+        auto Realizes = [&](uint32_t Code) {
+          return std::binary_search(R.begin(), R.end(), Code);
+        };
+        std::vector<CEFact> Kept;
+        for (const CEFact &CF : Facts) {
+          Transfer T = unpackT(CF.T);
+          if (T.Kind == TMatch) {
+            bool Pass0 = Realizes(0), PassS = Realizes(T.Site + 1);
+            if (!Pass0 && !PassS) {
+              ++DroppedCE;
+              continue;
+            }
+            if (std::binary_search(
+                    Facts.begin(), Facts.end(),
+                    CEFact{packT(Transfer{TAlways, 0, T.OutCode}),
+                           CF.Callee})) {
+              ++DroppedCE;
+              continue;
+            }
+            bool AllPass = true;
+            for (uint32_t Code : R)
+              if (!(Code == 0 || Code == T.Site + 1)) {
+                AllPass = false;
+                break;
+              }
+            if (AllPass) {
+              ++Merged;
+              Kept.push_back(
+                  CEFact{packT(Transfer{TAlways, 0, T.OutCode}), CF.Callee});
+              continue;
+            }
+          }
+          Kept.push_back(CF);
+        }
+        std::sort(Kept.begin(), Kept.end());
+        Kept.erase(std::unique(Kept.begin(), Kept.end()), Kept.end());
+        Facts = std::move(Kept);
+      }
+    }
+    APrunedT.fetch_add(DroppedT, std::memory_order_relaxed);
+    APrunedCE.fetch_add(DroppedCE, std::memory_order_relaxed);
+    AMerged.fetch_add(Merged, std::memory_order_relaxed);
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Phase 3: concrete interface worklist
+  //===--------------------------------------------------------------------===//
+
+  void interfacePhase() {
+    Realized.assign(Fns.size(), {});
+    std::unordered_map<uint32_t, std::unordered_set<uint32_t>> NodeSeen,
+        ExitSeen;
+    std::vector<std::pair<uint32_t, uint32_t>> Work;
+
+    auto Realize = [&](uint32_t Node, uint32_t Code) {
+      if (NodeSeen[Node].insert(Code).second)
+        Work.push_back({Node, Code});
+    };
+    auto ExitFact = [&](uint32_t XNode, uint32_t Code) {
+      if (!ExitSeen[XNode].insert(Code).second)
+        return;
+      for (const Edge &E : (*Flows[XNode])) {
+        if (E.Kind != EdgeKind::Ret || E.Node < 2)
+          continue;
+        uint32_t C2 = Code;
+        if (popCtx(C2, E.CallSite))
+          Realize(E.Node, C2);
+      }
+    };
+
+    for (uint32_t F = 0; F != Fns.size(); ++F) {
+      const FunctionSummary &S = Summaries[F];
+      for (const auto &[X, Codes] : S.IX)
+        for (uint32_t Code : Codes)
+          ExitFact(X, Code);
+      for (const auto &[Callee, Code] : S.ICE)
+        Realize(Callee, Code);
+    }
+
+    while (!Work.empty()) {
+      if (!charge())
+        return;
+      auto [Node, Code] = Work.back();
+      Work.pop_back();
+      uint32_t F = NodeFn[Node];
+      const FunctionSummary &S = Summaries[F];
+      for (auto It = S.T.lower_bound({Node, 0});
+           It != S.T.end() && It->first.first == Node; ++It)
+        for (uint64_t P : It->second) {
+          uint32_t C2 = Code;
+          if (applyCtx(C2, unpackT(P)))
+            ExitFact(It->first.second, C2);
+        }
+      auto CEIt = S.CE.find(Node);
+      if (CEIt != S.CE.end())
+        for (const CEFact &CF : CEIt->second) {
+          uint32_t C2 = Code;
+          if (applyCtx(C2, unpackT(CF.T)))
+            Realize(CF.Callee, C2);
+        }
+    }
+
+    uint64_t Total = 0;
+    for (auto &[Node, Codes] : NodeSeen) {
+      Total += Codes.size();
+      auto &RF = Realized[NodeFn[Node]];
+      for (uint32_t Code : Codes)
+        RF.push_back({Node, Code});
+    }
+    for (auto &RF : Realized)
+      std::sort(RF.begin(), RF.end());
+    St.RealizedBoundaryFacts = Total;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Phase 4: per-function expansion
+  //===--------------------------------------------------------------------===//
+
+  uint64_t expansionKey(uint32_t F) const {
+    // Direct-callee value hashes (their T drives the through-jumps).
+    std::set<std::pair<std::string, uint64_t>> Sig;
+    for (uint32_t Id : FnNodes[F])
+      for (const Edge &E : (*Flows[Id]))
+        if (E.Kind == EdgeKind::Call && E.Node >= 2 && NodeFn[E.Node] != F)
+          Sig.insert(
+              {Fns[NodeFn[E.Node]]->getName(), Summaries[NodeFn[E.Node]].ValueHash});
+    HashSink S{CfgHash};
+    S.str("USHEXP1");
+    S.u64(Summaries[F].SegHash);
+    for (const auto &[Name, VH] : Sig) {
+      S.str(Name);
+      S.u64(VH);
+    }
+    // Realized boundary facts, hashed by stable reference.
+    std::vector<std::pair<NodeKeyRef, uint32_t>> RF;
+    for (const auto &[Node, Code] : Realized[F])
+      RF.push_back({refOf(Node), Code});
+    std::sort(RF.begin(), RF.end(),
+              [](const auto &A, const auto &Bn) {
+                if (!(A.first.Sp == Bn.first.Sp && A.first.Loc == Bn.first.Loc &&
+                      A.first.Ver == Bn.first.Ver))
+                  return refLess(A.first, Bn.first);
+                return A.second < Bn.second;
+              });
+    for (const auto &[Ref, Code] : RF) {
+      S.u8(Ref.Sp);
+      S.u32(Ref.Loc);
+      S.u32(Ref.Ver);
+      S.u32(Code);
+    }
+    return S.H;
+  }
+
+  struct Expansion {
+    std::vector<uint32_t> Marked; ///< Sorted node ids marked bottom.
+    bool Saturates = false;
+  };
+
+  Expansion expandFunction(uint32_t F) {
+    Expansion Out;
+    const std::vector<uint32_t> &Ids = FnNodes[F];
+    std::unordered_map<uint32_t, uint32_t> Local; // node id -> local index.
+    for (uint32_t I = 0; I != Ids.size(); ++I)
+      Local.emplace(Ids[I], I);
+    uint32_t NL = static_cast<uint32_t>(Ids.size());
+
+    // Local Tarjan over intra-function Direct flows; identical components
+    // to the global engine's (Direct edges never cross functions).
+    std::vector<uint32_t> Rep(NL);
+    {
+      std::vector<uint32_t> Index(NL, 0), Low(NL, 0), SccStack;
+      std::vector<uint8_t> OnStack(NL, 0);
+      struct Frame {
+        uint32_t Node, NextEdge;
+      };
+      std::vector<Frame> Stack;
+      uint32_t NextIndex = 1;
+      for (uint32_t Root = 0; Root != NL; ++Root) {
+        if (Index[Root])
+          continue;
+        Index[Root] = Low[Root] = NextIndex++;
+        OnStack[Root] = 1;
+        SccStack.push_back(Root);
+        Stack.push_back({Root, 0});
+        while (!Stack.empty()) {
+          Frame &Fr = Stack.back();
+          uint32_t U = Fr.Node;
+          const std::vector<Edge> &FE = (*Flows[Ids[U]]);
+          if (Fr.NextEdge < FE.size()) {
+            const Edge &E = FE[Fr.NextEdge++];
+            if (E.Kind != EdgeKind::Direct || E.Node < 2)
+              continue;
+            uint32_t V = Local.at(E.Node);
+            if (!Index[V]) {
+              Index[V] = Low[V] = NextIndex++;
+              OnStack[V] = 1;
+              SccStack.push_back(V);
+              Stack.push_back({V, 0});
+            } else if (OnStack[V]) {
+              Low[U] = std::min(Low[U], Index[V]);
+            }
+            continue;
+          }
+          Stack.pop_back();
+          if (!Stack.empty())
+            Low[Stack.back().Node] =
+                std::min(Low[Stack.back().Node], Low[U]);
+          if (Low[U] == Index[U]) {
+            while (true) {
+              uint32_t M = SccStack.back();
+              SccStack.pop_back();
+              OnStack[M] = 0;
+              Rep[M] = U;
+              if (M == U)
+                break;
+            }
+          }
+        }
+      }
+    }
+    std::vector<std::vector<uint32_t>> Members(NL);
+    for (uint32_t I = 0; I != NL; ++I)
+      Members[Rep[I]].push_back(I);
+
+    std::vector<std::unordered_set<uint32_t>> Seen(NL);
+    std::vector<uint8_t> Marked(NL, 0);
+    std::vector<std::pair<uint32_t, uint32_t>> Work; // (local rep, code).
+
+    auto ReachLocal = [&](uint32_t LNode, uint32_t Code) {
+      uint32_t R = Rep[LNode];
+      if (Seen[R].empty())
+        for (uint32_t M : Members[R])
+          Marked[M] = 1;
+      if (!Seen[R].insert(Code).second)
+        return;
+      if (Seen[R].size() >= MaxContextsPerRep) {
+        // The global engine would widen this component to the universal
+        // context here; record the bail but keep going so the budget
+        // charge count stays schedule-independent.
+        Out.Saturates = true;
+        Bail.store(true, std::memory_order_relaxed);
+      }
+      Work.push_back({R, Code});
+    };
+
+    for (const auto &[Node, Code] : Realized[F])
+      ReachLocal(Local.at(Node), Code);
+    std::vector<std::pair<uint32_t, uint32_t>> Seeds;
+    collectConcreteSeeds(F, Seeds);
+    for (const auto &[Node, Code] : Seeds)
+      ReachLocal(Local.at(Node), Code);
+
+    // (callee entry, entry code) -> returning (local node, code) list.
+    std::unordered_map<uint64_t, std::vector<std::pair<uint32_t, uint32_t>>>
+        JumpMemo;
+
+    while (!Work.empty()) {
+      if (!charge())
+        return Out;
+      auto [R, Code] = Work.back();
+      Work.pop_back();
+      for (uint32_t M : Members[R]) {
+        for (const Edge &E : (*Flows[Ids[M]])) {
+          if (E.Node < 2)
+            continue;
+          uint32_t TF = NodeFn[E.Node];
+          switch (E.Kind) {
+          case EdgeKind::Direct:
+            if (Rep[Local.at(E.Node)] != R)
+              ReachLocal(Local.at(E.Node), Code);
+            break;
+          case EdgeKind::Call: {
+            uint32_t C2 = pushCtx(Code, E.CallSite);
+            if (TF == F) {
+              ReachLocal(Local.at(E.Node), C2);
+              break;
+            }
+            // Cross call: the callee body is marked by its own expansion
+            // (phase 3 realized the entry); continue the flows that
+            // return into this function by applying the callee summary.
+            uint64_t MemoKey =
+                (static_cast<uint64_t>(E.Node) << 32) | C2;
+            auto MIt = JumpMemo.find(MemoKey);
+            if (MIt == JumpMemo.end()) {
+              std::vector<std::pair<uint32_t, uint32_t>> Ret;
+              const FunctionSummary &CS = Summaries[TF];
+              for (auto TIt = CS.T.lower_bound({E.Node, 0});
+                   TIt != CS.T.end() && TIt->first.first == E.Node; ++TIt) {
+                uint32_t XNode = TIt->first.second;
+                for (uint64_t P : TIt->second) {
+                  uint32_t C3 = C2;
+                  if (!applyCtx(C3, unpackT(P)))
+                    continue;
+                  for (const Edge &RE : (*Flows[XNode])) {
+                    if (RE.Kind != EdgeKind::Ret || RE.Node < 2 ||
+                        NodeFn[RE.Node] != F)
+                      continue;
+                    uint32_t C4 = C3;
+                    if (popCtx(C4, RE.CallSite))
+                      Ret.push_back({Local.at(RE.Node), C4});
+                  }
+                }
+              }
+              std::sort(Ret.begin(), Ret.end());
+              Ret.erase(std::unique(Ret.begin(), Ret.end()), Ret.end());
+              MIt = JumpMemo.emplace(MemoKey, std::move(Ret)).first;
+            }
+            for (const auto &[LNode, C4] : MIt->second)
+              ReachLocal(LNode, C4);
+            break;
+          }
+          case EdgeKind::Ret: {
+            if (TF != F)
+              break; // Cross exit: realized in phase 3.
+            uint32_t C2 = Code;
+            if (popCtx(C2, E.CallSite))
+              ReachLocal(Local.at(E.Node), C2);
+            break;
+          }
+          }
+        }
+      }
+      if (Exhausted.load(std::memory_order_relaxed))
+        return Out;
+    }
+    for (uint32_t I = 0; I != NL; ++I)
+      if (Marked[I])
+        Out.Marked.push_back(Ids[I]);
+    std::sort(Out.Marked.begin(), Out.Marked.end());
+    return Out;
+  }
+
+  /// Expansion with memoization: cache hit replays the marked set (and the
+  /// saturation verdict) without re-propagating.
+  Expansion expandOrReuse(uint32_t F) {
+    uint64_t Key = 0;
+    if (Cache) {
+      Key = expansionKey(F);
+      if (auto Payload = Cache->lookup(Key)) {
+        ByteSource In(*Payload);
+        bool Ok = In.str() == "USHEXP1";
+        Expansion Out;
+        Out.Saturates = In.u8() != 0;
+        uint32_t Cnt = In.u32();
+        const ir::Function *Self = Fns[F];
+        for (uint32_t I = 0; I != Cnt && Ok && !In.Bad; ++I) {
+          uint8_t Sp = In.u8();
+          uint32_t Loc = In.u32(), Ver = In.u32();
+          uint32_t Id = In.Bad ? ~0u : resolveRef(Self, Sp, Loc, Ver);
+          Ok = Id != ~0u && NodeFn[Id] == F;
+          if (Ok)
+            Out.Marked.push_back(Id);
+        }
+        Ok = Ok && !In.Bad && In.Pos == Payload->size();
+        if (Ok) {
+          std::sort(Out.Marked.begin(), Out.Marked.end());
+          if (Out.Saturates)
+            Bail.store(true, std::memory_order_relaxed);
+          AExpReused.fetch_add(1, std::memory_order_relaxed);
+          return Out;
+        }
+        Cache->noteStale();
+      }
+    }
+    Expansion Out = expandFunction(F);
+    AExpComputed.fetch_add(1, std::memory_order_relaxed);
+    if (Cache && !Exhausted.load(std::memory_order_relaxed)) {
+      ByteSink S;
+      S.str("USHEXP1");
+      S.u8(Out.Saturates ? 1 : 0);
+      // Marked ids sorted by stable ref for run-independence.
+      std::vector<uint32_t> ByRef = Out.Marked;
+      std::sort(ByRef.begin(), ByRef.end(),
+                [&](uint32_t A, uint32_t Bn) {
+                  return refLess(refOf(A), refOf(Bn));
+                });
+      S.u32(static_cast<uint32_t>(ByRef.size()));
+      for (uint32_t Id : ByRef)
+        sinkRef(S, Id);
+      Cache->store(Key, std::move(S.Bytes));
+    }
+    return Out;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Driver
+  //===--------------------------------------------------------------------===//
+
+  /// The same structural completion the global engine applies on budget
+  /// exhaustion, so degraded results are byte-identical across engines.
+  BitSet pessimize() const {
+    BitSet Bottom(N);
+    for (uint32_t Id = 0; Id != N; ++Id) {
+      if (G.isRoot(Id))
+        continue;
+      const std::vector<Edge> *Deps = EffDeps[Id];
+      bool AllTop = !Deps->empty();
+      for (const Edge &E : *Deps)
+        if (E.Node != VFG::RootT) {
+          AllTop = false;
+          break;
+        }
+      if (!AllTop)
+        Bottom.set(Id);
+    }
+    return Bottom;
+  }
+
+  SummaryRunResult run() {
+    if (K >= 2) {
+      // The parametric transfer algebra is closed only for k <= 1.
+      St.DelegatedToGlobal = true;
+      return {};
+    }
+    if (B && !B->step()) {
+      St.Pessimized = true;
+      // prepare() has not run; compute effective deps just for pessimize.
+      N = G.numNodes();
+      EffDeps.resize(N);
+      for (uint32_t Id = 0; Id != N; ++Id) {
+        EffDeps[Id] = &G.deps(Id);
+        if (Redirects) {
+          auto It = Redirects->find(Id);
+          if (It != Redirects->end())
+            EffDeps[Id] = &It->second;
+        }
+      }
+      return {pessimize(), true};
+    }
+    if (!prepare()) {
+      St.DelegatedToGlobal = true;
+      return {};
+    }
+    buildCallCondensation();
+
+    // Phase 1 (+2): bottom-up over condensation levels; components within
+    // a level are independent and run on the pool. Summaries of lower
+    // levels are complete before a level starts (ordered join barrier).
+    for (uint32_t F = 0; F != Fns.size(); ++F) {
+      initBoundary(F);
+      Summaries[F].SegHash = segmentHash(F);
+    }
+    for (const std::vector<uint32_t> &Level : Levels) {
+      parallelForOrdered(Pool, Level.size(),
+                         [&](size_t I) { processComponent(Level[I]); });
+      if (Exhausted.load(std::memory_order_relaxed))
+        break;
+    }
+    if (!Exhausted.load(std::memory_order_relaxed)) {
+      // Phase 3 is serial: it crosses function boundaries.
+      interfacePhase();
+    }
+
+    // Phase 4: independent per-function expansions, merged in order.
+    std::vector<Expansion> Exps;
+    if (!Exhausted.load(std::memory_order_relaxed))
+      Exps = parallelMapOrdered(Pool, Fns.size(),
+                                [&](size_t F) {
+                                  return expandOrReuse(
+                                      static_cast<uint32_t>(F));
+                                });
+
+    St.SummariesComputed = AComputed.load();
+    St.SummariesReused = AReused.load();
+    St.ExpansionsComputed = AExpComputed.load();
+    St.ExpansionsReused = AExpReused.load();
+    St.PrunedTransfers = APrunedT.load();
+    St.PrunedCalleeEntries = APrunedCE.load();
+    St.MergedContexts = AMerged.load();
+
+    if (Exhausted.load(std::memory_order_relaxed)) {
+      St.Pessimized = true;
+      return {pessimize(), true};
+    }
+    if (Bail.load(std::memory_order_relaxed)) {
+      // The global engine would saturate some component to the universal
+      // context; matching that widening exactly is the global engine's
+      // job, so hand the whole query back to it.
+      St.SaturationBail = true;
+      St.DelegatedToGlobal = true;
+      return {};
+    }
+
+    BitSet Bottom(N);
+    Bottom.set(VFG::RootF);
+    for (const Expansion &E : Exps)
+      for (uint32_t Id : E.Marked)
+        Bottom.set(Id);
+    return {std::move(Bottom), false};
+  }
+};
+
+SummaryEngine::SummaryEngine(
+    const VFG &G, SummaryEngineOptions Opts,
+    const std::unordered_map<uint32_t, std::vector<Edge>> *Redirects,
+    SummaryCache *Cache, ThreadPool *Pool, Budget *B)
+    : I(std::make_unique<Impl>(G, Opts, Redirects, Cache, Pool, B, St)) {}
+
+SummaryEngine::~SummaryEngine() = default;
+
+SummaryRunResult SummaryEngine::run() { return I->run(); }

@@ -1,0 +1,193 @@
+//===- analysis/SummaryEngine.h - Bottom-up summary engine ------*- C++ -*-===//
+//
+// Part of the Usher project, reproducing "Accelerating Dynamic Detection of
+// Uses of Undefined Values with Static Value-Flow Analysis" (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A bottom-up summary-based replacement for the global definedness
+/// fixpoint (ROADMAP open item 2, the "Removal of Redundant Summaries"
+/// direction). Instead of one whole-program (node, context) worklist, the
+/// engine computes a per-function *value-flow summary* — the k-context
+/// transfer from every interface node (formal / callee-return receiver /
+/// escaping-memory version) to every escaping exit of the function's VFG
+/// segment — bottom-up over the Tarjan-condensed call graph derived from
+/// the VFG's interprocedural edges, iterating mutually recursive SCCs to a
+/// joint fixpoint. Callers then *apply* the callee summary instead of
+/// re-traversing the callee body, and a final per-function expansion
+/// (embarrassingly parallel across functions) materializes the same
+/// bottom set the global engine would compute.
+///
+/// Redundant-summary elimination prunes, before use, every summary entry
+/// no caller can distinguish: transfers guarded on a call site that never
+/// realizes at the entry, guarded transfers subsumed by an unconditional
+/// one with the same output, and guards that every realizable caller
+/// context satisfies (merged into the unconditional form). Pruned counts
+/// surface in SummaryEngineStats and UsherStatistics.
+///
+/// The engine is *exactly* warning-set equivalent to core::Definedness; it
+/// deliberately refuses configurations whose equivalence it cannot
+/// guarantee cheaply, returning "delegate to the global engine" instead:
+///  - ContextK >= 2 (the parametric transfer algebra is closed only for
+///    k <= 1; the paper's configuration is k = 1);
+///  - any per-component context-set cardinality reaching the global
+///    engine's saturation cap (the global engine would widen to the
+///    universal context; the first component to saturate is driven by
+///    exactly realizable contexts, so the bail condition is detected
+///    deterministically here too).
+/// Budget exhaustion completes pessimistically with the same structural
+/// rule as the global engine, so degraded results are byte-identical.
+///
+/// Summaries are cached in a SummaryCache keyed by the function's segment
+/// content hash; entries are revalidated against the value hashes of the
+/// callee summaries they were built on (difference propagation: an edit
+/// invalidates the edited function plus exactly the callers its *summary
+/// value* change escapes into). The cache can persist through arbitrary
+/// load/save callbacks — usher-serve plugs in its SnapshotStore.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef USHER_ANALYSIS_SUMMARYENGINE_H
+#define USHER_ANALYSIS_SUMMARYENGINE_H
+
+#include "support/BitSet.h"
+#include "support/ThreadPool.h"
+#include "vfg/VFG.h"
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace usher {
+class Budget;
+
+namespace analysis {
+
+/// Configuration mirroring DefinednessOptions (the engine must answer
+/// exactly what the global engine would under the same options).
+struct SummaryEngineOptions {
+  unsigned ContextK = 1;
+  bool AddressTakenAware = true;
+};
+
+/// Counters surfaced through UsherStatistics and the serve status JSON.
+struct SummaryEngineStats {
+  uint64_t NumFunctions = 0;
+  uint64_t NumSCCs = 0;          ///< Call-graph SCCs scheduled bottom-up.
+  uint64_t SummariesComputed = 0;///< Function summaries built this run.
+  uint64_t SummariesReused = 0;  ///< Served from the content-hash cache.
+  uint64_t ExpansionsComputed = 0;
+  uint64_t ExpansionsReused = 0; ///< Per-function expansions served from memo.
+  /// Redundant-summary elimination: transfers dropped because no caller
+  /// can realize their guard (or an unconditional twin subsumes them),
+  /// callee-entry obligations dropped for the same reason, and guarded
+  /// transfers merged into the unconditional form because every
+  /// realizable caller context satisfies the guard.
+  uint64_t PrunedTransfers = 0;
+  uint64_t PrunedCalleeEntries = 0;
+  uint64_t MergedContexts = 0;
+  uint64_t RealizedBoundaryFacts = 0;
+  /// The run answered by delegating to the global engine (k >= 2, or a
+  /// component reached the saturation cap).
+  bool DelegatedToGlobal = false;
+  bool SaturationBail = false;
+  /// Budget ran out; the result was completed pessimistically.
+  bool Pessimized = false;
+};
+
+/// Content-hash-keyed store of function summaries and expansion memos.
+/// Thread-safe; shared across runs (and, in usher-serve, across requests
+/// and restarts via the persistence callbacks). Entries are *unpruned* —
+/// pruning depends on the caller set, which is outside the summary's
+/// content hash — and are revalidated against callee value hashes before
+/// reuse, which is what makes an edit invalidate exactly the dirty
+/// function plus its escaping-delta closure.
+class SummaryCache {
+public:
+  /// Load returns true and fills \p Payload when a record exists for
+  /// \p Key. Save persists \p Payload under \p Key. Both may be null
+  /// (in-memory-only cache).
+  using LoadFn = std::function<bool(uint64_t Key, std::string &Payload)>;
+  using SaveFn = std::function<void(uint64_t Key, const std::string &Payload)>;
+
+  void setPersistence(LoadFn Load, SaveFn Save) {
+    std::lock_guard<std::mutex> Lock(M);
+    this->Load = std::move(Load);
+    this->Save = std::move(Save);
+  }
+
+  struct Stats {
+    uint64_t Hits = 0;          ///< In-memory or persistent hit.
+    uint64_t Misses = 0;
+    uint64_t StaleDiscarded = 0;///< Record present but failed validation.
+  };
+  Stats stats() const {
+    std::lock_guard<std::mutex> Lock(M);
+    return S;
+  }
+  void clear() {
+    std::lock_guard<std::mutex> Lock(M);
+    Mem.clear();
+    S = Stats();
+  }
+
+private:
+  friend class SummaryEngine;
+
+  /// Returns the payload cached under \p Key, consulting memory first and
+  /// the persistence callback second. An empty optional is a miss. \p
+  /// Stale marks a record that was found but rejected by the caller's
+  /// validation (counted, then treated as a miss).
+  std::optional<std::string> lookup(uint64_t Key);
+  void store(uint64_t Key, std::string Payload);
+  void noteStale();
+
+  mutable std::mutex M;
+  std::unordered_map<uint64_t, std::string> Mem;
+  LoadFn Load;
+  SaveFn Save;
+  Stats S;
+};
+
+/// What a run produced. An empty \p Bottom means "delegate": the caller
+/// must run the global engine (stats record why).
+struct SummaryRunResult {
+  std::optional<BitSet> Bottom;
+  bool Pessimized = false;
+};
+
+/// The bottom-up summary-based definedness engine.
+class SummaryEngine {
+public:
+  /// \p Redirects has the same meaning as for core::Definedness (Opt II
+  /// re-resolution on a redirected graph). \p Cache may be null (compute
+  /// everything fresh). \p Pool parallelizes independent call-graph SCCs
+  /// and the per-function expansion; results are byte-identical for every
+  /// pool size. \p B is charged like the global engine's worklist.
+  SummaryEngine(const vfg::VFG &G, SummaryEngineOptions Opts,
+                const std::unordered_map<uint32_t, std::vector<vfg::Edge>>
+                    *Redirects = nullptr,
+                SummaryCache *Cache = nullptr, ThreadPool *Pool = nullptr,
+                Budget *B = nullptr);
+  ~SummaryEngine();
+
+  SummaryRunResult run();
+
+  const SummaryEngineStats &stats() const { return St; }
+
+private:
+  struct Impl;
+  std::unique_ptr<Impl> I;
+  SummaryEngineStats St;
+};
+
+} // namespace analysis
+} // namespace usher
+
+#endif // USHER_ANALYSIS_SUMMARYENGINE_H

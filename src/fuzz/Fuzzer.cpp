@@ -47,6 +47,7 @@ OracleOptions onlyOracle(OracleKind K, const OracleOptions &Base) {
   Only.CheckDiagnosis = K == OracleKind::DiagnosisSoundness;
   Only.CheckDegradation = K == OracleKind::DegradationSoundness;
   Only.CheckServe = K == OracleKind::ServeEquivalence;
+  Only.CheckSummary = K == OracleKind::SummaryEquivalence;
   return Only;
 }
 

@@ -6,7 +6,7 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The five differential oracles the fuzzer evaluates on every valid
+/// The six differential oracles the fuzzer evaluates on every valid
 /// input, each reusing an existing piece of the project's verification
 /// infrastructure:
 ///
@@ -31,6 +31,13 @@
 ///     Session backed by an in-memory snapshot store, twice. The cold
 ///     reply's check totals must match a direct runUsher, and the warm
 ///     (snapshot-assembled) reply must be byte-identical to the cold one.
+///  6. SummaryEquivalence — the bottom-up summary engine must reproduce
+///     the global fixpoint's answer: at every degradation rung that runs
+///     definedness, and at context depth 0 and 1, --engine=summary must
+///     yield the same bottom set, the same instrumentation plan totals,
+///     the same landing rung, and the same runtime warning set as
+///     --engine=global, both fresh and when replayed through a shared
+///     content-hashed summary cache.
 ///
 /// Programs are interchanged as TinyC source text; each pipeline run
 /// parses its own fresh module because heap cloning mutates modules, and
@@ -57,9 +64,10 @@ enum class OracleKind : uint8_t {
   DiagnosisSoundness,
   DegradationSoundness,
   ServeEquivalence,
+  SummaryEquivalence,
 };
 
-constexpr unsigned NumOracleKinds = 5;
+constexpr unsigned NumOracleKinds = 6;
 
 /// Stable lower-case name used in reports and JSON
 /// ("variant-equivalence", "solver-equivalence", ...).
@@ -79,6 +87,7 @@ struct OracleOptions {
   bool CheckDiagnosis = true;
   bool CheckDegradation = true;
   bool CheckServe = true;
+  bool CheckSummary = true;
   /// Applied to every interpreter run. Mutants can manufacture infinite
   /// loops, so the default step budget is far below the interpreter's.
   uint64_t MaxSteps = 2'000'000;

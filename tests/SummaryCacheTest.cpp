@@ -1,0 +1,262 @@
+//===- tests/SummaryCacheTest.cpp - content-hash invalidation exactness ----===//
+//
+// Part of the Usher project, reproducing "Accelerating Dynamic Detection of
+// Uses of Undefined Values with Static Value-Flow Analysis" (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The summary cache's incrementality contract: editing one function
+/// invalidates exactly that function's summary plus the callers its
+/// summary-*value* delta escapes into (difference propagation), never
+/// the whole program. A value-preserving edit recomputes only the edited
+/// function; a value-changing edit additionally recomputes its direct
+/// caller — and stops there when the caller's own summary value absorbs
+/// the delta. Stale records (key present, callee value hashes changed)
+/// are counted as discarded and recomputed; truncated persisted payloads
+/// are rejected by the deserializer. The serve session persists the same
+/// cache through its SnapshotStore, so an edited module's reply is byte-
+/// identical to a cold session's while re-analyzing only the dirty set.
+///
+/// All edits here are instruction-count-preserving: call sites are
+/// absolute instruction ids, so an edit that shifts later functions'
+/// ids changes their segment hashes too (a documented caveat — see
+/// DESIGN.md; the invalidation unit is the content-hashed segment, and
+/// id-shifting edits dirty every shifted segment honestly).
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Usher.h"
+#include "parser/Parser.h"
+#include "serve/Session.h"
+#include "support/RawStream.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+
+using namespace usher;
+using core::EngineKind;
+using core::ToolVariant;
+using core::UsherOptions;
+
+namespace {
+
+// Three versions of one program, g -> f -> main (callees first; TinyC
+// resolves calls at parse time). Every edit keeps the instruction count.
+//
+// VersionA: g adds both formals.
+const char *VersionA = R"(
+  func g(a, b) {
+    t = a + b;
+    ret t;
+  }
+  func f(x) {
+    r = g(x, x);
+    ret r;
+  }
+  func main() {
+    w = 1;
+    v = f(w);
+    ret v;
+  }
+)";
+// VersionB: operand swap in g — different segment bytes, same summary
+// value (both formals still flow to the return).
+const char *VersionB = R"(
+  func g(a, b) {
+    t = b + a;
+    ret t;
+  }
+  func f(x) {
+    r = g(x, x);
+    ret r;
+  }
+  func main() {
+    w = 1;
+    v = f(w);
+    ret v;
+  }
+)";
+// VersionC: g drops formal b — its summary value changes, but f passes
+// the same variable to both formals, so f's *own* summary value (and
+// therefore main's dependency signature) is unchanged.
+const char *VersionC = R"(
+  func g(a, b) {
+    t = a + a;
+    ret t;
+  }
+  func f(x) {
+    r = g(x, x);
+    ret r;
+  }
+  func main() {
+    w = 1;
+    v = f(w);
+    ret v;
+  }
+)";
+
+struct RunResult {
+  std::string Gamma;
+  analysis::SummaryEngineStats Summary;
+};
+
+RunResult analyze(const char *Source, analysis::SummaryCache *Cache,
+                  EngineKind Engine = EngineKind::Summary) {
+  auto M = parser::parseModuleOrAbort(Source);
+  UsherOptions Opts;
+  Opts.Variant = ToolVariant::UsherOptI; // Single resolution per run.
+  Opts.Engine = Engine;
+  Opts.SummaryCache = Cache;
+  core::UsherResult R = core::runUsher(*M, Opts);
+  RunResult Out;
+  Out.Summary = R.Stats.Summary;
+  raw_string_ostream OS(Out.Gamma);
+  for (uint32_t N = 0; N != R.G->numNodes(); ++N)
+    if (R.Gamma->mayBeUndefined(N))
+      OS << N << ' ';
+  return Out;
+}
+
+std::string globalGamma(const char *Source) {
+  return analyze(Source, nullptr, EngineKind::Global).Gamma;
+}
+
+//===----------------------------------------------------------------------===//
+// Invalidation exactness
+//===----------------------------------------------------------------------===//
+
+TEST(SummaryCache, UneditedRerunReusesEverySummary) {
+  analysis::SummaryCache Cache;
+  RunResult Cold = analyze(VersionA, &Cache);
+  EXPECT_EQ(Cold.Summary.SummariesComputed, 3u) << "g, f, main";
+  EXPECT_EQ(Cold.Summary.SummariesReused, 0u);
+
+  RunResult Warm = analyze(VersionA, &Cache);
+  EXPECT_EQ(Warm.Summary.SummariesComputed, 0u);
+  EXPECT_EQ(Warm.Summary.SummariesReused, 3u);
+  EXPECT_EQ(Warm.Gamma, Cold.Gamma);
+  EXPECT_EQ(Warm.Gamma, globalGamma(VersionA));
+  EXPECT_EQ(Cache.stats().StaleDiscarded, 0u);
+}
+
+TEST(SummaryCache, ValuePreservingEditRecomputesOnlyTheEditedFunction) {
+  analysis::SummaryCache Cache;
+  analyze(VersionA, &Cache);
+
+  // g's segment hash changed (operand order), so its record misses; its
+  // recomputed summary hashes to the same value, so f and main revalidate
+  // and reuse — no stale discards, nothing else recomputed.
+  RunResult Edited = analyze(VersionB, &Cache);
+  EXPECT_EQ(Edited.Summary.SummariesComputed, 1u) << "only g";
+  EXPECT_EQ(Edited.Summary.SummariesReused, 2u) << "f and main";
+  EXPECT_EQ(Cache.stats().StaleDiscarded, 0u);
+  EXPECT_EQ(Edited.Gamma, globalGamma(VersionB));
+}
+
+TEST(SummaryCache, ValueChangingEditRecomputesTheEscapingClosureOnly) {
+  analysis::SummaryCache Cache;
+  analyze(VersionA, &Cache);
+
+  // g's summary value changes, so f's record — found under its unchanged
+  // key — fails dependency revalidation and is discarded (the "stale
+  // hash" case). f's recomputed summary still hashes to its old value
+  // (x reaches g's surviving formal either way), so the delta closure is
+  // cut before main: main's record revalidates and is reused.
+  RunResult Edited = analyze(VersionC, &Cache);
+  EXPECT_EQ(Edited.Summary.SummariesComputed, 2u) << "g and f";
+  EXPECT_EQ(Edited.Summary.SummariesReused, 1u) << "main survives the delta";
+  EXPECT_GE(Cache.stats().StaleDiscarded, 1u) << "f's record was stale";
+  EXPECT_EQ(Edited.Gamma, globalGamma(VersionC));
+}
+
+//===----------------------------------------------------------------------===//
+// Persistence-layer damage
+//===----------------------------------------------------------------------===//
+
+TEST(SummaryCache, TruncatedPersistedRecordIsDiscardedNotReused) {
+  // Prime a persistence map, then serve truncated payloads from it: every
+  // record is found but rejected, the run recomputes everything, and the
+  // result is unaffected.
+  std::map<uint64_t, std::string> Disk;
+  {
+    analysis::SummaryCache Cache;
+    Cache.setPersistence(nullptr, [&Disk](uint64_t K, const std::string &P) {
+      Disk[K] = P;
+    });
+    analyze(VersionA, &Cache);
+  }
+  ASSERT_FALSE(Disk.empty());
+
+  analysis::SummaryCache Cache;
+  Cache.setPersistence(
+      [&Disk](uint64_t K, std::string &P) {
+        auto It = Disk.find(K);
+        if (It == Disk.end())
+          return false;
+        P = It->second.substr(0, It->second.size() / 2);
+        return true;
+      },
+      nullptr);
+  RunResult R = analyze(VersionA, &Cache);
+  EXPECT_EQ(R.Summary.SummariesReused, 0u);
+  EXPECT_EQ(R.Summary.SummariesComputed, 3u);
+  EXPECT_GE(Cache.stats().StaleDiscarded, 1u);
+  EXPECT_EQ(R.Gamma, globalGamma(VersionA));
+}
+
+//===----------------------------------------------------------------------===//
+// Serve integration: warm == cold, edits re-analyze only the dirty set
+//===----------------------------------------------------------------------===//
+
+serve::Request analyzeRequest(const char *Source, uint64_t Id) {
+  serve::Request Rq;
+  Rq.Kind = serve::Op::Analyze;
+  Rq.Id = Id;
+  Rq.Source = Source;
+  return Rq;
+}
+
+TEST(SummaryCache, ServeWarmReplyIsByteIdenticalToCold) {
+  serve::SessionOptions SO;
+  SO.Engine = EngineKind::Summary;
+  serve::Session S(SO);
+
+  serve::Reply Cold = S.handle(analyzeRequest(VersionA, 1));
+  ASSERT_EQ(Cold.Status, serve::ReplyStatus::Ok) << Cold.Payload;
+  serve::Reply Warm = S.handle(analyzeRequest(VersionA, 2));
+  ASSERT_EQ(Warm.Status, serve::ReplyStatus::Ok);
+  EXPECT_EQ(Warm.Payload, Cold.Payload);
+  EXPECT_EQ(S.servedWarm(), 1u);
+}
+
+TEST(SummaryCache, ServeEditReusesSummariesAndMatchesColdSession) {
+  serve::SessionOptions SO;
+  SO.Engine = EngineKind::Summary;
+  serve::Session Edited(SO);
+
+  serve::Reply A = Edited.handle(analyzeRequest(VersionA, 1));
+  ASSERT_EQ(A.Status, serve::ReplyStatus::Ok) << A.Payload;
+  const uint64_t HitsBefore = Edited.summaryCache().stats().Hits;
+
+  // The edited module misses the whole-reply snapshot (new module key)
+  // but reuses the unedited functions' summaries from the same store.
+  serve::Reply C = Edited.handle(analyzeRequest(VersionC, 2));
+  ASSERT_EQ(C.Status, serve::ReplyStatus::Ok) << C.Payload;
+  EXPECT_EQ(Edited.servedWarm(), 0u);
+  EXPECT_GT(Edited.summaryCache().stats().Hits, HitsBefore)
+      << "main's summary must be served from the store";
+  EXPECT_GE(Edited.summaryCache().stats().StaleDiscarded, 1u)
+      << "f's record is stale after g's value changed";
+
+  serve::Session Fresh(SO);
+  serve::Reply FreshC = Fresh.handle(analyzeRequest(VersionC, 3));
+  ASSERT_EQ(FreshC.Status, serve::ReplyStatus::Ok);
+  EXPECT_EQ(C.Payload, FreshC.Payload)
+      << "summary-cache-assisted reply must equal a cold session's";
+}
+
+} // namespace

@@ -1,0 +1,334 @@
+//===- tests/SummaryEngineTest.cpp - summary engine == global engine -------===//
+//
+// Part of the Usher project, reproducing "Accelerating Dynamic Detection of
+// Uses of Undefined Values with Static Value-Flow Analysis" (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The summary engine's hard contract: `--engine=summary` produces the
+/// same Gamma — and therefore the same plan, warnings, diagnosis and
+/// degradation decisions — as the global fixpoint, on every variant rung
+/// and context depth it claims to support. This file sweeps generator
+/// seeds and the 15-benchmark suite through both engines and compares
+/// every observable, then pins the engine-specific behaviors: k >= 2
+/// delegation, injected budget exhaustion landing on the identical
+/// pessimistic completion, nonzero redundant-summary pruning on
+/// recursive call graphs, and cache reuse reproducing the cold result
+/// bit for bit.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/StaticDiagnosis.h"
+#include "core/Usher.h"
+#include "parser/Parser.h"
+#include "runtime/Interpreter.h"
+#include "support/RawStream.h"
+#include "transforms/Transforms.h"
+#include "workload/Generator.h"
+#include "workload/Spec2000.h"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <string>
+
+using namespace usher;
+using core::EngineKind;
+using core::ToolVariant;
+using core::UsherOptions;
+
+namespace {
+
+/// A module factory: each engine run re-makes the module because the
+/// pipeline mutates it (heap cloning), and making is a pure function of
+/// the underlying source/seed.
+using MakeModule = std::function<std::unique_ptr<ir::Module>()>;
+
+MakeModule fromSeed(uint64_t Seed) {
+  return [Seed] {
+    auto M = workload::generateProgram(Seed);
+    transforms::runPreset(*M, transforms::OptPreset::O1, nullptr);
+    return M;
+  };
+}
+
+MakeModule fromSource(std::string Source) {
+  return [Source = std::move(Source)] {
+    return parser::parseModuleOrAbort(Source);
+  };
+}
+
+/// Everything observable from one run, rendered for readable diffs.
+struct Snapshot {
+  std::string Gamma; ///< Sorted bottom-node ids.
+  std::string Warnings;
+  std::string DiagJson;
+  std::string Degradation;
+  core::UsherStatistics Stats;
+};
+
+Snapshot runWith(const MakeModule &Make, const UsherOptions &Opts) {
+  std::unique_ptr<ir::Module> M = Make();
+  core::UsherResult R = core::runUsher(*M, Opts);
+
+  Snapshot S;
+  S.Degradation = R.Degradation.summary();
+  S.Stats = R.Stats;
+  {
+    raw_string_ostream OS(S.Gamma);
+    if (R.G && R.Gamma)
+      for (uint32_t N = 0; N != R.G->numNodes(); ++N)
+        if (R.Gamma->mayBeUndefined(N))
+          OS << N << ' ';
+  }
+  {
+    raw_string_ostream OS(S.Warnings);
+    runtime::ExecutionReport Rep = runtime::Interpreter(*M, &R.Plan).run();
+    OS << "result " << Rep.MainResult << " reason "
+       << static_cast<int>(Rep.Reason) << " checks " << R.Plan.countChecks()
+       << " props " << R.Plan.countPropagationReads() << " shadow "
+       << R.Plan.countShadowOps() << '\n';
+    for (const runtime::Warning &W : Rep.ToolWarnings) {
+      OS << W.At->getParent()->getParent()->getName() << ": \"";
+      W.At->print(OS);
+      OS << "\" x" << W.Occurrences << '\n';
+    }
+  }
+  if (R.G && R.PA && R.CG) {
+    core::StaticDiagnosis Diag(*R.PA, *R.CG, *R.G);
+    raw_string_ostream OS(S.DiagJson);
+    Diag.printJson(OS);
+  }
+  return S;
+}
+
+/// Runs both engines on fresh modules and asserts every observable is
+/// identical. Returns the summary run's statistics for extra assertions.
+core::UsherStatistics expectEngineEquivalence(const MakeModule &Make,
+                                              UsherOptions Opts,
+                                              const char *Label) {
+  Opts.Engine = EngineKind::Global;
+  Snapshot G = runWith(Make, Opts);
+  Opts.Engine = EngineKind::Summary;
+  Snapshot S = runWith(Make, Opts);
+  EXPECT_EQ(G.Gamma, S.Gamma) << Label;
+  EXPECT_EQ(G.Warnings, S.Warnings) << Label;
+  EXPECT_EQ(G.DiagJson, S.DiagJson) << Label;
+  EXPECT_EQ(G.Degradation, S.Degradation) << Label;
+  EXPECT_EQ(G.Stats.NumRedirectedNodes, S.Stats.NumRedirectedNodes) << Label;
+  EXPECT_EQ(G.Stats.NumSimplifiedMFCs, S.Stats.NumSimplifiedMFCs) << Label;
+  EXPECT_EQ(G.Stats.StaticChecks, S.Stats.StaticChecks) << Label;
+  EXPECT_EQ(G.Stats.StaticPropagations, S.Stats.StaticPropagations) << Label;
+  return S.Stats;
+}
+
+//===----------------------------------------------------------------------===//
+// The saturation cap the engine mirrors
+//===----------------------------------------------------------------------===//
+
+TEST(SummaryEngine, GlobalSaturationCapIsTheMirroredValue) {
+  // SummaryEngine.cpp hard-codes 64 (it cannot include core/ headers —
+  // the core library links against it). The bail-on-saturation argument
+  // is only valid while the two constants agree.
+  EXPECT_EQ(core::Definedness::MaxContextsPerRep, 64u);
+}
+
+//===----------------------------------------------------------------------===//
+// Differential sweep: generator seeds x variants x k
+//===----------------------------------------------------------------------===//
+
+class SummaryEngineDifferential : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SummaryEngineDifferential, FullVariantMatchesGlobal) {
+  UsherOptions Opts;
+  Opts.Variant = ToolVariant::UsherFull;
+  expectEngineEquivalence(fromSeed(GetParam()), Opts, "UsherFull k=1");
+}
+
+TEST_P(SummaryEngineDifferential, EveryRungAndContextDepthMatchesGlobal) {
+  for (ToolVariant V : {ToolVariant::UsherTL, ToolVariant::UsherTLAT,
+                        ToolVariant::UsherOptI, ToolVariant::UsherFull})
+    for (unsigned K : {0u, 1u}) {
+      UsherOptions Opts;
+      Opts.Variant = V;
+      Opts.ContextK = K;
+      expectEngineEquivalence(fromSeed(GetParam()), Opts,
+                              core::toolVariantName(V));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SummaryEngineDifferential,
+                         ::testing::Range<uint64_t>(0, 12));
+
+//===----------------------------------------------------------------------===//
+// Differential sweep: the 15-benchmark suite
+//===----------------------------------------------------------------------===//
+
+class SummaryEngineSuite : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(SummaryEngineSuite, BenchmarkMatchesGlobal) {
+  const workload::BenchmarkProgram &B = workload::spec2000Suite()[GetParam()];
+  MakeModule Make = [&B] { return workload::loadBenchmark(B); };
+  UsherOptions Opts;
+  Opts.Variant = ToolVariant::UsherFull;
+  core::UsherStatistics S = expectEngineEquivalence(Make, Opts, B.Name.c_str());
+  EXPECT_FALSE(S.Summary.DelegatedToGlobal) << B.Name;
+  EXPECT_GT(S.Summary.SummariesComputed, 0u) << B.Name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Suite, SummaryEngineSuite,
+    ::testing::Range<size_t>(0, workload::spec2000Suite().size()));
+
+//===----------------------------------------------------------------------===//
+// Engine-specific behaviors
+//===----------------------------------------------------------------------===//
+
+// Recursive callees manufacture guarded (call-site-matched) transfers;
+// when the only external caller enters through one site, the guards for
+// the internal recursive sites are redundant and must be pruned.
+const char *RecursiveSrc = R"(
+  func f(n, x) {
+    if n goto rec;
+    ret x;
+  rec:
+    m = n - 1;
+    r = f(m, x);
+    ret r;
+  }
+  func main() {
+    z = 0;
+    if z goto setit;
+    goto use;
+  setit:
+    u = 1;
+  use:
+    n = 2;
+    v = f(n, u);
+    ret v;
+  }
+)";
+
+TEST(SummaryEngine, RecursionPrunesRedundantSummaries) {
+  UsherOptions Opts;
+  Opts.Variant = ToolVariant::UsherOptI;
+  core::UsherStatistics S =
+      expectEngineEquivalence(fromSource(RecursiveSrc), Opts, "recursive");
+  EXPECT_FALSE(S.Summary.DelegatedToGlobal);
+  EXPECT_GT(S.Summary.PrunedTransfers + S.Summary.MergedContexts +
+                S.Summary.PrunedCalleeEntries,
+            0u)
+      << "the recursive summary must lose at least one caller-indistinguishable entry";
+}
+
+TEST(SummaryEngine, ContextDepthTwoDelegates) {
+  UsherOptions Opts;
+  Opts.Variant = ToolVariant::UsherFull;
+  Opts.ContextK = 2;
+  core::UsherStatistics S =
+      expectEngineEquivalence(fromSource(RecursiveSrc), Opts, "k=2");
+  EXPECT_TRUE(S.Summary.DelegatedToGlobal);
+}
+
+TEST(SummaryEngine, InjectedExhaustionPessimizesIdentically) {
+  // Worklist charge accounting is engine-specific, so an injected
+  // mid-phase fault need not fire in both engines at the same step. The
+  // contract is that the pessimistic *completion* is the identical
+  // structural rule: whenever the summary engine exhausts, its Gamma,
+  // plan and degradation report must equal the global engine's exhausted
+  // ones, no matter where within the phase either budget died.
+  auto RunAt = [](EngineKind E, uint64_t AtStep) {
+    UsherOptions Opts;
+    Opts.Variant = ToolVariant::UsherFull;
+    Opts.Engine = E;
+    Opts.Fault = FaultPlan{BudgetPhase::Definedness, AtStep, false};
+    return runWith(fromSource(RecursiveSrc), Opts);
+  };
+  Snapshot G = RunAt(EngineKind::Global, 0);
+  ASSERT_FALSE(G.Degradation.empty());
+  for (uint64_t AtStep : {0ull, 25ull}) {
+    Snapshot S = RunAt(EngineKind::Summary, AtStep);
+    EXPECT_TRUE(S.Stats.Summary.Pessimized) << "fault at step " << AtStep;
+    EXPECT_EQ(G.Gamma, S.Gamma) << "fault at step " << AtStep;
+    EXPECT_EQ(G.Warnings, S.Warnings) << "fault at step " << AtStep;
+    EXPECT_EQ(G.Degradation, S.Degradation) << "fault at step " << AtStep;
+  }
+}
+
+TEST(SummaryEngine, SharedCacheReproducesColdRunExactly) {
+  analysis::SummaryCache Cache;
+  UsherOptions Opts;
+  Opts.Variant = ToolVariant::UsherOptI;
+  Opts.Engine = EngineKind::Summary;
+  Opts.SummaryCache = &Cache;
+  MakeModule Make = fromSource(RecursiveSrc);
+
+  Snapshot Cold = runWith(Make, Opts);
+  EXPECT_GT(Cold.Stats.Summary.SummariesComputed, 0u);
+  EXPECT_EQ(Cold.Stats.Summary.SummariesReused, 0u);
+
+  Snapshot Warm = runWith(Make, Opts);
+  EXPECT_EQ(Warm.Stats.Summary.SummariesComputed, 0u);
+  EXPECT_GT(Warm.Stats.Summary.SummariesReused, 0u);
+  EXPECT_EQ(Warm.Stats.Summary.ExpansionsComputed, 0u);
+  EXPECT_EQ(Cold.Gamma, Warm.Gamma);
+  EXPECT_EQ(Cold.Warnings, Warm.Warnings);
+  EXPECT_EQ(Cold.DiagJson, Warm.DiagJson);
+  EXPECT_EQ(Cache.stats().StaleDiscarded, 0u);
+}
+
+TEST(SummaryEngine, CachedRunsMatchGlobalOnGeneratedPrograms) {
+  // The cache path must not bend equivalence either: warm up a shared
+  // cache, then compare the cached summary runs against the global engine.
+  analysis::SummaryCache Cache;
+  for (uint64_t Seed : {3ull, 7ull, 11ull}) {
+    MakeModule Make = fromSeed(Seed);
+    UsherOptions Opts;
+    Opts.Variant = ToolVariant::UsherFull;
+    Opts.Engine = EngineKind::Summary;
+    Opts.SummaryCache = &Cache;
+    (void)runWith(Make, Opts); // Prime.
+    Snapshot Warm = runWith(Make, Opts);
+    Opts.Engine = EngineKind::Global;
+    Opts.SummaryCache = nullptr;
+    Snapshot G = runWith(Make, Opts);
+    EXPECT_EQ(G.Gamma, Warm.Gamma) << "seed " << Seed;
+    EXPECT_EQ(G.Warnings, Warm.Warnings) << "seed " << Seed;
+    EXPECT_EQ(G.DiagJson, Warm.DiagJson) << "seed " << Seed;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Parallel summary runs: byte-identical for every jobs value
+//===----------------------------------------------------------------------===//
+
+class SummaryParallelDeterminism : public ::testing::TestWithParam<uint64_t> {
+};
+
+TEST_P(SummaryParallelDeterminism, SummaryEngineOutputsAreJobsInvariant) {
+  const uint64_t Seed = GetParam();
+  MakeModule Make = fromSeed(Seed);
+  UsherOptions Opts;
+  Opts.Variant = ToolVariant::UsherFull;
+  Opts.Engine = EngineKind::Summary;
+  Opts.Jobs = 1;
+  Snapshot Serial = runWith(Make, Opts);
+  for (unsigned Jobs : {2u, 8u}) {
+    Opts.Jobs = Jobs;
+    Snapshot Par = runWith(Make, Opts);
+    EXPECT_EQ(Serial.Gamma, Par.Gamma) << "jobs=" << Jobs << " seed " << Seed;
+    EXPECT_EQ(Serial.Warnings, Par.Warnings)
+        << "jobs=" << Jobs << " seed " << Seed;
+    EXPECT_EQ(Serial.DiagJson, Par.DiagJson)
+        << "jobs=" << Jobs << " seed " << Seed;
+    EXPECT_EQ(Serial.Degradation, Par.Degradation)
+        << "jobs=" << Jobs << " seed " << Seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SummaryParallelDeterminism,
+                         ::testing::Range<uint64_t>(0, 8));
+
+} // namespace

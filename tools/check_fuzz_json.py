@@ -26,6 +26,7 @@ ORACLE_NAMES = [
     "diagnosis-soundness",
     "degradation-soundness",
     "serve-equivalence",
+    "summary-equivalence",
 ]
 
 COUNTER_FIELDS = ["seed", "runs", "valid", "invalid", "corpus_size", "coverage_keys"]

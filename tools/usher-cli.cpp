@@ -87,6 +87,7 @@ struct CliOptions {
   bool Run = true;
   bool ListFaultSites = false;
   analysis::SolverKind Solver = analysis::SolverKind::Optimized;
+  core::EngineKind Engine = core::EngineKind::Global;
   BudgetLimits Limits;
   std::optional<FaultPlan> Fault;
   uint64_t Jobs = 1;
@@ -98,12 +99,18 @@ int usage(const char *Argv0) {
             "[--opt=O0|O1|O2] [--compare] [--stats] [--print-ir] [--dot] "
             "[--no-run] [--naive-solver] [--budget-ms=<N>] "
             "[--budget-steps=<N>] [--inject-fault=<phase>@<step>[:once]] "
-            "[--diagnose] [--diag-json=<file>] [--jobs=<N>]\n"
+            "[--diagnose] [--diag-json=<file>] [--jobs=<N>] "
+            "[--engine=global|summary]\n"
             "\n"
             "  --jobs=<N>          worker threads for the parallel analysis\n"
             "                      phases (default 1 = serial; 0 = all\n"
             "                      cores). Output is byte-identical for\n"
             "                      every value of N.\n"
+            "  --engine=global|summary\n"
+            "                      definedness engine: the whole-program\n"
+            "                      fixpoint (default) or the bottom-up\n"
+            "                      per-function summary engine (same\n"
+            "                      warnings; SCC-parallel and cacheable).\n"
             "\n"
             "  --diagnose          classify every critical operation as\n"
             "                      CLEAN, MAY-UUV or DEFINITE-UUV and print\n"
@@ -198,6 +205,14 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
         Opts.Preset = transforms::OptPreset::O1;
       else if (P == "O2")
         Opts.Preset = transforms::OptPreset::O2;
+      else
+        return false;
+    } else if (Arg.rfind("--engine=", 0) == 0) {
+      std::string_view E = Arg.substr(9);
+      if (E == "global")
+        Opts.Engine = core::EngineKind::Global;
+      else if (E == "summary")
+        Opts.Engine = core::EngineKind::Summary;
       else
         return false;
     } else if (Arg.rfind("--jobs=", 0) == 0) {
@@ -330,6 +345,7 @@ int main(int Argc, char **Argv) {
     core::UsherOptions UO;
     UO.Variant = V;
     UO.Pta.Solver = Opts.Solver;
+    UO.Engine = Opts.Engine;
     UO.Limits = Opts.Limits;
     UO.Fault = Opts.Fault;
     UO.Jobs = Jobs;
@@ -356,8 +372,17 @@ int main(int Argc, char **Argv) {
          << "solver constraints:   " << S.Solver.NumConstraints << '\n'
          << "solver propagations:  " << S.Solver.NumPropagations << '\n'
          << "solver collapses:     " << S.Solver.NumCollapses << " ("
-         << S.Solver.NumCollapsedNodes << " nodes)\n"
-         << "analysis time:        " << S.AnalysisSeconds * 1000 << " ms\n";
+         << S.Solver.NumCollapsedNodes << " nodes)\n";
+      if (Opts.Engine == core::EngineKind::Summary)
+        OS << "engine:               summary (" << S.Summary.NumFunctions
+           << " functions, " << S.Summary.NumSCCs << " SCCs)\n"
+           << "summaries computed:   " << S.Summary.SummariesComputed << '\n'
+           << "summaries pruned:     " << S.Summary.PrunedTransfers
+           << " transfers, " << S.Summary.MergedContexts << " merged, "
+           << S.Summary.PrunedCalleeEntries << " callee entries\n"
+           << "realized boundary facts: " << S.Summary.RealizedBoundaryFacts
+           << '\n';
+      OS << "analysis time:        " << S.AnalysisSeconds * 1000 << " ms\n";
     }
     std::unique_ptr<core::StaticDiagnosis> Diag;
     if (Opts.Diagnose && !Opts.Compare) {

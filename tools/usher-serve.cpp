@@ -59,6 +59,7 @@ struct ServeOptions {
   uint64_t Workers = 2;
   uint64_t QueueLimit = 8;
   uint64_t RetryAfterMs = 50;
+  core::EngineKind Engine = core::EngineKind::Global;
   // Client-side.
   std::string OpName = "ping";
   std::string InputPath;
@@ -74,6 +75,7 @@ int usage(const char *Argv0) {
   errs() << "usage: " << Argv0
          << " --socket=<path> [--snapshot-dir=<dir>] [--workers=<N>]\n"
             "         [--queue-limit=<N>] [--retry-after-ms=<N>]\n"
+            "         [--engine=global|summary]\n"
             "       " << Argv0
          << " --client --socket=<path> --op=<op> [<program.tc>]\n"
             "         [--deadline-ms=<N>] [--budget-steps=<N>]\n"
@@ -83,6 +85,11 @@ int usage(const char *Argv0) {
             "\n"
             "ops: analyze diagnose status ping shutdown (analyze and\n"
             "diagnose read TinyC source from <program.tc>)\n"
+            "\n"
+            "--engine=summary keys per-function summaries by content hash\n"
+            "and persists them in the snapshot store, so an edited module\n"
+            "re-analyzes only the dirty functions plus the callers their\n"
+            "summary-value deltas escape into\n"
             "\n"
             "daemon exit codes: 0 clean shutdown, 1 socket/loop failure,\n"
             "2 usage error\n"
@@ -124,6 +131,14 @@ bool parseArgs(int Argc, char **Argv, ServeOptions &Opts) {
         return false;
     } else if (Arg.rfind("--retry-after-ms=", 0) == 0) {
       if (!parseUInt(Arg.substr(17), Opts.RetryAfterMs))
+        return false;
+    } else if (Arg.rfind("--engine=", 0) == 0) {
+      std::string_view E = Arg.substr(9);
+      if (E == "global")
+        Opts.Engine = core::EngineKind::Global;
+      else if (E == "summary")
+        Opts.Engine = core::EngineKind::Summary;
+      else
         return false;
     } else if (Arg.rfind("--op=", 0) == 0) {
       Opts.OpName = std::string(Arg.substr(5));
@@ -188,6 +203,7 @@ int runDaemon(const ServeOptions &Opts) {
   DO.Workers = static_cast<unsigned>(Opts.Workers);
   DO.QueueLimit = Opts.QueueLimit;
   DO.RetryAfterMs = static_cast<uint32_t>(Opts.RetryAfterMs);
+  DO.Engine = Opts.Engine;
 
   Daemon D(DO);
   if (!D.listen())
