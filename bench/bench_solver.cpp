@@ -6,11 +6,20 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Times the optimized Andersen solver (SCC collapsing + difference
-/// propagation) against the retained naive reference on copy-chain and
-/// copy-cycle stress workloads, and emits machine-readable
-/// BENCH_solver.json. See EXPERIMENTS.md for the recipe and
-/// tools/check_bench_json.py for the schema the smoke test validates.
+/// Times the three constraint engines — the naive Andersen reference, the
+/// optimized Andersen solver (SCC collapsing + difference propagation),
+/// and the near-linear unification solver — on copy-chain, copy-cycle,
+/// fan-out and deref-storm/mesh stress workloads, and emits
+/// machine-readable BENCH_solver.json. The timed quantity (solve_ms) is
+/// the engine's own solve-phase clock from SolverStatistics: location
+/// numbering and constraint building are engine-independent, and folding
+/// them in would dilute exactly the difference the degradation ladder's
+/// engine choice makes. Whole-construction wall time is recorded
+/// alongside as total_ms. Each engine row also records its precision side
+/// of the trade: average points-to set size, residual plan checks, and
+/// the runtime warning count of a full pipeline built on that engine. See
+/// EXPERIMENTS.md for the recipe and tools/check_bench_json.py for the
+/// schema the smoke test validates.
 ///
 /// Usage: bench_solver [--smoke] [--out=FILE]
 ///   --smoke     tiny workload sizes and a single timing iteration; used
@@ -22,8 +31,10 @@
 
 #include "analysis/CallGraph.h"
 #include "analysis/PointerAnalysis.h"
+#include "core/Usher.h"
 #include "ir/IR.h"
 #include "parser/Parser.h"
+#include "runtime/Interpreter.h"
 
 #include <chrono>
 #include <cmath>
@@ -119,6 +130,85 @@ std::string makeCycleStress(unsigned K, unsigned RingSize, unsigned Tail,
   return Src;
 }
 
+/// Deref storm: M pointees stored through one hub cell, N readers each
+/// loading it back out. Every Andersen engine must materialize the full
+/// M-bit set at each of the N readers — Θ(N·M) propagation work — while
+/// the unification solver merges all M pointees into the hub's single
+/// pointee cell and wires each reader to the class representative with
+/// one copy edge, Θ(N+M). This is the workload class the unify rung's
+/// >=3x speedup target is measured on.
+std::string makeDerefStorm(unsigned Readers, unsigned Pointees,
+                           unsigned Pad) {
+  std::string Src = "func main() {\n  s = 0;\n";
+  Src += "  h = alloc heap 1 uninit;\n";
+  for (unsigned J = 0; J != Pointees; ++J)
+    Src += "  o = alloc heap 1 uninit;\n  *h = o;\n";
+  for (unsigned I = 0; I != Readers; ++I) {
+    Src += "  p" + std::to_string(I) + " = *h;\n";
+    Src += "  s = p" + std::to_string(I) + ";\n";
+  }
+  emitPadding(Src, Pad);
+  Src += "  ret 0;\n}\n";
+  return Src;
+}
+
+/// Deref mesh: \p Hubs independent deref storms (each with its own cell,
+/// \p Pointees stores and \p Readers loads) whose readers all drain into
+/// one shared sink. The Andersen engines pay Θ(Hubs·Readers·Pointees);
+/// the unification solver pays Θ(Hubs·(Readers+Pointees)) and its
+/// interned harvest shares one materialized vector per hub's readers.
+std::string makeDerefMesh(unsigned Hubs, unsigned Readers, unsigned Pointees,
+                          unsigned Pad) {
+  std::string Src = "func main() {\n  s = 0;\n";
+  for (unsigned H = 0; H != Hubs; ++H) {
+    std::string Hub = "h" + std::to_string(H);
+    Src += "  " + Hub + " = alloc heap 1 uninit;\n";
+    for (unsigned J = 0; J != Pointees; ++J)
+      Src += "  o" + std::to_string(H) + " = alloc heap 1 uninit;\n  *" +
+             Hub + " = o" + std::to_string(H) + ";\n";
+    for (unsigned I = 0; I != Readers; ++I) {
+      std::string P = "p" + std::to_string(H) + "_" + std::to_string(I);
+      Src += "  " + P + " = *" + Hub + ";\n";
+      Src += "  s = " + P + ";\n";
+    }
+  }
+  emitPadding(Src, Pad);
+  Src += "  ret 0;\n}\n";
+  return Src;
+}
+
+/// Deref chain: the storm stacked at depth. Level 0 is a hub holding
+/// \p Pointees objects; each further level loads the previous hub's
+/// contents and stores them into its own hub, and \p Readers load each
+/// level back out. Models nested indirection (linked structures, handle
+/// tables): the Andersen engines re-materialize the full \p Pointees-bit
+/// set at every level and reader — Θ(Levels·Readers·Pointees) — while the
+/// unification solver moves one class id per level and reader,
+/// Θ(Levels·Readers + Pointees).
+std::string makeDerefChain(unsigned Levels, unsigned Readers,
+                           unsigned Pointees, unsigned Pad) {
+  std::string Src = "func main() {\n  s = 0;\n";
+  Src += "  h0 = alloc heap 1 uninit;\n";
+  for (unsigned J = 0; J != Pointees; ++J)
+    Src += "  o = alloc heap 1 uninit;\n  *h0 = o;\n";
+  for (unsigned L = 1; L != Levels; ++L) {
+    std::string Prev = "h" + std::to_string(L - 1);
+    std::string Hub = "h" + std::to_string(L);
+    Src += "  " + Hub + " = alloc heap 1 uninit;\n";
+    Src += "  x" + std::to_string(L) + " = *" + Prev + ";\n";
+    Src += "  *" + Hub + " = x" + std::to_string(L) + ";\n";
+    for (unsigned I = 0; I != Readers; ++I) {
+      std::string P =
+          "q" + std::to_string(L) + "_" + std::to_string(I);
+      Src += "  " + P + " = *" + Hub + ";\n";
+      Src += "  s = " + P + ";\n";
+    }
+  }
+  emitPadding(Src, Pad);
+  Src += "  ret 0;\n}\n";
+  return Src;
+}
+
 /// Drip-fed fan-out: each staged bit is broadcast from a hub to Fan
 /// chains of Depth copies. Stresses the per-successor cost of a pop: the
 /// reference pays a dense full-set union per (successor, drip), the
@@ -145,7 +235,19 @@ std::string makeWideFanout(unsigned K, unsigned Fan, unsigned Depth,
 
 struct EngineResult {
   double SolveMs = 0;
+  /// Full PointerAnalysis construction wall time (numbering + constraint
+  /// building + solve) for the same iteration solve_ms came from.
+  double TotalMs = 0;
   SolverStatistics Stats;
+  /// Average points-to set size over every top-level variable — the
+  /// precision axis of the speed-vs-precision curve.
+  double AvgPtsSize = 0;
+  /// Residual checks in a full UsherFull plan built on this engine, and
+  /// the tool warnings that plan reports at runtime. The check count
+  /// shows what the engine's precision buys statically; the warning
+  /// count must not depend on the engine (soundness).
+  uint64_t PlanChecks = 0;
+  uint64_t Warnings = 0;
 };
 
 /// Parses \p Src fresh per iteration (heap cloning may mutate the module)
@@ -162,16 +264,36 @@ EngineResult runEngine(const std::string &Src, SolverKind Kind,
     auto T0 = std::chrono::steady_clock::now();
     PointerAnalysis PA(*M, CG, Opts);
     auto T1 = std::chrono::steady_clock::now();
-    double Ms = std::chrono::duration<double, std::milli>(T1 - T0).count();
+    double Ms = PA.solverStats().SolveMs;
     if (Ms < R.SolveMs) {
       R.SolveMs = Ms;
+      R.TotalMs =
+          std::chrono::duration<double, std::milli>(T1 - T0).count();
       R.Stats = PA.solverStats();
     }
     if (PA.exhausted()) {
       std::fprintf(stderr, "FATAL: solver exhausted with no budget armed\n");
       std::abort();
     }
+    if (It == 0) {
+      uint64_t Vars = 0, Bits = 0;
+      for (const auto &Fn : M->functions())
+        for (const auto &V : Fn->variables()) {
+          ++Vars;
+          Bits += PA.pointsTo(V.get()).size();
+        }
+      R.AvgPtsSize = Vars ? static_cast<double>(Bits) / Vars : 0;
+    }
   }
+
+  // Precision downstream: a full pipeline on this engine, executed once.
+  auto M = parser::parseModuleOrAbort(Src.c_str());
+  core::UsherOptions UOpts;
+  UOpts.Pta.Solver = Kind;
+  core::UsherResult UR = core::runUsher(*M, UOpts);
+  R.PlanChecks = UR.Plan.countChecks();
+  runtime::ExecutionReport Rep = runtime::Interpreter(*M, &UR.Plan).run();
+  R.Warnings = Rep.ToolWarnings.size();
   return R;
 }
 
@@ -181,8 +303,13 @@ struct BenchRow {
   uint64_t Constraints = 0;
   EngineResult Naive;
   EngineResult Optimized;
+  EngineResult Unify;
   double speedup() const {
     return Optimized.SolveMs > 0 ? Naive.SolveMs / Optimized.SolveMs : 0;
+  }
+  /// The ladder step the unify rung buys: optimized Andersen vs unify.
+  double unifySpeedup() const {
+    return Unify.SolveMs > 0 ? Optimized.SolveMs / Unify.SolveMs : 0;
   }
 };
 
@@ -199,22 +326,30 @@ BenchRow runWorkload(const std::string &Name, const std::string &Src,
   }
   Row.Naive = runEngine(Src, SolverKind::NaiveReference, Iters);
   Row.Optimized = runEngine(Src, SolverKind::Optimized, Iters);
+  Row.Unify = runEngine(Src, SolverKind::Unify, Iters);
   return Row;
 }
 
 void emitEngine(std::FILE *F, const char *Key, const EngineResult &E) {
   std::fprintf(F,
-               "      \"%s\": {\"solve_ms\": %.4f, \"propagations\": %llu, "
+               "      \"%s\": {\"solve_ms\": %.4f, \"total_ms\": %.4f, "
+               "\"propagations\": %llu, "
                "\"pops\": %llu, \"skipped_merged_pops\": %llu, "
                "\"collapses\": %llu, \"collapsed_nodes\": %llu, "
-               "\"budget_steps\": %llu}",
-               Key, E.SolveMs,
+               "\"unified_cells\": %llu, \"budget_steps\": %llu, "
+               "\"avg_pts_size\": %.4f, \"plan_checks\": %llu, "
+               "\"warnings\": %llu}",
+               Key, E.SolveMs, E.TotalMs,
                static_cast<unsigned long long>(E.Stats.NumPropagations),
                static_cast<unsigned long long>(E.Stats.NumPops),
                static_cast<unsigned long long>(E.Stats.NumSkippedMergedPops),
                static_cast<unsigned long long>(E.Stats.NumCollapses),
                static_cast<unsigned long long>(E.Stats.NumCollapsedNodes),
-               static_cast<unsigned long long>(E.Stats.NumBudgetSteps));
+               static_cast<unsigned long long>(E.Stats.NumUnifiedCells),
+               static_cast<unsigned long long>(E.Stats.NumBudgetSteps),
+               E.AvgPtsSize,
+               static_cast<unsigned long long>(E.PlanChecks),
+               static_cast<unsigned long long>(E.Warnings));
 }
 
 } // namespace
@@ -243,28 +378,47 @@ int main(int argc, char **argv) {
     Specs.push_back({"copy_chain", makeCopyChain(8, 48, 64)});
     Specs.push_back({"cycle_stress", makeCycleStress(8, 24, 24, 64)});
     Specs.push_back({"wide_fanout", makeWideFanout(8, 8, 6, 64)});
+    Specs.push_back({"deref_storm", makeDerefStorm(24, 24, 64)});
+    Specs.push_back({"deref_mesh", makeDerefMesh(4, 8, 8, 32)});
+    Specs.push_back({"deref_chain", makeDerefChain(4, 4, 8, 32)});
   } else {
     Specs.push_back({"copy_chain", makeCopyChain(96, 1500, 6000)});
     Specs.push_back({"cycle_stress", makeCycleStress(96, 512, 512, 4000)});
     Specs.push_back({"wide_fanout", makeWideFanout(96, 64, 16, 4000)});
+    Specs.push_back({"deref_storm", makeDerefStorm(2000, 2000, 2000)});
+    Specs.push_back({"deref_mesh", makeDerefMesh(64, 256, 256, 2000)});
+    Specs.push_back({"deref_chain", makeDerefChain(48, 32, 1200, 2000)});
   }
 
-  std::printf("%-14s %8s %10s %12s %12s %8s\n", "workload", "nodes",
-              "constrs", "naive_ms", "opt_ms", "speedup");
+  std::printf("%-14s %8s %10s %11s %11s %11s %8s %8s %9s %9s\n", "workload",
+              "nodes", "constrs", "naive_ms", "opt_ms", "unify_ms", "speedup",
+              "uspeedup", "opt_pts", "unify_pts");
   std::vector<BenchRow> Rows;
   double MinSpeedup = 1e100, GeoAcc = 1.0;
+  double MinUnify = 1e100, UnifyGeoAcc = 1.0;
   for (const Spec &S : Specs) {
     BenchRow Row = runWorkload(S.Name, S.Src, Iters);
-    std::printf("%-14s %8u %10llu %12.3f %12.3f %7.2fx\n", Row.Name.c_str(),
-                Row.Nodes, static_cast<unsigned long long>(Row.Constraints),
-                Row.Naive.SolveMs, Row.Optimized.SolveMs, Row.speedup());
+    std::printf("%-14s %8u %10llu %11.3f %11.3f %11.3f %7.2fx %7.2fx "
+                "%9.2f %9.2f\n",
+                Row.Name.c_str(), Row.Nodes,
+                static_cast<unsigned long long>(Row.Constraints),
+                Row.Naive.SolveMs, Row.Optimized.SolveMs, Row.Unify.SolveMs,
+                Row.speedup(), Row.unifySpeedup(), Row.Optimized.AvgPtsSize,
+                Row.Unify.AvgPtsSize);
     if (Row.speedup() < MinSpeedup)
       MinSpeedup = Row.speedup();
     GeoAcc *= Row.speedup();
+    if (Row.unifySpeedup() < MinUnify)
+      MinUnify = Row.unifySpeedup();
+    UnifyGeoAcc *= Row.unifySpeedup();
     Rows.push_back(std::move(Row));
   }
   double Geomean = Rows.empty() ? 0 : std::pow(GeoAcc, 1.0 / Rows.size());
-  std::printf("min speedup %.2fx, geomean %.2fx%s\n", MinSpeedup, Geomean,
+  double UnifyGeomean =
+      Rows.empty() ? 0 : std::pow(UnifyGeoAcc, 1.0 / Rows.size());
+  std::printf("min speedup %.2fx, geomean %.2fx; unify-vs-andersen min "
+              "%.2fx, geomean %.2fx%s\n",
+              MinSpeedup, Geomean, MinUnify, UnifyGeomean,
               Smoke ? " (smoke sizes; not meaningful)" : "");
 
   std::FILE *F = std::fopen(OutPath.c_str(), "w");
@@ -285,13 +439,18 @@ int main(int argc, char **argv) {
     emitEngine(F, "naive", Row.Naive);
     std::fprintf(F, ",\n");
     emitEngine(F, "optimized", Row.Optimized);
-    std::fprintf(F, ",\n      \"speedup\": %.4f\n    }%s\n", Row.speedup(),
-                 I + 1 != Rows.size() ? "," : "");
+    std::fprintf(F, ",\n");
+    emitEngine(F, "unify", Row.Unify);
+    std::fprintf(F, ",\n      \"speedup\": %.4f,\n", Row.speedup());
+    std::fprintf(F, "      \"unify_speedup\": %.4f\n    }%s\n",
+                 Row.unifySpeedup(), I + 1 != Rows.size() ? "," : "");
   }
   std::fprintf(F, "  ],\n");
   std::fprintf(F, "  \"summary\": {\"min_speedup\": %.4f, "
-                  "\"geomean_speedup\": %.4f}\n}\n",
-               MinSpeedup, Geomean);
+                  "\"geomean_speedup\": %.4f, "
+                  "\"min_unify_speedup\": %.4f, "
+                  "\"geomean_unify_speedup\": %.4f}\n}\n",
+               MinSpeedup, Geomean, MinUnify, UnifyGeomean);
   std::fclose(F);
   std::printf("wrote %s\n", OutPath.c_str());
   return 0;

@@ -1,0 +1,228 @@
+//===- analysis/DemandVFA.cpp - Demand-driven VFG reachability -------------===//
+//
+// Part of the Usher project, reproducing "Accelerating Dynamic Detection of
+// Uses of Undefined Values with Static Value-Flow Analysis" (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/DemandVFA.h"
+
+#include "core/ContextStack.h"
+#include "support/Budget.h"
+#include "support/RawStream.h"
+
+#include <algorithm>
+#include <deque>
+
+using namespace usher;
+using namespace usher::analysis;
+using core::ContextStack;
+using vfg::Edge;
+using vfg::EdgeKind;
+using vfg::VFG;
+
+namespace {
+
+struct StateKey {
+  uint32_t Node;
+  uint64_t Ctx;
+  bool operator==(const StateKey &O) const {
+    return Node == O.Node && Ctx == O.Ctx;
+  }
+};
+
+struct StateKeyHash {
+  size_t operator()(const StateKey &K) const {
+    uint64_t H = K.Ctx * 0x9E3779B97F4A7C15ull;
+    H ^= (static_cast<uint64_t>(K.Node) + 0x9E3779B9u) + (H << 6) + (H >> 2);
+    return static_cast<size_t>(H);
+  }
+};
+
+/// How a state was first reached (for witness reconstruction). The root
+/// marks itself with Node == ~0u.
+struct ParentLink {
+  uint32_t Node = ~0u;
+  uint64_t Ctx = 0;
+  EdgeKind Kind = EdgeKind::Direct;
+  uint32_t CallSite = ~0u;
+};
+
+} // namespace
+
+QueryResult DemandVFA::solve(uint32_t Src, uint32_t Sink) {
+  QueryResult R;
+  const unsigned K = Opts.ContextK;
+
+  std::unordered_map<StateKey, ParentLink, StateKeyHash> Seen;
+  std::deque<StateKey> Queue;
+
+  auto Reconstruct = [&](StateKey Final) {
+    std::vector<QueryStep> Path;
+    StateKey Cur = Final;
+    while (true) {
+      const ParentLink &P = Seen[Cur];
+      if (P.Node == ~0u) {
+        Path.push_back({Cur.Node, EdgeKind::Direct, ~0u});
+        break;
+      }
+      Path.push_back({Cur.Node, P.Kind, P.CallSite});
+      Cur = {P.Node, P.Ctx};
+    }
+    std::reverse(Path.begin(), Path.end());
+    return Path;
+  };
+
+  StateKey Root{Src, ContextStack::empty().raw()};
+  Seen.emplace(Root, ParentLink());
+  if (Src == Sink) {
+    R.Reachable = true;
+    R.Witness = Reconstruct(Root);
+    return R;
+  }
+  Queue.push_back(Root);
+
+  while (!Queue.empty()) {
+    if (B && !B->step()) {
+      R.Exhausted = true;
+      return R;
+    }
+    ++R.StatesVisited;
+    StateKey S = Queue.front();
+    Queue.pop_front();
+    ContextStack Ctx = ContextStack::fromRaw(S.Ctx);
+
+    for (const Edge &E : G.users(S.Node)) {
+      ContextStack Next = ContextStack::empty();
+      switch (E.Kind) {
+      case EdgeKind::Direct:
+        Next = Ctx;
+        break;
+      case EdgeKind::Call:
+        Next = K == 0 ? Ctx : Ctx.pushed(E.CallSite, K);
+        break;
+      case EdgeKind::Ret: {
+        if (K == 0) {
+          Next = Ctx;
+          break;
+        }
+        ContextStack Out = ContextStack::empty();
+        if (!Ctx.popped(E.CallSite, Out))
+          continue; // unrealizable: a different call is pending
+        Next = Out;
+        break;
+      }
+      }
+      StateKey NS{E.Node, Next.raw()};
+      auto [It, Inserted] =
+          Seen.emplace(NS, ParentLink{S.Node, S.Ctx, E.Kind, E.CallSite});
+      (void)It;
+      if (!Inserted)
+        continue;
+      if (E.Node == Sink) {
+        R.Reachable = true;
+        R.Witness = Reconstruct(NS);
+        return R;
+      }
+      Queue.push_back(NS);
+    }
+  }
+  return R; // state space exhausted: definitively unreachable
+}
+
+QueryResult DemandVFA::cflReachable(uint32_t Src, uint32_t Sink) {
+  {
+    std::lock_guard<std::mutex> L(Mu);
+    ++Queries;
+  }
+  if (Src >= G.numNodes() || Sink >= G.numNodes())
+    return QueryResult(); // out of range: unreachable, never cached
+
+  const uint64_t Key = (static_cast<uint64_t>(Src) << 32) | Sink;
+  {
+    std::lock_guard<std::mutex> L(Mu);
+    auto It = Cache.find(Key);
+    if (It != Cache.end()) {
+      ++CacheHits;
+      QueryResult R = It->second;
+      R.FromCache = true;
+      R.StatesVisited = 0;
+      return R;
+    }
+  }
+
+  QueryResult R = solve(Src, Sink);
+  if (!R.Exhausted) {
+    // Both verdicts are definitive once the BFS ran to completion (or
+    // found the sink); exhausted runs are inconclusive and stay uncached.
+    std::lock_guard<std::mutex> L(Mu);
+    Cache.emplace(Key, R);
+  }
+  return R;
+}
+
+uint64_t DemandVFA::memoHits() const {
+  std::lock_guard<std::mutex> L(Mu);
+  return CacheHits;
+}
+
+uint64_t DemandVFA::queriesAnswered() const {
+  std::lock_guard<std::mutex> L(Mu);
+  return Queries;
+}
+
+bool analysis::validateQueryWitness(const VFG &G, uint32_t Src, uint32_t Sink,
+                                    const std::vector<QueryStep> &W,
+                                    unsigned ContextK, std::string *Err) {
+  auto Fail = [&](const std::string &Msg) {
+    if (Err)
+      *Err = Msg;
+    return false;
+  };
+  if (W.empty())
+    return Fail("empty witness");
+  if (W.front().Node != Src)
+    return Fail("witness does not start at the source");
+  if (W.back().Node != Sink)
+    return Fail("witness does not end at the sink");
+  ContextStack Ctx = ContextStack::empty();
+  for (size_t I = 1; I != W.size(); ++I) {
+    const QueryStep &S = W[I];
+    uint32_t From = W[I - 1].Node;
+    bool Found = false;
+    for (const Edge &E : G.users(From))
+      if (E.Node == S.Node && E.Kind == S.Kind && E.CallSite == S.CallSite) {
+        Found = true;
+        break;
+      }
+    if (!Found) {
+      std::string Msg;
+      raw_string_ostream OS(Msg);
+      OS << "step " << I << ": no user edge " << From << " -> " << S.Node;
+      return Fail(Msg);
+    }
+    switch (S.Kind) {
+    case EdgeKind::Direct:
+      break;
+    case EdgeKind::Call:
+      if (ContextK != 0)
+        Ctx = Ctx.pushed(S.CallSite, ContextK);
+      break;
+    case EdgeKind::Ret: {
+      if (ContextK == 0)
+        break;
+      ContextStack Out = ContextStack::empty();
+      if (!Ctx.popped(S.CallSite, Out)) {
+        std::string Msg;
+        raw_string_ostream OS(Msg);
+        OS << "step " << I << ": unrealizable return through site "
+           << S.CallSite;
+        return Fail(Msg);
+      }
+      Ctx = Out;
+      break;
+    }
+    }
+  }
+  return true;
+}

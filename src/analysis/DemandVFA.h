@@ -1,0 +1,119 @@
+//===- analysis/DemandVFA.h - Demand-driven VFG reachability ----*- C++ -*-===//
+//
+// Part of the Usher project, reproducing "Accelerating Dynamic Detection of
+// Uses of Undefined Values with Static Value-Flow Analysis" (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A demand-driven CFL-reachability query engine over the value-flow
+/// graph: cflReachable(src, sink) answers "can the value at src flow to
+/// sink along a context-valid path?" without resolving the whole program.
+/// The grammar is the VFG's matched-paren call/return discipline — the
+/// exact transitions Definedness resolution uses (core/ContextStack.h),
+/// minus the saturation widening, so a query is *exact* with respect to
+/// whole-program k-bounded reachability and the query-equivalence fuzz
+/// oracle can compare them bit for bit.
+///
+/// Queries are breadth-first over (node, context) states, so the returned
+/// witness is a shortest context-valid path; each state is visited once
+/// per query (the per-(node,state) memo) and completed query results are
+/// cached across queries behind a mutex, which is the surface the TSan
+/// parallel-memoization tier exercises.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef USHER_ANALYSIS_DEMANDVFA_H
+#define USHER_ANALYSIS_DEMANDVFA_H
+
+#include "vfg/VFG.h"
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace usher {
+class Budget;
+
+namespace analysis {
+
+/// One step of a query witness: the node arrived at and the edge taken to
+/// get there. The first step is the source itself (Kind = Direct,
+/// CallSite = ~0u, no edge was taken).
+struct QueryStep {
+  uint32_t Node = 0;
+  vfg::EdgeKind Kind = vfg::EdgeKind::Direct;
+  uint32_t CallSite = ~0u;
+};
+
+/// Outcome of one cflReachable() call.
+struct QueryResult {
+  bool Reachable = false;
+  /// The budget ran out before the state space was exhausted; Reachable
+  /// is then inconclusive (false only means "not found yet") and the
+  /// result is never cached.
+  bool Exhausted = false;
+  /// Answered from the cross-query result cache.
+  bool FromCache = false;
+  /// (node, context) states expanded by this query (0 on a cache hit).
+  uint64_t StatesVisited = 0;
+  /// Shortest context-valid path src..sink; non-empty iff Reachable.
+  std::vector<QueryStep> Witness;
+};
+
+/// The demand-driven query engine. Thread-safe: concurrent queries share
+/// the result cache under a mutex and charge the Budget atomically.
+class DemandVFA {
+public:
+  struct Options {
+    /// Unmatched call sites remembered along a path (the paper's
+    /// configuration is 1); must match the Definedness run the answer is
+    /// compared against.
+    unsigned ContextK;
+    // Explicit constructor (not a default member initializer) so the
+    // enclosing class can use Options() as a default argument.
+    Options() : ContextK(1) {}
+  };
+
+  /// \p G must outlive the engine. When \p B is armed, each state
+  /// expansion charges one step; exhaustion aborts the query with
+  /// Exhausted set rather than looping on.
+  explicit DemandVFA(const vfg::VFG &G, Options Opts = Options(),
+                     Budget *B = nullptr)
+      : G(G), Opts(Opts), B(B) {}
+
+  /// Is there a context-valid value-flow path from \p Src to \p Sink?
+  /// Node ids outside the graph yield an unreachable, non-cached result.
+  QueryResult cflReachable(uint32_t Src, uint32_t Sink);
+
+  uint64_t memoHits() const;
+  uint64_t queriesAnswered() const;
+
+private:
+  QueryResult solve(uint32_t Src, uint32_t Sink);
+
+  const vfg::VFG &G;
+  Options Opts;
+  Budget *B;
+
+  mutable std::mutex Mu;
+  std::unordered_map<uint64_t, QueryResult> Cache; // (src<<32)|sink
+  uint64_t CacheHits = 0;
+  uint64_t Queries = 0;
+};
+
+/// Validates that \p W is a genuine context-valid user-edge path of \p G
+/// from \p Src to \p Sink under k = \p ContextK: every step names a real
+/// edge and the call/return discipline replays on a ContextStack. Shared
+/// by the query-equivalence fuzz oracle and the unit tests so "the
+/// witness is real" means the same thing everywhere.
+bool validateQueryWitness(const vfg::VFG &G, uint32_t Src, uint32_t Sink,
+                          const std::vector<QueryStep> &W, unsigned ContextK,
+                          std::string *Err = nullptr);
+
+} // namespace analysis
+} // namespace usher
+
+#endif // USHER_ANALYSIS_DEMANDVFA_H

@@ -8,11 +8,14 @@
 #include "analysis/PointerAnalysis.h"
 
 #include "analysis/CallGraph.h"
+#include "analysis/UnificationAnalysis.h"
 #include "ir/IR.h"
 #include "support/Budget.h"
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
+#include <map>
 #include <unordered_set>
 
 using namespace usher;
@@ -21,6 +24,18 @@ using namespace usher::ir;
 
 const std::vector<MemObject *> PointerAnalysis::EmptyObjList;
 const std::vector<uint32_t> PointerAnalysis::EmptyPts;
+
+const char *usher::analysis::solverKindName(SolverKind K) {
+  switch (K) {
+  case SolverKind::Optimized:
+    return "andersen";
+  case SolverKind::NaiveReference:
+    return "naive";
+  case SolverKind::Unify:
+    return "unify";
+  }
+  return "?";
+}
 
 //===----------------------------------------------------------------------===//
 // Location numbering
@@ -249,34 +264,16 @@ public:
   void run();
 
 private:
-  /// Either a solver node or a literal location (a global's address or a
-  /// wrapper clone).
-  struct ValueRef {
-    bool IsLoc;
-    uint32_t Id;
-  };
-
-  // The flow-insensitive constraint system, recorded during the module
-  // walk and consumed by whichever engine runs.
-  struct SeedCst {
-    uint32_t Node;
-    uint32_t Loc;
-  }; // Loc ∈ pts(Node)
-  struct CopyCst {
-    uint32_t Src, Dst;
-  }; // pts(Src) ⊆ pts(Dst)
-  struct LoadCst {
-    uint32_t Ptr, Dst;
-  }; // x := *p
-  struct StoreCst {
-    uint32_t Ptr;
-    ValueRef Val;
-  }; // *p := v
-  struct GepCst {
-    uint32_t Ptr, Dst;
-    unsigned Offset;
-    bool Dynamic;
-  }; // x := gep p, off
+  // The flow-insensitive constraint system is recorded during the module
+  // walk into the shared ConstraintSystem (UnificationAnalysis.h) so the
+  // unification engine consumes bit-identical constraints; the aliases
+  // keep the builder and the two Andersen engines reading naturally.
+  using ValueRef = ConstraintSystem::ValueRef;
+  using SeedCst = ConstraintSystem::SeedCst;
+  using CopyCst = ConstraintSystem::CopyCst;
+  using LoadCst = ConstraintSystem::LoadCst;
+  using StoreCst = ConstraintSystem::StoreCst;
+  using GepCst = ConstraintSystem::GepCst;
 
   uint32_t varNode(const Variable *V) const {
     auto It = VarIds.find(V);
@@ -354,14 +351,14 @@ private:
   Budget *B;
 
   std::unordered_map<const Variable *, uint32_t> VarIds;
-  uint32_t NumVars = 0;
-  uint32_t NumNodes = 0;
-
-  std::vector<SeedCst> Seeds;
-  std::vector<CopyCst> Copies;
-  std::vector<LoadCst> Loads;
-  std::vector<StoreCst> Stores;
-  std::vector<GepCst> Geps;
+  ConstraintSystem C;
+  uint32_t &NumVars = C.NumVars;
+  uint32_t &NumNodes = C.NumNodes;
+  std::vector<SeedCst> &Seeds = C.Seeds;
+  std::vector<CopyCst> &Copies = C.Copies;
+  std::vector<LoadCst> &Loads = C.Loads;
+  std::vector<StoreCst> &Stores = C.Stores;
+  std::vector<GepCst> &Geps = C.Geps;
   // Return values per function (for non-wrapper calls).
   std::unordered_map<const Function *, std::vector<ValueRef>> RetValues;
 
@@ -971,13 +968,67 @@ void PointerAnalysis::Solver::solveOptimized() {
 }
 
 void PointerAnalysis::Solver::run() {
+  PA.SStats.Engine = PA.Opts.Solver;
   // An at-entry check makes injected phase exhaustion deterministic even
   // for programs whose worklist never fills.
   if (!charge())
     return;
   buildConstraints();
-  PA.SStats.NumConstraints = Seeds.size() + Copies.size() + Loads.size() +
-                             Stores.size() + Geps.size();
+  PA.SStats.NumConstraints = C.size();
+  // Times every return path below (exhaustion included) via the guard's
+  // destructor; starts after constraint building so the measurement is
+  // the engine-dependent work only.
+  struct SolveTimer {
+    SolverStatistics &S;
+    std::chrono::steady_clock::time_point T0 =
+        std::chrono::steady_clock::now();
+    ~SolveTimer() {
+      S.SolveMs = std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - T0)
+                      .count();
+    }
+  } Timer{PA.SStats};
+
+  if (PA.Opts.Solver == SolverKind::Unify) {
+    // The unification engine runs over the identical constraint system;
+    // its counters fold into this analysis' statistics so downstream
+    // consumers (--stats, bench_solver, the Budget regression tests) see
+    // one coherent account regardless of engine.
+    UnificationSolver U(PA, C, B);
+    U.run();
+    const SolverStatistics &US = U.stats();
+    PA.SStats.NumCopyEdges += US.NumCopyEdges;
+    PA.SStats.NumPropagations += US.NumPropagations;
+    PA.SStats.NumPops += US.NumPops;
+    PA.SStats.NumSkippedMergedPops += US.NumSkippedMergedPops;
+    PA.SStats.NumCollapses += US.NumCollapses;
+    PA.SStats.NumCollapsedNodes += US.NumCollapsedNodes;
+    PA.SStats.NumUnifiedCells += US.NumUnifiedCells;
+    PA.SStats.NumBudgetSteps += US.NumBudgetSteps;
+    if (U.exhausted()) {
+      PA.Exhausted = true;
+      return;
+    }
+    PA.NumNodes = NumNodes;
+    // Materialize one locations vector per distinct class set and share
+    // it among all variables with that set; on unification-friendly
+    // shapes (many readers of one hub cell) this turns the harvest from
+    // Θ(vars × pts-size) into Θ(vars + classes × members).
+    std::map<std::vector<uint32_t>, const std::vector<uint32_t> *> Interned;
+    for (const auto &[V, Id] : VarIds) {
+      std::vector<uint32_t> Classes = U.classesOf(Id);
+      auto It = Interned.find(Classes);
+      if (It == Interned.end()) {
+        PA.SharedPts.push_back(std::make_unique<std::vector<uint32_t>>(
+            U.locsOfClasses(Classes)));
+        It = Interned.emplace(std::move(Classes), PA.SharedPts.back().get())
+                 .first;
+      }
+      PA.VarPtsShared[V] = It->second;
+    }
+    return;
+  }
+
   if (PA.Opts.Solver == SolverKind::NaiveReference)
     solveNaive();
   else
@@ -1009,7 +1060,10 @@ PointerAnalysis::PointerAnalysis(Module &M, const CallGraph &CG,
 const std::vector<uint32_t> &
 PointerAnalysis::pointsTo(const Variable *V) const {
   auto It = VarPts.find(V);
-  return It == VarPts.end() ? EmptyPts : It->second;
+  if (It != VarPts.end())
+    return It->second;
+  auto SIt = VarPtsShared.find(V);
+  return SIt == VarPtsShared.end() ? EmptyPts : *SIt->second;
 }
 
 std::vector<uint32_t> PointerAnalysis::pointsTo(const Operand &Op) const {

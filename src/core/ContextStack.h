@@ -30,6 +30,11 @@ class ContextStack {
 public:
   static ContextStack empty() { return ContextStack(0); }
 
+  /// Rehydrates a stack from a raw() encoding. Only values previously
+  /// produced by raw() are valid (the demand-driven query engine keys its
+  /// visited-state memo by the raw encoding and round-trips through this).
+  static ContextStack fromRaw(uint64_t Bits) { return ContextStack(Bits); }
+
   uint64_t raw() const { return Bits; }
 
   ContextStack pushed(uint32_t Site, unsigned K) const {

@@ -159,6 +159,21 @@ UsherResult core::runUsher(Module &M, const UsherOptions &Opts) {
     B.beginPhase(BudgetPhase::PointerAnalysis);
     PA = std::make_unique<analysis::PointerAnalysis>(M, *CG, Cheap, &B);
   }
+  if (PA->exhausted() && Opts.Pta.Solver != analysis::SolverKind::Unify) {
+    // Second fallback: the near-linear unification solver over the
+    // field-insensitive constraints. Its coarser (but still sound)
+    // points-to sets are not worth running Opt I/II over, so a run
+    // salvaged here caps at the TL+AT rung below.
+    Fail(BudgetPhase::PointerAnalysis, "retrying with unification solver");
+    PurgeClones();
+    analysis::PtaOptions Cheap = Opts.Pta;
+    Cheap.FieldSensitive = false;
+    Cheap.Solver = analysis::SolverKind::Unify;
+    B.beginPhase(BudgetPhase::PointerAnalysis);
+    PA = std::make_unique<analysis::PointerAnalysis>(M, *CG, Cheap, &B);
+    if (!PA->exhausted())
+      DR.Rung = minRung(DR.Rung, ToolVariant::UsherTLAT);
+  }
   Stats.Solver = PA->solverStats();
   if (PA->exhausted()) {
     // No usable points-to information: everything downstream depends on
@@ -245,7 +260,8 @@ UsherResult core::runUsher(Module &M, const UsherOptions &Opts) {
   // shadow values stay correctly initialized (Algorithm 1). The base
   // Gamma stays alive so later rungs can discard the redirects wholesale.
   std::unique_ptr<Definedness> RedirGamma;
-  if (Opts.Variant == ToolVariant::UsherFull && !Gamma->wasPessimized()) {
+  if (Opts.Variant == ToolVariant::UsherFull &&
+      DR.Rung == ToolVariant::UsherFull && !Gamma->wasPessimized()) {
     B.beginPhase(BudgetPhase::OptII);
     OptIIResult Opt2 =
         runRedundantCheckElimination(M, *SSA, *PA, *CG, *G, *Gamma, &B,
@@ -342,4 +358,44 @@ UsherResult core::runUsher(Module &M, const UsherOptions &Opts) {
   Result.G = std::move(G);
   Result.Gamma = std::move(Gamma);
   return Result;
+}
+
+QueryOutcome core::runUsherQuery(Module &M, const UsherOptions &Opts,
+                                 uint32_t Src, uint32_t Sink) {
+  QueryOutcome Out;
+  Budget B(Opts.Limits, Opts.Fault);
+
+  analysis::CallGraph CG(M);
+  B.beginPhase(BudgetPhase::PointerAnalysis);
+  analysis::PointerAnalysis PA(M, CG, Opts.Pta, &B);
+  Out.Solver = PA.solverStats();
+  if (PA.exhausted()) {
+    // Without points-to sets there is no VFG to query; the answer is
+    // inconclusive rather than invalid.
+    Out.Valid = true;
+    Out.Exhausted = true;
+    return Out;
+  }
+
+  analysis::ModRefAnalysis MR(M, CG, PA);
+  ssa::MemorySSA SSA(M, PA, MR, nullptr);
+  vfg::VFG G = vfg::VFGBuilder(M, SSA, PA, CG, Opts.Vfg).build();
+  Out.NumNodes = G.numNodes();
+  if (Src >= G.numNodes() || Sink >= G.numNodes()) {
+    Out.Error = "query node id out of range (VFG has " +
+                std::to_string(G.numNodes()) + " nodes)";
+    return Out;
+  }
+
+  Out.Valid = true;
+  analysis::DemandVFA::Options QOpts;
+  QOpts.ContextK = Opts.ContextK;
+  analysis::DemandVFA Q(G, QOpts, &B);
+  B.beginPhase(BudgetPhase::Definedness);
+  analysis::QueryResult R = Q.cflReachable(Src, Sink);
+  Out.Reachable = R.Reachable;
+  Out.Exhausted = R.Exhausted;
+  Out.StatesVisited = R.StatesVisited;
+  Out.Witness = std::move(R.Witness);
+  return Out;
 }

@@ -24,6 +24,7 @@
 #define USHER_CORE_USHER_H
 
 #include "analysis/CallGraph.h"
+#include "analysis/DemandVFA.h"
 #include "analysis/ModRef.h"
 #include "analysis/PointerAnalysis.h"
 #include "analysis/SummaryEngine.h"
@@ -172,9 +173,45 @@ struct UsherResult {
 /// never fails the run: the driver walks the degradation ladder
 /// UsherFull -> UsherOptI -> UsherTL+AT -> UsherTL -> MSanFull, reusing
 /// partial results where sound, and records what happened in
-/// UsherResult::Degradation. The returned plan always detects at least
-/// the undefined-value uses full instrumentation would.
+/// UsherResult::Degradation. Within the pointer-analysis phase the ladder
+/// has its own rungs: field-sensitive Andersen, field-insensitive
+/// Andersen, then the near-linear unification solver — a run salvaged by
+/// the unification rung caps at UsherTLAT (its coarser points-to sets are
+/// sound but not worth optimizing over). The returned plan always detects
+/// at least the undefined-value uses full instrumentation would.
 UsherResult runUsher(ir::Module &M, const UsherOptions &Opts);
+
+/// Outcome of one demand reachability query (runUsherQuery).
+struct QueryOutcome {
+  /// The pipeline ran and the node ids were in range; when false, Error
+  /// says why and the remaining fields are meaningless.
+  bool Valid = false;
+  std::string Error;
+  bool Reachable = false;
+  /// A budget ran out (during constraint solving or the query walk);
+  /// Reachable is then inconclusive.
+  bool Exhausted = false;
+  /// Shortest context-valid witness path; non-empty iff Reachable.
+  std::vector<analysis::QueryStep> Witness;
+  /// Statistics of the constraint solver that backed the VFG. Tier-1
+  /// tests assert Solver.Engine == SolverKind::Unify for the default
+  /// query configuration — i.e. the answer never paid for a
+  /// whole-program Andersen resolution.
+  analysis::SolverStatistics Solver;
+  uint64_t StatesVisited = 0;
+  /// VFG node count, so callers can report the valid id range.
+  uint32_t NumNodes = 0;
+};
+
+/// Answers a single demand query: is VFG node \p Sink context-validly
+/// reachable from \p Src? Builds the cheapest sound pipeline prefix
+/// (call graph, pointer analysis with Opts.Pta — callers wanting the
+/// speed ladder's fast lane pass SolverKind::Unify — memory SSA, VFG)
+/// and then runs the demand-driven engine from \p Src only, instead of a
+/// whole-program definedness resolution. Budget phases: PointerAnalysis
+/// covers constraint solving, Definedness covers the query walk.
+QueryOutcome runUsherQuery(ir::Module &M, const UsherOptions &Opts,
+                           uint32_t Src, uint32_t Sink);
 
 } // namespace core
 } // namespace usher

@@ -48,6 +48,7 @@ OracleOptions onlyOracle(OracleKind K, const OracleOptions &Base) {
   Only.CheckDegradation = K == OracleKind::DegradationSoundness;
   Only.CheckServe = K == OracleKind::ServeEquivalence;
   Only.CheckSummary = K == OracleKind::SummaryEquivalence;
+  Only.CheckQuery = K == OracleKind::QueryEquivalence;
   return Only;
 }
 

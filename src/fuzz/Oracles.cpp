@@ -8,8 +8,10 @@
 #include "fuzz/Oracles.h"
 
 #include "analysis/CallGraph.h"
+#include "analysis/DemandVFA.h"
 #include "analysis/PointerAnalysis.h"
 #include "analysis/SummaryEngine.h"
+#include "core/ContextStack.h"
 #include "core/StaticDiagnosis.h"
 #include "core/Usher.h"
 #include "ir/IR.h"
@@ -48,6 +50,8 @@ const char *fuzz::oracleKindName(OracleKind K) {
     return "serve-equivalence";
   case OracleKind::SummaryEquivalence:
     return "summary-equivalence";
+  case OracleKind::QueryEquivalence:
+    return "query-equivalence";
   }
   return "unknown";
 }
@@ -548,6 +552,115 @@ OracleOutcome fuzz::runOracles(const std::string &Source,
       if (G.Finished && S.Warns != G.Warns)
         Diverge(OracleKind::SummaryEquivalence,
                 Tag + ": " + describeSetDiff(S.Warns, G.Warns));
+    }
+  }
+
+  // -- Oracle 7: demand query vs whole-program VFG reachability ----------
+  if (Opts.CheckQuery) {
+    Out.Checked[static_cast<unsigned>(OracleKind::QueryEquivalence)] = true;
+    auto M = parseFresh(Source);
+    core::UsherOptions UOpts;
+    UOpts.Variant = ToolVariant::UsherFull;
+    core::UsherResult R = core::runUsher(*M, UOpts);
+    if (R.G && R.G->numNodes() != 0) {
+      const vfg::VFG &G = *R.G;
+      const uint32_t N = G.numNodes();
+      const unsigned K = UOpts.ContextK;
+
+      // Independent reference: an exhaustive DFS over (node, context)
+      // states with the same k-limited CFL transitions, projecting out
+      // the set of reachable *nodes* from one source. It shares the
+      // ContextStack encoding with DemandVFA but none of its traversal,
+      // memoization, or witness machinery.
+      auto ReachableFrom = [&](uint32_t Src) {
+        std::vector<bool> NodeReached(N, false);
+        std::set<std::pair<uint32_t, uint64_t>> SeenStates;
+        std::vector<std::pair<uint32_t, uint64_t>> Stack;
+        Stack.push_back({Src, core::ContextStack::empty().raw()});
+        SeenStates.insert(Stack.back());
+        NodeReached[Src] = true;
+        while (!Stack.empty()) {
+          auto [Node, Raw] = Stack.back();
+          Stack.pop_back();
+          core::ContextStack Ctx = core::ContextStack::fromRaw(Raw);
+          for (const vfg::Edge &E : G.users(Node)) {
+            core::ContextStack Next = Ctx;
+            if (E.Kind == vfg::EdgeKind::Call) {
+              if (K != 0)
+                Next = Ctx.pushed(E.CallSite, K);
+            } else if (E.Kind == vfg::EdgeKind::Ret) {
+              if (K != 0) {
+                core::ContextStack Popped = core::ContextStack::empty();
+                if (!Ctx.popped(E.CallSite, Popped))
+                  continue; // unrealizable return
+                Next = Popped;
+              }
+            }
+            std::pair<uint32_t, uint64_t> S{E.Node, Next.raw()};
+            if (SeenStates.insert(S).second) {
+              NodeReached[E.Node] = true;
+              Stack.push_back(S);
+            }
+          }
+        }
+        return NodeReached;
+      };
+
+      // Sample deterministically: sinks favor critical-use nodes (the
+      // queries a client would actually ask), sources and the remainder
+      // come from hash-derived ids so arbitrary interior nodes are
+      // exercised too. The stride walks carry a hard step cap: when N
+      // shares a factor with the stride, the orbit of Step*stride % N
+      // covers only a subset of the ids (e.g. stride 40503 on a 6-node
+      // graph yields {0, 3} forever), so an uncapped grow-until-size
+      // loop would never terminate. Short collections just mean fewer
+      // sampled pairs.
+      std::set<uint32_t> Srcs, Sinks;
+      for (const vfg::VFG::CriticalUse &U : G.criticalUses()) {
+        Sinks.insert(U.Node);
+        if (Sinks.size() >= 4)
+          break;
+      }
+      for (uint32_t Step = 1; Srcs.size() < 3 && Step <= 64; ++Step)
+        Srcs.insert(static_cast<uint32_t>((Step * 2654435761ull) % N));
+      for (uint32_t Step = 7; Sinks.size() < 5 && Step <= 70; ++Step)
+        Sinks.insert(static_cast<uint32_t>((Step * 40503ull) % N));
+
+      analysis::DemandVFA::Options QOpts;
+      QOpts.ContextK = K;
+      analysis::DemandVFA Demand(G, QOpts);
+      for (uint32_t Src : Srcs) {
+        std::vector<bool> Ref = ReachableFrom(Src);
+        for (uint32_t Sink : Sinks) {
+          const std::string Tag =
+              "query " + std::to_string(Src) + " -> " + std::to_string(Sink);
+          analysis::QueryResult Q = Demand.cflReachable(Src, Sink);
+          if (Q.Exhausted) {
+            Diverge(OracleKind::QueryEquivalence,
+                    Tag + ": exhausted without a budget configured");
+            continue;
+          }
+          if (Q.Reachable != Ref[Sink]) {
+            Diverge(OracleKind::QueryEquivalence,
+                    Tag + ": demand engine says " +
+                        (Q.Reachable ? "reachable" : "unreachable") +
+                        ", whole-program traversal says " +
+                        (Ref[Sink] ? "reachable" : "unreachable"));
+            continue;
+          }
+          if (Q.Reachable) {
+            std::string WErr;
+            if (!analysis::validateQueryWitness(G, Src, Sink, Q.Witness, K,
+                                                &WErr))
+              Diverge(OracleKind::QueryEquivalence,
+                      Tag + ": witness does not replay: " + WErr);
+          }
+          analysis::QueryResult Q2 = Demand.cflReachable(Src, Sink);
+          if (!Q2.FromCache || Q2.Reachable != Q.Reachable)
+            Diverge(OracleKind::QueryEquivalence,
+                    Tag + ": memoized answer differs from the first");
+        }
+      }
     }
   }
 

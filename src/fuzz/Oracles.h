@@ -38,6 +38,12 @@
 ///     the same landing rung, and the same runtime warning set as
 ///     --engine=global, both fresh and when replayed through a shared
 ///     content-hashed summary cache.
+///  7. QueryEquivalence — the demand-driven CFL-reachability engine must
+///     agree with whole-program VFG reachability on sampled (src, sink)
+///     pairs: each cflReachable verdict is checked against an independent
+///     exhaustive state-space traversal, every positive verdict's witness
+///     must replay as a realizable VFG path, and a repeated query must be
+///     answered from the memo table with the same verdict.
 ///
 /// Programs are interchanged as TinyC source text; each pipeline run
 /// parses its own fresh module because heap cloning mutates modules, and
@@ -65,9 +71,10 @@ enum class OracleKind : uint8_t {
   DegradationSoundness,
   ServeEquivalence,
   SummaryEquivalence,
+  QueryEquivalence,
 };
 
-constexpr unsigned NumOracleKinds = 6;
+constexpr unsigned NumOracleKinds = 7;
 
 /// Stable lower-case name used in reports and JSON
 /// ("variant-equivalence", "solver-equivalence", ...).
@@ -88,6 +95,7 @@ struct OracleOptions {
   bool CheckDegradation = true;
   bool CheckServe = true;
   bool CheckSummary = true;
+  bool CheckQuery = true;
   /// Applied to every interpreter run. Mutants can manufacture infinite
   /// loops, so the default step budget is far below the interpreter's.
   uint64_t MaxSteps = 2'000'000;

@@ -252,6 +252,7 @@ bool Daemon::handleFrame(Conn &C, const std::string &Body) {
   }
   case Op::Analyze:
   case Op::Diagnose:
+  case Op::Query:
     break;
   }
 

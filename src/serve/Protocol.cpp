@@ -46,6 +46,8 @@ const char *serve::opName(Op O) {
     return "ping";
   case Op::Shutdown:
     return "shutdown";
+  case Op::Query:
+    return "query";
   }
   return "unknown";
 }
@@ -149,6 +151,8 @@ std::string serve::encodeRequest(const Request &Rq) {
   putU64(Out, Rq.BudgetSteps);
   putStr(Out, Rq.FaultSpec);
   putStr(Out, Rq.Source);
+  putU32(Out, Rq.QuerySrc);
+  putU32(Out, Rq.QuerySink);
   return Out;
 }
 
@@ -181,6 +185,10 @@ bool serve::decodeRequest(std::string_view Body, Request &Out,
     return fail(Err, "truncated request: bad fault spec field");
   if (!C.getStr(Out.Source))
     return fail(Err, "truncated request: bad source field");
+  if (!C.getU32(Out.QuerySrc))
+    return fail(Err, "truncated request: missing query source node");
+  if (!C.getU32(Out.QuerySink))
+    return fail(Err, "truncated request: missing query sink node");
   if (!C.atEnd())
     return fail(Err, "trailing bytes after request");
   return true;

@@ -36,8 +36,9 @@
 namespace usher {
 namespace serve {
 
-/// Wire protocol version carried in every body.
-constexpr uint8_t ProtocolVersion = 1;
+/// Wire protocol version carried in every body. Version 2 added the
+/// demand-query op and the query src/sink request fields.
+constexpr uint8_t ProtocolVersion = 2;
 
 /// Hard cap on one frame's body. A length field above this is a framing
 /// error, not an allocation request — a corrupt peer cannot make the
@@ -54,8 +55,12 @@ enum class Op : uint8_t {
   Status = 2,   ///< Fetch the daemon's usher-serve-v1 status JSON.
   Ping = 3,     ///< Liveness probe.
   Shutdown = 4, ///< Clean daemon shutdown after the reply is delivered.
+  Query = 5,    ///< Demand CFL-reachability query on Source's VFG
+                ///< (QuerySrc -> QuerySink), answered by the demand
+                ///< engine over unification-backed points-to — no
+                ///< whole-program analysis.
 };
-constexpr unsigned NumOps = 5;
+constexpr unsigned NumOps = 6;
 
 /// Stable lower-case op name ("analyze", "diagnose", ...).
 const char *opName(Op O);
@@ -84,8 +89,10 @@ struct Request {
   uint64_t Id = 0;
   uint32_t DeadlineMs = 0;  ///< Per-phase wall-clock deadline.
   uint64_t BudgetSteps = 0; ///< Per-phase worklist-step budget.
-  std::string FaultSpec;    ///< "<phase>@<step>[:once]" or empty.
+  std::string FaultSpec;    ///< "<phase>@<step>[:once|:<n>]" or empty.
   std::string Source;       ///< TinyC program text.
+  uint32_t QuerySrc = 0;    ///< Op::Query: source VFG node id.
+  uint32_t QuerySink = 0;   ///< Op::Query: sink VFG node id.
 };
 
 /// One reply. Id always echoes the request's.

@@ -258,6 +258,88 @@ Reply Session::handleAnalysis(const Request &Rq) {
   return Rp;
 }
 
+Reply Session::handleQuery(const Request &Rq) {
+  Reply Rp;
+  Rp.Id = Rq.Id;
+
+  parser::ParseResult PR = parser::parseModule(Rq.Source);
+  if (!PR.succeeded()) {
+    Rp.Status = ReplyStatus::Error;
+    std::string Msg;
+    raw_string_ostream OS(Msg);
+    OS << "parse error";
+    for (const std::string &E : PR.Errors)
+      OS << "\n  " << E;
+    Rp.Payload = std::move(Msg);
+    return Rp;
+  }
+
+  core::UsherOptions UO;
+  // The demand fast lane: the unification solver backs the VFG so a
+  // single-pair question never pays for whole-program Andersen solving.
+  UO.Pta.Solver = analysis::SolverKind::Unify;
+  UO.Limits.PhaseDeadlineMs = Rq.DeadlineMs;
+  UO.Limits.MaxStepsPerPhase = Rq.BudgetSteps;
+  if (!Rq.FaultSpec.empty()) {
+    std::string Err;
+    std::optional<FaultPlan> FP = parseFaultSpec(Rq.FaultSpec, &Err);
+    if (!FP) {
+      Rp.Status = ReplyStatus::Error;
+      Rp.Payload = "bad fault spec: " + Err;
+      return Rp;
+    }
+    UO.Fault = *FP;
+  }
+
+  core::QueryOutcome Q =
+      core::runUsherQuery(*PR.M, UO, Rq.QuerySrc, Rq.QuerySink);
+  if (!Q.Valid) {
+    Rp.Status = ReplyStatus::Error;
+    Rp.Payload = Q.Error;
+    return Rp;
+  }
+
+  std::string Payload;
+  raw_string_ostream OS(Payload);
+  OS << "query " << Rq.QuerySrc << " -> " << Rq.QuerySink << ": "
+     << (Q.Exhausted    ? "inconclusive"
+         : Q.Reachable  ? "reachable"
+                        : "unreachable")
+     << "\n"
+     << "engine: " << analysis::solverKindName(Q.Solver.Engine) << "\n"
+     << "states: " << Q.StatesVisited << "\n";
+  if (Q.Reachable && !Q.Witness.empty()) {
+    OS << "witness: " << Q.Witness.front().Node;
+    for (size_t I = 1; I != Q.Witness.size(); ++I) {
+      const analysis::QueryStep &S = Q.Witness[I];
+      switch (S.Kind) {
+      case vfg::EdgeKind::Direct:
+        OS << " -> ";
+        break;
+      case vfg::EdgeKind::Call:
+        OS << " -call@" << S.CallSite << "-> ";
+        break;
+      case vfg::EdgeKind::Ret:
+        OS << " -ret@" << S.CallSite << "-> ";
+        break;
+      }
+      OS << S.Node;
+    }
+    OS << "\n";
+  }
+  Rp.Payload = std::move(Payload);
+
+  if (Q.Exhausted) {
+    // The verdict is unknown, not wrong; the caller can retry with a
+    // bigger budget. Query results are never snapshotted either way.
+    Rp.Status = ReplyStatus::Degraded;
+    Rp.Rung = "INCONCLUSIVE";
+    return Rp;
+  }
+  Rp.Status = ReplyStatus::Ok;
+  return Rp;
+}
+
 Reply Session::handle(const Request &Rq, const DaemonStatus *DS) {
   Requests.fetch_add(1, std::memory_order_relaxed);
   const unsigned KindIdx = static_cast<unsigned>(Rq.Kind);
@@ -287,6 +369,9 @@ Reply Session::handle(const Request &Rq, const DaemonStatus *DS) {
     case Op::Analyze:
     case Op::Diagnose:
       Rp = handleAnalysis(Rq);
+      break;
+    case Op::Query:
+      Rp = handleQuery(Rq);
       break;
     }
   } catch (const std::exception &E) {

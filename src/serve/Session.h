@@ -103,6 +103,11 @@ public:
 
 private:
   Reply handleAnalysis(const Request &Rq);
+  /// Op::Query: demand CFL-reachability over the request source's VFG,
+  /// backed by the unification solver (never whole-program Andersen).
+  /// Query replies are cheap and never snapshotted; an exhausted budget
+  /// comes back DEGRADED(INCONCLUSIVE) rather than a wrong verdict.
+  Reply handleQuery(const Request &Rq);
 
   SessionOptions Opts;
   SnapshotStore Store;

@@ -108,8 +108,8 @@ void Budget::beginPhase(BudgetPhase P) {
   // here (not in step) keeps injection deterministic even when the phase's
   // worklist turns out to be empty.
   if (Fault && Fault->Phase == Cur && Fault->AtStep == 0 &&
-      !(Fault->Once && FaultFired.load(std::memory_order_relaxed))) {
-    FaultFired.store(true, std::memory_order_relaxed);
+      FaultFires.load(std::memory_order_relaxed) < Fault->fireLimit()) {
+    FaultFires.fetch_add(1, std::memory_order_relaxed);
     install(ExhaustKind::Injected, 0);
   }
 }
@@ -126,10 +126,12 @@ bool Budget::stepSlow(uint64_t N) {
   uint64_t Start = End - N;
   bool Over = false;
   if (Fault && Fault->Phase == Cur && End > Fault->AtStep &&
-      !(Fault->Once && FaultFired.load(std::memory_order_relaxed))) {
+      FaultFires.load(std::memory_order_relaxed) < Fault->fireLimit()) {
     Over = true;
     if (Start <= Fault->AtStep) {
-      FaultFired.store(true, std::memory_order_relaxed);
+      // The unique installer also consumes the fire: the counter advances
+      // once per arm, at the same charged step in every schedule.
+      FaultFires.fetch_add(1, std::memory_order_relaxed);
       install(ExhaustKind::Injected, Fault->AtStep + 1);
     }
   }

@@ -83,10 +83,22 @@ struct BudgetLimits {
 /// (AtStep == 0 exhausts the phase the moment it is armed). With Once set
 /// the fault fires on the first matching arm only, which exercises the
 /// retry rungs of the ladder (e.g. the field-insensitive Andersen rerun).
+/// MaxFires generalizes Once to the first N matching arms (spec suffix
+/// ":2" etc.), so deeper rungs — the unification retry behind two failed
+/// Andersen arms — are reachable deterministically too.
 struct FaultPlan {
   BudgetPhase Phase = BudgetPhase::PointerAnalysis;
   uint64_t AtStep = 0;
   bool Once = false;
+  /// 0 honors Once (1 arm if set, every arm otherwise); N > 0 fires on
+  /// the first N matching arms regardless of Once.
+  uint32_t MaxFires = 0;
+
+  uint32_t fireLimit() const {
+    if (MaxFires)
+      return MaxFires;
+    return Once ? 1 : ~0u;
+  }
 };
 
 /// The budget token. Default-constructed tokens are unlimited and free.
@@ -141,7 +153,7 @@ private:
   BudgetLimits Limits;
   std::optional<FaultPlan> Fault;
   bool Armed = false;
-  std::atomic<bool> FaultFired{false};
+  std::atomic<uint32_t> FaultFires{0};
   BudgetPhase Cur = BudgetPhase::PointerAnalysis;
   std::atomic<uint64_t> Exhaust{NotExhausted};
   std::atomic<uint64_t> Steps{0};

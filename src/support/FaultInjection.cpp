@@ -39,7 +39,7 @@ std::optional<FaultPlan> usher::parseFaultSpec(std::string_view Spec,
   auto Fail = [&](const char *Msg) -> std::optional<FaultPlan> {
     if (Err)
       *Err = std::string(Msg) + " in fault spec '" + std::string(Spec) +
-             "' (expected <phase>@<step>[:once], phase one of "
+             "' (expected <phase>@<step>[:once|:<fires>], phase one of "
              "pta|definedness|opt1|opt2)";
     return std::nullopt;
   };
@@ -53,9 +53,30 @@ std::optional<FaultPlan> usher::parseFaultSpec(std::string_view Spec,
     return Fail("unknown phase");
 
   std::string_view Rest = Spec.substr(At + 1);
-  if (Rest.size() >= 5 && Rest.substr(Rest.size() - 5) == ":once") {
-    Plan.Once = true;
-    Rest = Rest.substr(0, Rest.size() - 5);
+  size_t Colon = Rest.rfind(':');
+  if (Colon != std::string_view::npos) {
+    std::string_view Suffix = Rest.substr(Colon + 1);
+    if (Suffix == "once") {
+      Plan.Once = true;
+    } else {
+      // A numeric suffix bounds the fault to the first N matching arms,
+      // e.g. "pta@0:2" exhausts the first two pointer-analysis attempts
+      // and lets the third (the unification retry) run to completion.
+      if (Suffix.empty())
+        return Fail("empty fire-count suffix");
+      uint64_t Fires = 0;
+      for (char C : Suffix) {
+        if (C < '0' || C > '9')
+          return Fail("non-numeric fire-count suffix");
+        Fires = Fires * 10 + static_cast<uint64_t>(C - '0');
+        if (Fires > 0xffffffffull)
+          return Fail("fire count out of range");
+      }
+      if (Fires == 0)
+        return Fail("fire count must be positive");
+      Plan.MaxFires = static_cast<uint32_t>(Fires);
+    }
+    Rest = Rest.substr(0, Colon);
   }
   if (Rest.empty())
     return Fail("missing step count");

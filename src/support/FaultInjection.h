@@ -12,14 +12,17 @@
 /// budgeted phase and the iteration at which its budget should report
 /// exhaustion:
 ///
-///   <phase>@<step>[:once]
+///   <phase>@<step>[:once|:<fires>]
 ///
 /// where <phase> is one of pta, definedness, opt1, opt2 (the
 /// budgetPhaseName() spellings; pointer-analysis/def/opti/optii are
 /// accepted as aliases). step 0 exhausts the phase upon entry. The :once
 /// suffix fires on the first matching arm only, which lets tests exercise
 /// retry rungs (e.g. fail the field-sensitive Andersen run but let the
-/// field-insensitive rerun finish).
+/// field-insensitive rerun finish). A numeric :<fires> suffix generalizes
+/// this to the first N matching arms, so deeper rungs are reachable:
+/// "pta@0:2" fails both Andersen attempts and lands on the unification
+/// retry.
 ///
 /// *I/O sites* cover the analysis service's system-call boundaries
 /// (serve/): snapshot-store reads and writes, a torn snapshot write, a
@@ -57,8 +60,8 @@ namespace usher {
 /// The environment variable consulted by faultPlanFromEnv().
 inline constexpr const char *FaultInjectionEnvVar = "USHER_INJECT_FAULT";
 
-/// Parses a "<phase>@<step>[:once]" spec. Returns std::nullopt on a
-/// malformed spec and, when \p Err is non-null, stores a diagnostic.
+/// Parses a "<phase>@<step>[:once|:<fires>]" spec. Returns std::nullopt
+/// on a malformed spec and, when \p Err is non-null, stores a diagnostic.
 std::optional<FaultPlan> parseFaultSpec(std::string_view Spec,
                                         std::string *Err = nullptr);
 

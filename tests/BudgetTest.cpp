@@ -201,9 +201,15 @@ TEST(DegradationLadder, PtaInjectionFallsToMSan) {
       runWithFault(*M, ToolVariant::UsherFull, BudgetPhase::PointerAnalysis);
   EXPECT_TRUE(R.Degradation.Degraded);
   EXPECT_EQ(R.Degradation.Rung, ToolVariant::MSanFull);
-  // Two rungs were tried and failed: field-insensitive retry, then MSan.
-  ASSERT_EQ(R.Degradation.Steps.size(), 2u);
+  // Three rungs were tried and failed, in ladder order: the
+  // field-insensitive Andersen retry, the unification-solver retry, and
+  // only then the MSan landing.
+  ASSERT_EQ(R.Degradation.Steps.size(), 3u);
   EXPECT_EQ(R.Degradation.Steps[0].Kind, ExhaustKind::Injected);
+  EXPECT_NE(R.Degradation.Steps[0].Action.find("field-insensitive"),
+            std::string::npos);
+  EXPECT_NE(R.Degradation.Steps[1].Action.find("unification"),
+            std::string::npos);
   EXPECT_NE(R.Degradation.summary().find("MSAN"), std::string::npos);
   // The full plan still runs the program to completion.
   runtime::ExecutionReport Rep = runtime::Interpreter(*M, &R.Plan).run();
@@ -405,6 +411,159 @@ TEST(DegradationLadder, ExhaustionMidCollapseFallsToMSan) {
     EXPECT_EQ(R.Degradation.Steps[0].Kind, ExhaustKind::Injected)
         << "cut " << Cut;
   }
+}
+
+//===----------------------------------------------------------------------===//
+// Bounded fire counts and the UNIFY rung
+//===----------------------------------------------------------------------===//
+//
+// A "<phase>@<step>:<fires>" fault exhausts only the first N matching
+// arms, which is how the tests aim a run at a *specific* rung: "pta@0:2"
+// kills the field-sensitive Andersen attempt and the field-insensitive
+// retry, leaving the third arm — the unification solver — to succeed.
+
+TEST(Budget, MaxFiresBoundsInjectedArms) {
+  FaultPlan F;
+  F.Phase = BudgetPhase::PointerAnalysis;
+  F.AtStep = 0;
+  F.MaxFires = 2;
+  Budget B(BudgetLimits{}, F);
+  B.beginPhase(BudgetPhase::PointerAnalysis);
+  EXPECT_TRUE(B.exhausted());
+  B.beginPhase(BudgetPhase::PointerAnalysis);
+  EXPECT_TRUE(B.exhausted());
+  // Third arm: the fault has burned its fires; the phase runs clean.
+  B.beginPhase(BudgetPhase::PointerAnalysis);
+  EXPECT_FALSE(B.exhausted());
+  for (int I = 0; I != 100; ++I)
+    ASSERT_TRUE(B.step());
+}
+
+TEST(Budget, MaxFiresOverridesOnce) {
+  FaultPlan F;
+  F.Phase = BudgetPhase::PointerAnalysis;
+  F.AtStep = 0;
+  F.Once = true;
+  F.MaxFires = 3;
+  EXPECT_EQ(F.fireLimit(), 3u);
+  Budget B(BudgetLimits{}, F);
+  for (int Arm = 0; Arm != 3; ++Arm) {
+    B.beginPhase(BudgetPhase::PointerAnalysis);
+    EXPECT_TRUE(B.exhausted()) << "arm " << Arm;
+  }
+  B.beginPhase(BudgetPhase::PointerAnalysis);
+  EXPECT_FALSE(B.exhausted());
+}
+
+TEST(FaultSpec, ParsesFireCountSuffix) {
+  auto P = parseFaultSpec("pta@0:2");
+  ASSERT_TRUE(P.has_value());
+  EXPECT_EQ(P->Phase, BudgetPhase::PointerAnalysis);
+  EXPECT_EQ(P->AtStep, 0u);
+  EXPECT_EQ(P->MaxFires, 2u);
+  EXPECT_FALSE(P->Once);
+  EXPECT_EQ(P->fireLimit(), 2u);
+
+  P = parseFaultSpec("definedness@17:1");
+  ASSERT_TRUE(P.has_value());
+  EXPECT_EQ(P->AtStep, 17u);
+  EXPECT_EQ(P->MaxFires, 1u);
+
+  std::string Err;
+  EXPECT_FALSE(parseFaultSpec("pta@0:0", &Err).has_value());
+  EXPECT_NE(Err.find("positive"), std::string::npos);
+  EXPECT_FALSE(parseFaultSpec("pta@0:2x", &Err).has_value());
+  EXPECT_NE(Err.find("non-numeric"), std::string::npos);
+}
+
+TEST(DegradationLadder, PtaTwoFireInjectionLandsOnUnify) {
+  auto M = workload::generateProgram(10);
+  core::UsherOptions Opts;
+  Opts.Variant = ToolVariant::UsherFull;
+  FaultPlan F;
+  F.Phase = BudgetPhase::PointerAnalysis;
+  F.AtStep = 0;
+  F.MaxFires = 2;
+  Opts.Fault = F;
+  core::UsherResult R = core::runUsher(*M, Opts);
+  EXPECT_TRUE(R.Degradation.Degraded);
+  EXPECT_EQ(R.Degradation.Rung, ToolVariant::UsherTLAT);
+  ASSERT_EQ(R.Degradation.Steps.size(), 2u);
+  EXPECT_NE(R.Degradation.Steps[0].Action.find("field-insensitive"),
+            std::string::npos);
+  EXPECT_NE(R.Degradation.Steps[1].Action.find("unification"),
+            std::string::npos);
+  // The salvaged run really is backed by the unification engine over the
+  // field-insensitive constraints — not by a lucky Andersen rerun.
+  EXPECT_EQ(R.Stats.Solver.Engine, analysis::SolverKind::Unify);
+  ASSERT_TRUE(R.PA != nullptr);
+  EXPECT_EQ(R.PA->options().Solver, analysis::SolverKind::Unify);
+  EXPECT_FALSE(R.PA->options().FieldSensitive);
+  // And the plan is usable.
+  runtime::ExecutionReport Rep = runtime::Interpreter(*M, &R.Plan).run();
+  EXPECT_EQ(Rep.Reason, runtime::ExitReason::Finished);
+}
+
+TEST(DegradationLadder, EnvFaultSpecDrivesUnifyRung) {
+  // Interpreter-under-test path: tools that cannot take flags read the
+  // spec from USHER_INJECT_FAULT; the parsed plan must drive the ladder
+  // exactly like a programmatic one.
+  ASSERT_EQ(setenv(FaultInjectionEnvVar, "pta@0:2", 1), 0);
+  std::optional<FaultPlan> F = faultPlanFromEnv();
+  unsetenv(FaultInjectionEnvVar);
+  ASSERT_TRUE(F.has_value());
+  EXPECT_EQ(F->fireLimit(), 2u);
+
+  auto M = workload::generateProgram(11);
+  core::UsherOptions Opts;
+  Opts.Variant = ToolVariant::UsherFull;
+  Opts.Fault = *F;
+  core::UsherResult R = core::runUsher(*M, Opts);
+  EXPECT_TRUE(R.Degradation.Degraded);
+  EXPECT_EQ(R.Degradation.Rung, ToolVariant::UsherTLAT);
+  EXPECT_EQ(R.Stats.Solver.Engine, analysis::SolverKind::Unify);
+}
+
+TEST(DegradationLadder, UnifyRungScheduleIndependentUnderJobs) {
+  // The pointer-analysis phase (and so the unify retry's exhaustion
+  // boundary) must not depend on the worker count used downstream: the
+  // same fault lands the same rung with identical solver accounting, and
+  // the resulting plans report identical warnings.
+  struct Observed {
+    ToolVariant Rung;
+    size_t Steps;
+    uint64_t BudgetSteps;
+    uint64_t UnifiedCells;
+    uint64_t Checks;
+    size_t Warnings;
+  };
+  std::vector<Observed> Runs;
+  for (unsigned Jobs : {1u, 4u}) {
+    auto M = workload::generateProgram(12);
+    core::UsherOptions Opts;
+    Opts.Variant = ToolVariant::UsherFull;
+    Opts.Jobs = Jobs;
+    FaultPlan F;
+    F.Phase = BudgetPhase::PointerAnalysis;
+    F.AtStep = 0;
+    F.MaxFires = 2;
+    Opts.Fault = F;
+    core::UsherResult R = core::runUsher(*M, Opts);
+    runtime::ExecutionReport Rep = runtime::Interpreter(*M, &R.Plan).run();
+    EXPECT_EQ(Rep.Reason, runtime::ExitReason::Finished) << "jobs " << Jobs;
+    Runs.push_back({R.Degradation.Rung, R.Degradation.Steps.size(),
+                    R.Stats.Solver.NumBudgetSteps,
+                    R.Stats.Solver.NumUnifiedCells, R.Plan.countChecks(),
+                    Rep.ToolWarnings.size()});
+  }
+  ASSERT_EQ(Runs.size(), 2u);
+  EXPECT_EQ(Runs[0].Rung, ToolVariant::UsherTLAT);
+  EXPECT_EQ(Runs[0].Rung, Runs[1].Rung);
+  EXPECT_EQ(Runs[0].Steps, Runs[1].Steps);
+  EXPECT_EQ(Runs[0].BudgetSteps, Runs[1].BudgetSteps);
+  EXPECT_EQ(Runs[0].UnifiedCells, Runs[1].UnifiedCells);
+  EXPECT_EQ(Runs[0].Checks, Runs[1].Checks);
+  EXPECT_EQ(Runs[0].Warnings, Runs[1].Warnings);
 }
 
 TEST(DegradationLadder, GenerousBudgetStaysOnRequestedRung) {

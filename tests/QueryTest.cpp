@@ -1,0 +1,268 @@
+//===- tests/QueryTest.cpp - Demand-driven query engine unit tests ---------===//
+//
+// Part of the Usher project, reproducing "Accelerating Dynamic Detection of
+// Uses of Undefined Values with Static Value-Flow Analysis" (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+//
+// Unit tests for the demand CFL-reachability engine (analysis/DemandVFA.h)
+// and the runUsherQuery pipeline entry: result semantics (witnesses,
+// caching, exhaustion), the "no whole-program Andersen" statistic the
+// speed ladder promises, and the cross-thread memoization surface the
+// tsan_query_memo tier entry re-runs under ThreadSanitizer.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/DemandVFA.h"
+#include "core/Usher.h"
+#include "parser/Parser.h"
+#include "support/Budget.h"
+#include "workload/Generator.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <optional>
+#include <thread>
+#include <vector>
+
+using namespace usher;
+using analysis::DemandVFA;
+using analysis::QueryResult;
+
+namespace {
+
+/// A program with both a reachable undef flow (the uninitialized x feeds
+/// a branch condition, a critical use) and a definitely-initialized leg
+/// (q is strongly updated before its reads), so the VFG has reachable and
+/// unreachable (node, node) pairs to aim queries at.
+const char *QueryProgram = R"(
+func main() {
+  p = alloc stack 1 uninit;
+  q = alloc stack 1 uninit;
+  *q = 7;
+  x = *p;
+  y = *q;
+  if x goto t;
+  ret y;
+t:
+  ret y;
+}
+)";
+
+struct BuiltVFG {
+  std::unique_ptr<ir::Module> M;
+  std::optional<core::UsherResult> R;
+
+  explicit BuiltVFG(const char *Src) {
+    M = parser::parseModuleOrAbort(Src);
+    core::UsherOptions Opts;
+    Opts.Variant = core::ToolVariant::UsherFull;
+    R.emplace(core::runUsher(*M, Opts));
+    EXPECT_TRUE(R->G != nullptr);
+    EXPECT_GT(R->G->numNodes(), 2u);
+  }
+
+  const vfg::VFG &graph() const { return *R->G; }
+};
+
+/// First critical-use node, or aborts the test: the canonical "sink a
+/// client would ask about".
+uint32_t firstCriticalUse(const vfg::VFG &G) {
+  const auto &Uses = G.criticalUses();
+  EXPECT_FALSE(Uses.empty());
+  return Uses.empty() ? 0 : Uses.front().Node;
+}
+
+TEST(Query, ReachableQueryYieldsValidWitness) {
+  BuiltVFG B(QueryProgram);
+  const vfg::VFG &G = B.graph();
+  DemandVFA Q(G);
+
+  // Undefinedness flows from F along user edges; the uninitialized load's
+  // critical use is reachable from the F root, the strongly-updated one
+  // is not. Find the reachable one and check its witness end to end.
+  ASSERT_FALSE(G.criticalUses().empty());
+  uint32_t Sink = ~0u;
+  for (const vfg::VFG::CriticalUse &U : G.criticalUses()) {
+    QueryResult R = Q.cflReachable(vfg::VFG::RootF, U.Node);
+    ASSERT_FALSE(R.Exhausted);
+    if (R.Reachable) {
+      Sink = U.Node;
+      break;
+    }
+  }
+  ASSERT_NE(Sink, ~0u) << "no critical use reachable from F";
+  QueryResult R = Q.cflReachable(vfg::VFG::RootF, Sink);
+  ASSERT_TRUE(R.Reachable);
+  ASSERT_FALSE(R.Witness.empty());
+  EXPECT_EQ(R.Witness.front().Node, vfg::VFG::RootF);
+  EXPECT_EQ(R.Witness.back().Node, Sink);
+  std::string Err;
+  EXPECT_TRUE(analysis::validateQueryWitness(G, vfg::VFG::RootF, Sink,
+                                             R.Witness, 1, &Err))
+      << Err;
+}
+
+TEST(Query, UnreachableQueryHasNoWitness) {
+  BuiltVFG B(QueryProgram);
+  DemandVFA Q(B.graph());
+
+  // Nothing flows into a root: T has no incoming user edges from F.
+  QueryResult R = Q.cflReachable(vfg::VFG::RootF, vfg::VFG::RootT);
+  ASSERT_FALSE(R.Exhausted);
+  EXPECT_FALSE(R.Reachable);
+  EXPECT_TRUE(R.Witness.empty());
+}
+
+TEST(Query, RepeatQueryIsServedFromCache) {
+  BuiltVFG B(QueryProgram);
+  DemandVFA Q(B.graph());
+  uint32_t Sink = firstCriticalUse(B.graph());
+
+  QueryResult Cold = Q.cflReachable(vfg::VFG::RootF, Sink);
+  EXPECT_FALSE(Cold.FromCache);
+  EXPECT_GT(Cold.StatesVisited, 0u);
+
+  QueryResult Warm = Q.cflReachable(vfg::VFG::RootF, Sink);
+  EXPECT_TRUE(Warm.FromCache);
+  EXPECT_EQ(Warm.StatesVisited, 0u);
+  EXPECT_EQ(Warm.Reachable, Cold.Reachable);
+  ASSERT_EQ(Warm.Witness.size(), Cold.Witness.size());
+  EXPECT_EQ(Q.memoHits(), 1u);
+  EXPECT_EQ(Q.queriesAnswered(), 2u);
+}
+
+TEST(Query, OutOfRangeNodesAreUnreachableAndUncached) {
+  BuiltVFG B(QueryProgram);
+  DemandVFA Q(B.graph());
+  const uint32_t Bogus = B.graph().numNodes() + 7;
+
+  for (int Round = 0; Round != 2; ++Round) {
+    QueryResult R = Q.cflReachable(Bogus, vfg::VFG::RootF);
+    EXPECT_FALSE(R.Reachable);
+    EXPECT_FALSE(R.FromCache) << "round " << Round;
+    EXPECT_TRUE(R.Witness.empty());
+  }
+}
+
+TEST(Query, ExhaustedQueryIsInconclusiveAndNeverCached) {
+  BuiltVFG B(QueryProgram);
+  BudgetLimits Limits;
+  Limits.MaxStepsPerPhase = 1;
+  Budget Bud(Limits);
+  Bud.beginPhase(BudgetPhase::Definedness);
+  DemandVFA Q(B.graph(), DemandVFA::Options(), &Bud);
+  uint32_t Sink = firstCriticalUse(B.graph());
+
+  QueryResult R = Q.cflReachable(vfg::VFG::RootF, Sink);
+  EXPECT_TRUE(R.Exhausted);
+  // The aborted answer must not poison the cache.
+  QueryResult Again = Q.cflReachable(vfg::VFG::RootF, Sink);
+  EXPECT_FALSE(Again.FromCache);
+}
+
+//===----------------------------------------------------------------------===//
+// The pipeline entry: the speed-ladder contract
+//===----------------------------------------------------------------------===//
+
+TEST(Query, PipelineAnswersOnUnifyEngineWithoutAndersen) {
+  auto M = parser::parseModuleOrAbort(QueryProgram);
+  core::UsherOptions UO;
+  // The demand fast lane the CLI and the serve daemon configure.
+  UO.Pta.Solver = analysis::SolverKind::Unify;
+  core::QueryOutcome Q = core::runUsherQuery(*M, UO, vfg::VFG::RootF, 2);
+  ASSERT_TRUE(Q.Valid) << Q.Error;
+  EXPECT_FALSE(Q.Exhausted);
+  EXPECT_GT(Q.NumNodes, 2u);
+  // The acceptance assertion: the answer was computed on the unification
+  // engine — the query never paid for a whole-program Andersen
+  // resolution, and the engine statistic proves which solver ran.
+  EXPECT_EQ(Q.Solver.Engine, analysis::SolverKind::Unify);
+}
+
+TEST(Query, PipelineRejectsOutOfRangeIds) {
+  auto M = parser::parseModuleOrAbort(QueryProgram);
+  core::UsherOptions UO;
+  UO.Pta.Solver = analysis::SolverKind::Unify;
+  core::QueryOutcome Q = core::runUsherQuery(*M, UO, 0, 0xfffffff0u);
+  EXPECT_FALSE(Q.Valid);
+  EXPECT_NE(Q.Error.find("out of range"), std::string::npos);
+}
+
+TEST(Query, PipelineAgreesWithWholeProgramOnGeneratedPrograms) {
+  // Spot-check the demand answer against whole-program Andersen-backed
+  // resolution on a few generated programs (the fuzz campaign's
+  // query-equivalence oracle does this at scale; this pins it in tier-1).
+  for (uint64_t Seed : {3u, 11u}) {
+    auto M = workload::generateProgram(Seed);
+    core::UsherOptions Full;
+    Full.Variant = core::ToolVariant::UsherFull;
+    core::UsherResult R = core::runUsher(*M, Full);
+    ASSERT_TRUE(R.G != nullptr);
+    if (R.G->numNodes() == 0)
+      continue;
+    DemandVFA Ref(*R.G);
+
+    for (const vfg::VFG::CriticalUse &U : R.G->criticalUses()) {
+      auto M2 = workload::generateProgram(Seed);
+      core::UsherOptions UO;
+      UO.Pta.Solver = analysis::SolverKind::Unify;
+      core::QueryOutcome Q =
+          core::runUsherQuery(*M2, UO, vfg::VFG::RootF, U.Node);
+      ASSERT_TRUE(Q.Valid) << Q.Error;
+      QueryResult Want = Ref.cflReachable(vfg::VFG::RootF, U.Node);
+      EXPECT_EQ(Q.Reachable, Want.Reachable)
+          << "seed " << Seed << " sink " << U.Node;
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Parallel memoization (also runs under the tsan label as tsan_query_memo)
+//===----------------------------------------------------------------------===//
+
+TEST(Query, ParallelQueriesAgreeAndShareTheMemo) {
+  auto M = workload::generateProgram(5);
+  core::UsherOptions Opts;
+  Opts.Variant = core::ToolVariant::UsherFull;
+  core::UsherResult R = core::runUsher(*M, Opts);
+  ASSERT_TRUE(R.G != nullptr);
+  const vfg::VFG &G = *R.G;
+  const uint32_t N = G.numNodes();
+  ASSERT_GT(N, 2u);
+
+  // Deterministic query mix; every thread asks the same questions, so
+  // most answers after the first arrivals come from the shared cache.
+  std::vector<std::pair<uint32_t, uint32_t>> Pairs;
+  for (uint32_t I = 0; I != 16; ++I)
+    Pairs.push_back({static_cast<uint32_t>((I * 2654435761ull) % N),
+                     static_cast<uint32_t>((I * 40503ull + 1) % N)});
+
+  DemandVFA Serial(G);
+  std::vector<bool> Want;
+  for (auto [S, T] : Pairs)
+    Want.push_back(Serial.cflReachable(S, T).Reachable);
+
+  DemandVFA Shared(G);
+  constexpr unsigned NumThreads = 8;
+  std::vector<std::vector<bool>> Got(NumThreads,
+                                     std::vector<bool>(Pairs.size()));
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T != NumThreads; ++T)
+    Threads.emplace_back([&, T] {
+      for (size_t I = 0; I != Pairs.size(); ++I)
+        Got[T][I] =
+            Shared.cflReachable(Pairs[I].first, Pairs[I].second).Reachable;
+    });
+  for (std::thread &Th : Threads)
+    Th.join();
+
+  for (unsigned T = 0; T != NumThreads; ++T)
+    for (size_t I = 0; I != Pairs.size(); ++I)
+      EXPECT_EQ(Got[T][I], Want[I]) << "thread " << T << " pair " << I;
+  EXPECT_GT(Shared.memoHits(), 0u);
+  EXPECT_EQ(Shared.queriesAnswered(), NumThreads * Pairs.size());
+}
+
+} // namespace

@@ -28,10 +28,14 @@
 #include "parser/Parser.h"
 #include "runtime/Interpreter.h"
 #include "workload/Generator.h"
+#include "workload/Spec2000.h"
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <fstream>
 #include <set>
+#include <sstream>
 #include <string>
 
 using namespace usher;
@@ -242,6 +246,170 @@ TEST_P(RungEquivalence, WarningsMatchOnEveryRung) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RungEquivalence,
+                         ::testing::Range<uint64_t>(0, 20));
+
+//===----------------------------------------------------------------------===//
+// Unification-solver soundness oracle
+//===----------------------------------------------------------------------===//
+//
+// The unification engine is a sound *over*-approximation of Andersen, not
+// an equivalent: for every pointer, pts_andersen(p) ⊆ pts_unify(p). The
+// oracle checks the inclusion on both field models over the benchmark
+// suite, seeded random programs, and the labeled bug corpus — the same
+// populations the Andersen-equivalence oracles above cover.
+
+/// Asserts the inclusion for every top-level variable of two fresh copies
+/// of one program (heap cloning mutates the module, so each engine gets
+/// its own copy).
+void expectUnifyOverapproximates(ir::Module &MAnd, ir::Module &MUni,
+                                 bool FieldSensitive, const std::string &Tag) {
+  CallGraph CGAnd(MAnd);
+  PtaOptions OptsAnd;
+  OptsAnd.Solver = SolverKind::Optimized;
+  OptsAnd.FieldSensitive = FieldSensitive;
+  PointerAnalysis PAAnd(MAnd, CGAnd, OptsAnd);
+  ASSERT_FALSE(PAAnd.exhausted()) << Tag;
+
+  CallGraph CGUni(MUni);
+  PtaOptions OptsUni = OptsAnd;
+  OptsUni.Solver = SolverKind::Unify;
+  PointerAnalysis PAUni(MUni, CGUni, OptsUni);
+  ASSERT_FALSE(PAUni.exhausted()) << Tag;
+  EXPECT_EQ(PAUni.solverStats().Engine, SolverKind::Unify) << Tag;
+
+  for (const auto &FAnd : MAnd.functions()) {
+    const ir::Function *FUni = MUni.findFunction(FAnd->getName());
+    ASSERT_NE(FUni, nullptr) << Tag;
+    for (const auto &V : FAnd->variables()) {
+      const ir::Variable *VUni = FUni->findVariable(V->getName());
+      ASSERT_NE(VUni, nullptr) << Tag;
+      std::set<std::string> And = ptsNames(PAAnd, V.get());
+      std::set<std::string> Uni = ptsNames(PAUni, VUni);
+      EXPECT_TRUE(std::includes(Uni.begin(), Uni.end(), And.begin(),
+                                And.end()))
+          << Tag << ": unify dropped a points-to fact of "
+          << FAnd->getName() << "::" << V->getName() << " (andersen "
+          << And.size() << " locs, unify " << Uni.size() << " locs)";
+    }
+  }
+}
+
+void checkUnifySoundOnSource(const std::string &Src, const std::string &Tag) {
+  for (bool FieldSensitive : {true, false}) {
+    auto MAnd = parser::parseModuleOrAbort(Src);
+    auto MUni = parser::parseModuleOrAbort(Src);
+    expectUnifyOverapproximates(
+        *MAnd, *MUni, FieldSensitive,
+        Tag + (FieldSensitive ? " (field-sensitive)" : " (field-insensitive)"));
+  }
+}
+
+class UnifySoundnessSuite : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(UnifySoundnessSuite, PointsToIncludesAndersen) {
+  const auto &B = workload::spec2000Suite()[GetParam()];
+  checkUnifySoundOnSource(B.Source, B.Name);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarks, UnifySoundnessSuite, ::testing::Range<size_t>(0, 15),
+    [](const ::testing::TestParamInfo<size_t> &Info) {
+      std::string Name = workload::spec2000Suite()[Info.param].Name;
+      for (char &C : Name)
+        if (C == '.')
+          C = '_';
+      return Name;
+    });
+
+class UnifySoundnessSeeds : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(UnifySoundnessSeeds, PointsToIncludesAndersen) {
+  const uint64_t Seed = GetParam();
+  for (bool FieldSensitive : {true, false}) {
+    auto MAnd = workload::generateProgram(Seed);
+    auto MUni = workload::generateProgram(Seed);
+    expectUnifyOverapproximates(*MAnd, *MUni, FieldSensitive,
+                                "seed " + std::to_string(Seed));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, UnifySoundnessSeeds,
+                         ::testing::Range<uint64_t>(0, 60));
+
+TEST(UnifySoundnessCorpus, PointsToIncludesAndersen) {
+  for (const char *Stem : {"definite", "may_guarded", "clean_strong_update"}) {
+    std::string Path =
+        std::string(USHER_TEST_INPUT_DIR) + "/diagnosis/" + Stem + ".tc";
+    std::ifstream In(Path);
+    ASSERT_TRUE(In.good()) << "cannot open " << Path;
+    std::ostringstream SS;
+    SS << In.rdbuf();
+    checkUnifySoundOnSource(SS.str(), Stem);
+  }
+}
+
+TEST(UnifySoundness, AdversarialWorkloads) {
+  checkUnifySoundOnSource(makeRingWorkload(24, 16, 16), "collapsing-ring");
+  checkUnifySoundOnSource(makeNestedRingsWorkload(), "nested-rings");
+}
+
+//===----------------------------------------------------------------------===//
+// Unify-rung warning over-approximation
+//===----------------------------------------------------------------------===//
+//
+// Dynamic guarantee: every warning an Andersen-backed run reports must
+// also be reported when the unification solver backs the plan — both when
+// selected directly (--solver=unify) and when the degradation ladder
+// lands on the unify-backed TL+AT rung (pta@0:2 exhausts both Andersen
+// arms).
+
+class UnifyRungSoundness : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(UnifyRungSoundness, WarningsIncludeAndersens) {
+  const uint64_t Seed = GetParam();
+
+  auto runWith = [&](SolverKind Kind, std::optional<FaultPlan> Fault,
+                     ToolVariant *RungOut) {
+    auto M = workload::generateProgram(Seed);
+    core::UsherOptions Opts;
+    Opts.Variant = ToolVariant::UsherFull;
+    Opts.Pta.Solver = Kind;
+    Opts.Fault = Fault;
+    core::UsherResult R = core::runUsher(*M, Opts);
+    if (RungOut)
+      *RungOut = R.Degradation.Rung;
+    runtime::ExecutionReport Rep = runtime::Interpreter(*M, &R.Plan).run();
+    EXPECT_EQ(Rep.Reason, runtime::ExitReason::Finished);
+    std::set<std::string> Warnings;
+    for (const ir::Instruction *I : warnSet(Rep.ToolWarnings))
+      Warnings.insert(std::to_string(I->getId()));
+    return Warnings;
+  };
+
+  const std::string Tag = "seed " + std::to_string(Seed);
+  std::set<std::string> Ref =
+      runWith(SolverKind::Optimized, std::nullopt, nullptr);
+
+  std::set<std::string> Direct =
+      runWith(SolverKind::Unify, std::nullopt, nullptr);
+  EXPECT_TRUE(std::includes(Direct.begin(), Direct.end(), Ref.begin(),
+                            Ref.end()))
+      << Tag << ": --solver=unify lost an Andersen warning";
+
+  FaultPlan TwoArms;
+  TwoArms.Phase = BudgetPhase::PointerAnalysis;
+  TwoArms.AtStep = 0;
+  TwoArms.MaxFires = 2;
+  ToolVariant Rung = ToolVariant::UsherFull;
+  std::set<std::string> Ladder =
+      runWith(SolverKind::Optimized, TwoArms, &Rung);
+  EXPECT_EQ(Rung, ToolVariant::UsherTLAT) << Tag;
+  EXPECT_TRUE(std::includes(Ladder.begin(), Ladder.end(), Ref.begin(),
+                            Ref.end()))
+      << Tag << ": the unify-backed TL+AT rung lost an Andersen warning";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, UnifyRungSoundness,
                          ::testing::Range<uint64_t>(0, 20));
 
 } // namespace

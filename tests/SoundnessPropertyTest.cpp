@@ -118,10 +118,16 @@ TEST_P(DegradedSoundness, InjectedExhaustionKeepsWarnings) {
     BudgetPhase Phase;
     ToolVariant Requested;
     ToolVariant ExpectedRung;
+    uint32_t Fires = 0; ///< bounded fire count; 0 = every arm
   };
   const FaultCase Cases[] = {
       {BudgetPhase::PointerAnalysis, ToolVariant::UsherFull,
        ToolVariant::MSanFull},
+      // Two fires exhaust field-sensitive and field-insensitive Andersen
+      // but spare the third arm: the run lands on the UNIFY-backed
+      // TL+AT rung, which must still report the oracle's warnings.
+      {BudgetPhase::PointerAnalysis, ToolVariant::UsherFull,
+       ToolVariant::UsherTLAT, /*Fires=*/2},
       {BudgetPhase::Definedness, ToolVariant::UsherFull,
        ToolVariant::UsherTLAT},
       {BudgetPhase::OptII, ToolVariant::UsherFull, ToolVariant::UsherOptI},
@@ -134,6 +140,7 @@ TEST_P(DegradedSoundness, InjectedExhaustionKeepsWarnings) {
     FaultPlan F;
     F.Phase = C.Phase;
     F.AtStep = 0;
+    F.MaxFires = C.Fires;
     Opts.Fault = F;
     core::UsherResult R = core::runUsher(*M, Opts);
     EXPECT_TRUE(R.Degradation.Degraded)

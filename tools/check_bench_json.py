@@ -27,12 +27,17 @@ import os
 
 ENGINE_FIELDS = [
     "solve_ms",
+    "total_ms",
     "propagations",
     "pops",
     "skipped_merged_pops",
     "collapses",
     "collapsed_nodes",
+    "unified_cells",
     "budget_steps",
+    "avg_pts_size",
+    "plan_checks",
+    "warnings",
 ]
 
 
@@ -57,11 +62,28 @@ def check_engine(workload, key):
                 f"workload {workload.get('name')!r} engine {key!r}: "
                 f"field {field!r} negative: {value!r}"
             )
-    if engine["pops"] > engine["budget_steps"] + engine["skipped_merged_pops"]:
+    # The solve phase is a sub-interval of the whole construction.
+    if engine["solve_ms"] > engine["total_ms"] + 1e-6:
+        fail(
+            f"workload {workload.get('name')!r} engine {key!r}: solve_ms "
+            "exceeds total_ms"
+        )
+    # The worklist accounting invariant only constrains the Andersen
+    # engines; the unification solver's pops are class-representative
+    # merges with their own charging discipline.
+    if key != "unify" and engine["pops"] > (
+        engine["budget_steps"] + engine["skipped_merged_pops"]
+    ):
         fail(
             f"workload {workload.get('name')!r} engine {key!r}: pops exceed "
             "charged steps plus uncharged merged-pop skips"
         )
+    if key != "unify" and engine["unified_cells"] != 0:
+        fail(
+            f"workload {workload.get('name')!r} engine {key!r}: Andersen "
+            "engine reports unified cells"
+        )
+    return engine
 
 
 def check_summary(report):
@@ -99,20 +121,49 @@ def check_solver_report(report, path):
         for field in ("nodes", "constraints"):
             if not isinstance(workload.get(field), int) or workload[field] <= 0:
                 fail(f"workload {name!r}: bad {field!r}: {workload.get(field)!r}")
-        check_engine(workload, "naive")
-        check_engine(workload, "optimized")
-        speedup = workload.get("speedup")
-        if not isinstance(speedup, (int, float)) or speedup <= 0:
-            fail(f"workload {name!r}: bad speedup: {speedup!r}")
-        # Both engines solve the identical constraint system; collapsing
-        # only ever reduces worklist traffic.
-        if workload["optimized"]["pops"] > 4 * workload["naive"]["pops"] + 16:
+        naive = check_engine(workload, "naive")
+        optimized = check_engine(workload, "optimized")
+        unify = check_engine(workload, "unify")
+        for field in ("speedup", "unify_speedup"):
+            value = workload.get(field)
+            if not isinstance(value, (int, float)) or value <= 0:
+                fail(f"workload {name!r}: bad {field!r}: {value!r}")
+        # Both Andersen engines solve the identical constraint system;
+        # collapsing only ever reduces worklist traffic.
+        if optimized["pops"] > 4 * naive["pops"] + 16:
             fail(
                 f"workload {name!r}: optimized pop count wildly exceeds the "
                 "reference's — difference propagation is not working"
             )
+        # Unification may only lose precision, never gain it, and the
+        # warnings the pipeline reports at runtime are ground truth — the
+        # engine must not change them.
+        if unify["avg_pts_size"] + 1e-9 < optimized["avg_pts_size"]:
+            fail(
+                f"workload {name!r}: unify points-to sets are smaller than "
+                "Andersen's — the over-approximation is broken"
+            )
+        if unify["plan_checks"] < optimized["plan_checks"]:
+            fail(
+                f"workload {name!r}: unify plan has fewer checks than "
+                "Andersen's — unsound check elision"
+            )
+        if unify["warnings"] != optimized["warnings"]:
+            fail(
+                f"workload {name!r}: runtime warning count depends on the "
+                "constraint engine"
+            )
 
     check_summary(report)
+    for field in ("min_unify_speedup", "geomean_unify_speedup"):
+        value = report["summary"].get(field)
+        if not isinstance(value, (int, float)) or value <= 0:
+            fail(f"summary: bad {field!r}: {value!r}")
+    if (
+        report["summary"]["min_unify_speedup"]
+        > report["summary"]["geomean_unify_speedup"] + 1e-9
+    ):
+        fail("summary: min_unify_speedup exceeds geomean_unify_speedup")
     print(f"check_bench_json: OK: {path} ({len(workloads)} workloads)")
 
 

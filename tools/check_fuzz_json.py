@@ -27,6 +27,7 @@ ORACLE_NAMES = [
     "degradation-soundness",
     "serve-equivalence",
     "summary-equivalence",
+    "query-equivalence",
 ]
 
 COUNTER_FIELDS = ["seed", "runs", "valid", "invalid", "corpus_size", "coverage_keys"]

@@ -15,6 +15,13 @@ Usage:
       shut down cleanly. Then restart with --queue-limit=0 and assert an
       analyze is shed (client exit 4) while --op=status still answers.
 
+  check_serve_json.py --run-query SERVE_BIN PROG
+      Query-op round trip: issue a reachable and an unreachable
+      --op=query against PROG (whose pinned node ids are documented in
+      tests/inputs/query/undef_branch.tc), require the verdicts and the
+      witness line, reject a malformed query spec, validate the status
+      JSON (including the query request counter), and shut down cleanly.
+
   check_serve_json.py --run-crash SERVE_BIN PROG
       Crash-recovery contract: warm the snapshot store, `kill -9` the
       daemon, restart it on the same directory, and require the recovered
@@ -54,7 +61,8 @@ IO_FAULT_SITES = [
 ]
 
 STATUS_SHAPE = {
-    "requests": ["total", "analyze", "diagnose", "status", "ping", "shutdown"],
+    "requests": ["total", "analyze", "diagnose", "query", "status", "ping",
+                 "shutdown"],
     "replies": ["ok", "degraded", "error", "served_warm"],
     "snapshot": ["hits", "misses", "corrupt_discarded", "write_failures"],
     "summary": ["hits", "misses", "stale_discarded"],
@@ -272,6 +280,64 @@ def run_smoke(serve_bin, prog, diag_prog):
     print("check_serve_json: OK (smoke: cold==warm, degraded, status, shed)")
 
 
+def run_query(serve_bin, prog):
+    with tempfile.TemporaryDirectory() as tmp:
+        d = Daemon(serve_bin, tmp, "query")
+
+        # Reachable pair — the pinned ids are documented in the input's
+        # header comment. The reply must carry the verdict, the engine
+        # the speed ladder promises, and a witness starting at the src.
+        code, out, err = d.client("--op=query", "--query=1,3", prog)
+        if code != 0:
+            fail(f"reachable query exited {code}: {err.strip()!r}")
+        head, body = reply_body(out)
+        if not head.startswith("OK "):
+            fail(f"reachable query status line: {head!r}")
+        if "query 1 -> 3: reachable" not in body:
+            fail(f"reachable query verdict missing: {body!r}")
+        if "engine: unify" not in body:
+            fail(f"query did not answer on the unification engine: {body!r}")
+        if "witness: 1 -> " not in body:
+            fail(f"reachable query reply has no witness: {body!r}")
+
+        # Unreachable pair: a verdict, no witness line.
+        code, out, err = d.client("--op=query", "--query=1,0", prog)
+        if code != 0:
+            fail(f"unreachable query exited {code}: {err.strip()!r}")
+        _, body = reply_body(out)
+        if "query 1 -> 0: unreachable" not in body:
+            fail(f"unreachable query verdict missing: {body!r}")
+        if "witness:" in body:
+            fail(f"unreachable query reply carries a witness: {body!r}")
+
+        # An out-of-range node id is a structured Error reply (exit 3),
+        # not a daemon casualty.
+        code, out, err = d.client("--op=query", "--query=1,4294967294", prog)
+        if code != 3:
+            fail(f"out-of-range query: expected Error reply (exit 3), "
+                 f"got {code}: {out!r}")
+        if "out of range" not in out:
+            fail(f"out-of-range query reply missing diagnostic: {out!r}")
+
+        # A missing --query spec is rejected client-side before any I/O.
+        code, out, err = d.client("--op=query", prog)
+        if code == 0:
+            fail("client accepted --op=query without --query=<src>,<sink>")
+
+        # The status JSON must validate and count all three server-side
+        # queries (the spec-less one never reached the daemon).
+        code, out, err = d.client("--op=status")
+        if code != 0:
+            fail(f"status exited {code}: {err.strip()!r}")
+        doc = json.loads(reply_body(out)[1])
+        check_document(doc, "query status reply")
+        if doc["requests"]["query"] != 3:
+            fail(f"status query counter off: {doc['requests']!r}")
+        d.shutdown()
+    print("check_serve_json: OK (query: reachable witness, unreachable, "
+          "out-of-range error, status counter)")
+
+
 def run_crash(serve_bin, prog):
     with tempfile.TemporaryDirectory() as tmp:
         snap = os.path.join(tmp, "snap")
@@ -391,6 +457,8 @@ def run_bench(bench_bin):
 def main(argv):
     if len(argv) == 5 and argv[1] == "--run-smoke":
         run_smoke(argv[2], argv[3], argv[4])
+    elif len(argv) == 4 and argv[1] == "--run-query":
+        run_query(argv[2], argv[3])
     elif len(argv) == 4 and argv[1] == "--run-crash":
         run_crash(argv[2], argv[3])
     elif len(argv) == 4 and argv[1] == "--run-fault":

@@ -25,8 +25,13 @@
 ///   usher-cli prog.tc --budget-ms=N   per-phase analysis deadline
 ///   usher-cli prog.tc --budget-steps=N  per-phase step budget
 ///   usher-cli prog.tc --inject-fault=pta@0  force budget exhaustion
-///   usher-cli prog.tc --naive-solver  reference Andersen engine (no SCC
-///                                     collapsing / difference propagation)
+///   usher-cli prog.tc --solver=andersen|naive|unify
+///                                     pick the constraint-solving engine
+///   usher-cli prog.tc --naive-solver  alias for --solver=naive
+///   usher-cli prog.tc --query 3 17    demand CFL-reachability query: can
+///                                     VFG node 3 flow to node 17? Runs the
+///                                     unification fast lane by default (no
+///                                     whole-program Andersen resolution)
 ///   usher-cli prog.tc --jobs=8        run the parallel analysis phases on
 ///                                     8 workers (output byte-identical to
 ///                                     --jobs=1)
@@ -86,7 +91,13 @@ struct CliOptions {
   std::string DiagJsonPath;
   bool Run = true;
   bool ListFaultSites = false;
+  bool Query = false;
+  uint64_t QuerySrc = 0;
+  uint64_t QuerySink = 0;
   analysis::SolverKind Solver = analysis::SolverKind::Optimized;
+  /// --solver=/--naive-solver was given explicitly; --query defaults to
+  /// the unification engine otherwise.
+  bool SolverGiven = false;
   core::EngineKind Engine = core::EngineKind::Global;
   BudgetLimits Limits;
   std::optional<FaultPlan> Fault;
@@ -97,10 +108,10 @@ int usage(const char *Argv0) {
   errs() << "usage: " << Argv0
          << " <program.tc> [--variant=msan|tl|tlat|opti|usher] "
             "[--opt=O0|O1|O2] [--compare] [--stats] [--print-ir] [--dot] "
-            "[--no-run] [--naive-solver] [--budget-ms=<N>] "
-            "[--budget-steps=<N>] [--inject-fault=<phase>@<step>[:once]] "
+            "[--no-run] [--solver=andersen|naive|unify] [--budget-ms=<N>] "
+            "[--budget-steps=<N>] [--inject-fault=<phase>@<step>[:once|:<n>]] "
             "[--diagnose] [--diag-json=<file>] [--jobs=<N>] "
-            "[--engine=global|summary]\n"
+            "[--engine=global|summary] [--query <srcId> <sinkId>]\n"
             "\n"
             "  --jobs=<N>          worker threads for the parallel analysis\n"
             "                      phases (default 1 = serial; 0 = all\n"
@@ -119,21 +130,35 @@ int usage(const char *Argv0) {
             "                      (schema usher-diagnosis-v1); implies\n"
             "                      --diagnose\n"
             "\n"
-            "  --naive-solver      solve Andersen constraints with the\n"
-            "                      reference full-set engine instead of the\n"
-            "                      SCC-collapsing/difference-propagation one\n"
-            "                      (same result, for comparison/debugging)\n"
+            "  --solver=andersen|naive|unify\n"
+            "                      constraint-solving engine: the optimized\n"
+            "                      Andersen solver (default), the reference\n"
+            "                      full-set Andersen engine, or the\n"
+            "                      near-linear unification solver (sound\n"
+            "                      over-approximation of Andersen)\n"
+            "  --naive-solver      alias for --solver=naive\n"
+            "\n"
+            "  --query <srcId> <sinkId>\n"
+            "                      demand query: is VFG node <sinkId>\n"
+            "                      context-validly reachable from <srcId>?\n"
+            "                      Prints the verdict and a witness path.\n"
+            "                      Defaults to --solver=unify --no-run; exits\n"
+            "                      0 on a conclusive answer, 4 if a budget\n"
+            "                      ran out first\n"
             "\n"
             "budgets & degradation:\n"
             "  --budget-ms=<N>     wall-clock deadline per analysis phase\n"
             "  --budget-steps=<N>  worklist-iteration budget per phase\n"
-            "  --inject-fault=<phase>@<step>[:once]\n"
+            "  --inject-fault=<phase>@<step>[:once|:<n>]\n"
             "                      deterministically exhaust a phase's\n"
             "                      budget (phase: pta|definedness|opt1|opt2;\n"
+            "                      :<n> = first n arms only;\n"
             "                      also via $" << FaultInjectionEnvVar << ")\n"
             "  A phase that runs out of budget never fails the run: the\n"
-            "  driver degrades along USHER -> USHER-OPTI -> USHER-TL+AT ->\n"
-            "  USHER-TL -> MSAN and notes the degradation on stderr.\n"
+            "  driver degrades along USHER -> USHER-OPTI -> unify-backed\n"
+            "  USHER-TL+AT -> USHER-TL -> MSAN and notes the degradation on\n"
+            "  stderr (Andersen exhaustion retries field-insensitive, then\n"
+            "  the unification solver, before giving up points-to info).\n"
             "\n"
             "exit codes:\n"
             "  0  success (including degraded analysis)\n"
@@ -183,6 +208,25 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
       Opts.ListFaultSites = true;
     } else if (Arg == "--naive-solver") {
       Opts.Solver = analysis::SolverKind::NaiveReference;
+      Opts.SolverGiven = true;
+    } else if (Arg.rfind("--solver=", 0) == 0) {
+      std::string_view S = Arg.substr(9);
+      if (S == "andersen")
+        Opts.Solver = analysis::SolverKind::Optimized;
+      else if (S == "naive")
+        Opts.Solver = analysis::SolverKind::NaiveReference;
+      else if (S == "unify")
+        Opts.Solver = analysis::SolverKind::Unify;
+      else
+        return false;
+      Opts.SolverGiven = true;
+    } else if (Arg == "--query") {
+      if (I + 2 >= Argc || !parseUInt(Argv[I + 1], Opts.QuerySrc) ||
+          !parseUInt(Argv[I + 2], Opts.QuerySink) ||
+          Opts.QuerySrc > 0xffffffffull || Opts.QuerySink > 0xffffffffull)
+        return false;
+      Opts.Query = true;
+      I += 2;
     } else if (Arg.rfind("--variant=", 0) == 0) {
       std::string_view V = Arg.substr(10);
       if (V == "msan")
@@ -330,6 +374,51 @@ int main(int Argc, char **Argv) {
   if (Opts.PrintIR)
     M.print(OS);
 
+  if (Opts.Query) {
+    core::UsherOptions UO;
+    // The demand fast lane: unification-backed points-to unless the user
+    // explicitly asked for an Andersen engine.
+    UO.Pta.Solver =
+        Opts.SolverGiven ? Opts.Solver : analysis::SolverKind::Unify;
+    UO.Limits = Opts.Limits;
+    UO.Fault = Opts.Fault;
+    core::QueryOutcome Q =
+        core::runUsherQuery(M, UO, static_cast<uint32_t>(Opts.QuerySrc),
+                            static_cast<uint32_t>(Opts.QuerySink));
+    if (!Q.Valid) {
+      errs() << Opts.InputPath << ": error: " << Q.Error << '\n';
+      return ExitInputError;
+    }
+    OS << "query " << Opts.QuerySrc << " -> " << Opts.QuerySink << ": "
+       << (Q.Exhausted    ? "inconclusive (budget exhausted)"
+           : Q.Reachable  ? "reachable"
+                          : "unreachable")
+       << '\n'
+       << "solver engine: " << analysis::solverKindName(Q.Solver.Engine)
+       << '\n'
+       << "states visited: " << Q.StatesVisited << '\n';
+    if (Q.Reachable && !Q.Witness.empty()) {
+      OS << "witness: " << Q.Witness.front().Node;
+      for (size_t I = 1; I != Q.Witness.size(); ++I) {
+        const analysis::QueryStep &S = Q.Witness[I];
+        switch (S.Kind) {
+        case vfg::EdgeKind::Direct:
+          OS << " -> ";
+          break;
+        case vfg::EdgeKind::Call:
+          OS << " -call@" << S.CallSite << "-> ";
+          break;
+        case vfg::EdgeKind::Ret:
+          OS << " -ret@" << S.CallSite << "-> ";
+          break;
+        }
+        OS << S.Node;
+      }
+      OS << '\n';
+    }
+    return Q.Exhausted ? ExitLimits : ExitSuccess;
+  }
+
   const core::ToolVariant Variants[] = {
       core::ToolVariant::MSanFull, core::ToolVariant::UsherTL,
       core::ToolVariant::UsherTLAT, core::ToolVariant::UsherOptI,
@@ -369,10 +458,13 @@ int main(int Argc, char **Argv) {
          << static_cast<int>(S.PercentWeakStores) << "%\n"
          << "static propagations:  " << S.StaticPropagations << '\n'
          << "static checks:        " << S.StaticChecks << '\n'
+         << "solver engine:        "
+         << analysis::solverKindName(S.Solver.Engine) << '\n'
          << "solver constraints:   " << S.Solver.NumConstraints << '\n'
          << "solver propagations:  " << S.Solver.NumPropagations << '\n'
          << "solver collapses:     " << S.Solver.NumCollapses << " ("
-         << S.Solver.NumCollapsedNodes << " nodes)\n";
+         << S.Solver.NumCollapsedNodes << " nodes)\n"
+         << "unified cells:        " << S.Solver.NumUnifiedCells << '\n';
       if (Opts.Engine == core::EngineKind::Summary)
         OS << "engine:               summary (" << S.Summary.NumFunctions
            << " functions, " << S.Summary.NumSCCs << " SCCs)\n"

@@ -69,6 +69,9 @@ struct ServeOptions {
   uint64_t Id = 1;
   uint64_t MaxRetries = 6;
   uint64_t TimeoutMs = 0;
+  bool QueryGiven = false;
+  uint64_t QuerySrc = 0;
+  uint64_t QuerySink = 0;
 };
 
 int usage(const char *Argv0) {
@@ -79,12 +82,16 @@ int usage(const char *Argv0) {
             "       " << Argv0
          << " --client --socket=<path> --op=<op> [<program.tc>]\n"
             "         [--deadline-ms=<N>] [--budget-steps=<N>]\n"
-            "         [--inject-fault=<phase>@<step>[:once]] [--id=<N>]\n"
+            "         [--inject-fault=<phase>@<step>[:once|:<n>]] [--id=<N>]\n"
             "         [--max-retries=<N>] [--timeout-ms=<N>]\n"
+            "         [--query=<srcId>,<sinkId>]\n"
             "       " << Argv0 << " --list-fault-sites\n"
             "\n"
-            "ops: analyze diagnose status ping shutdown (analyze and\n"
-            "diagnose read TinyC source from <program.tc>)\n"
+            "ops: analyze diagnose status ping shutdown query (analyze,\n"
+            "diagnose and query read TinyC source from <program.tc>;\n"
+            "query also needs --query=<srcId>,<sinkId> and answers the\n"
+            "single VFG reachability question demand-driven, without a\n"
+            "whole-program analysis)\n"
             "\n"
             "--engine=summary keys per-function summaries by content hash\n"
             "and persists them in the snapshot store, so an edited module\n"
@@ -150,6 +157,15 @@ bool parseArgs(int Argc, char **Argv, ServeOptions &Opts) {
         return false;
     } else if (Arg.rfind("--inject-fault=", 0) == 0) {
       Opts.FaultSpec = std::string(Arg.substr(15));
+    } else if (Arg.rfind("--query=", 0) == 0) {
+      std::string_view Pair = Arg.substr(8);
+      size_t Comma = Pair.find(',');
+      if (Comma == std::string_view::npos ||
+          !parseUInt(Pair.substr(0, Comma), Opts.QuerySrc) ||
+          !parseUInt(Pair.substr(Comma + 1), Opts.QuerySink) ||
+          Opts.QuerySrc > 0xffffffffull || Opts.QuerySink > 0xffffffffull)
+        return false;
+      Opts.QueryGiven = true;
     } else if (Arg.rfind("--id=", 0) == 0) {
       if (!parseUInt(Arg.substr(5), Opts.Id))
         return false;
@@ -230,7 +246,8 @@ int runClient(const ServeOptions &Opts) {
   Rq.DeadlineMs = static_cast<uint32_t>(Opts.DeadlineMs);
   Rq.BudgetSteps = Opts.BudgetSteps;
   Rq.FaultSpec = Opts.FaultSpec;
-  if (Rq.Kind == Op::Analyze || Rq.Kind == Op::Diagnose) {
+  if (Rq.Kind == Op::Analyze || Rq.Kind == Op::Diagnose ||
+      Rq.Kind == Op::Query) {
     if (Opts.InputPath.empty()) {
       errs() << "error: --op=" << Opts.OpName << " needs a <program.tc>\n";
       return ExitUsage;
@@ -241,6 +258,14 @@ int runClient(const ServeOptions &Opts) {
       errs() << Opts.InputPath << ": error: cannot open file\n";
       return ExitUsage;
     }
+  }
+  if (Rq.Kind == Op::Query) {
+    if (!Opts.QueryGiven) {
+      errs() << "error: --op=query needs --query=<srcId>,<sinkId>\n";
+      return ExitUsage;
+    }
+    Rq.QuerySrc = static_cast<uint32_t>(Opts.QuerySrc);
+    Rq.QuerySink = static_cast<uint32_t>(Opts.QuerySink);
   }
 
   ClientOptions CO;
