@@ -111,6 +111,16 @@ FuzzReport fuzz::runFuzzer(const FuzzOptions &Opts) {
   RNG Rng(Opts.Seed);
   CoverageMap Cov;
   std::vector<std::string> Corpus;
+  // Synthesized corpus seeds go in before round 0, on the main thread:
+  // the first scheduling draw already sees a non-empty corpus, and the
+  // speculative parallel path predicts against exactly the same state.
+  for (unsigned I = 0; I != Opts.SeedCorpusSynth; ++I) {
+    workload::ShapeSpec Shape = Opts.SynthShape;
+    Shape.Seed = Opts.Seed + I;
+    Corpus.push_back(workload::synthesizeProgram(Shape));
+    if (Corpus.size() > Opts.MaxCorpus)
+      Corpus.erase(Corpus.begin());
+  }
   FuzzReport Rep;
   Rep.Seed = Opts.Seed;
   Rep.Runs = Opts.Runs;

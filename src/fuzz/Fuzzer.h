@@ -38,6 +38,7 @@
 #include "fuzz/Oracles.h"
 #include "fuzz/Reducer.h"
 #include "workload/Generator.h"
+#include "workload/Synthesizer.h"
 
 #include <atomic>
 #include <cstdint>
@@ -49,6 +50,20 @@ namespace usher {
 class raw_ostream;
 
 namespace fuzz {
+
+/// Shape of synthesized corpus seeds (FuzzOptions::SeedCorpusSynth):
+/// mid-size whole programs — an order of magnitude above what the
+/// round-by-round generator produces, small enough that a seven-oracle
+/// evaluation of a mutant stays in the tens of milliseconds.
+inline workload::ShapeSpec fuzzSynthShape() {
+  workload::ShapeSpec S;
+  S.TargetNodes = 1'200;
+  S.CallDepth = 3;
+  S.Fanout = 2;
+  S.RecursionRings = 1;
+  S.RingSize = 2;
+  return S;
+}
 
 struct FuzzOptions {
   uint64_t Seed = 1;
@@ -64,6 +79,15 @@ struct FuzzOptions {
   workload::GeneratorOptions Gen{/*NumFunctions=*/3,
                                  /*MaxSegmentsPerFn=*/4,
                                  /*MaxStmtsPerSegment=*/6};
+  /// Seed the corpus with this many synthesized whole programs before
+  /// round 0 (seeds Spec.Seed + i over SynthShape). Seeding runs on the
+  /// main thread before any scheduling, so reports stay byte-identical
+  /// for every Jobs. The seeds enter the mutation/splice/wrap pool
+  /// immediately — rounds then drive mid-size mutants through every
+  /// oracle instead of only the small generated programs.
+  unsigned SeedCorpusSynth = 0;
+  /// Shape of those synthesized seeds.
+  workload::ShapeSpec SynthShape = fuzzSynthShape();
   OracleOptions Oracle;
   ReducerOptions Reducer;
   /// Campaign worker threads. 1 (the default) is the serial loop; 0

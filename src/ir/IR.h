@@ -85,6 +85,8 @@ public:
         Initialized(Initialized), IsArray(IsArray) {}
 
   const std::string &getName() const { return Name; }
+  /// Renames this object (the program linker prefixes unit symbols).
+  void setName(std::string NewName) { Name = std::move(NewName); }
   /// Dense id, unique within the owning module.
   unsigned getId() const { return Id; }
   void setId(unsigned NewId) { Id = NewId; }
@@ -534,6 +536,8 @@ public:
       : Name(std::move(Name)), Id(Id), Parent(Parent) {}
 
   const std::string &getName() const { return Name; }
+  /// Renames this function (the program linker prefixes unit symbols).
+  void setName(std::string NewName) { Name = std::move(NewName); }
   unsigned getId() const { return Id; }
   Module *getParent() const { return Parent; }
 

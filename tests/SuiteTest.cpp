@@ -14,11 +14,16 @@
 //===----------------------------------------------------------------------===//
 
 #include "core/Usher.h"
+#include "parser/Parser.h"
 #include "runtime/Interpreter.h"
 #include "transforms/Transforms.h"
 #include "workload/Spec2000.h"
+#include "workload/Synthesizer.h"
 
 #include <gtest/gtest.h>
+
+#include <map>
+#include <set>
 
 using namespace usher;
 using core::ToolVariant;
@@ -134,6 +139,61 @@ INSTANTIATE_TEST_SUITE_P(
           C = '_';
       return Name;
     });
+
+TEST(SuiteGlobal, LinkedSuiteEqualsUnionOfStandaloneRuns) {
+  // Link all 15 benchmarks into one module (workload::linkPrograms) and
+  // run it natively: the driver's result is the sum of the pinned
+  // standalone results, and each program's warning set — mapped back
+  // through its symbol prefix — equals its standalone warning set. Units
+  // share no state, so linking must neither lose nor invent warnings.
+  const auto &Suite = workload::spec2000Suite();
+  std::vector<workload::LinkUnit> Units;
+  int64_t WantResult = 0;
+  std::vector<std::multiset<std::string>> WantWarnings;
+  for (const auto &B : Suite) {
+    Units.push_back({B.Name, B.Source});
+    auto M = workload::loadBenchmark(B);
+    ExecutionReport R = Interpreter(*M, nullptr).run();
+    ASSERT_EQ(R.Reason, ExitReason::Finished) << B.Name;
+    WantResult += R.MainResult;
+    std::multiset<std::string> Keys;
+    for (const runtime::Warning &W : R.OracleWarnings)
+      Keys.insert(workload::warningSiteKey(W.At));
+    WantWarnings.push_back(std::move(Keys));
+  }
+
+  std::string Err;
+  workload::LinkedProgram LP = workload::linkPrograms(Units, &Err);
+  ASSERT_FALSE(LP.Source.empty()) << Err;
+  ASSERT_EQ(LP.Prefixes.size(), Suite.size());
+
+  parser::ParseResult PR = parser::parseModule(LP.Source);
+  ASSERT_TRUE(PR.succeeded())
+      << (PR.Errors.empty() ? "unknown parse error" : PR.Errors.front());
+  ExecutionReport RL = Interpreter(*PR.M, nullptr).run();
+  ASSERT_EQ(RL.Reason, ExitReason::Finished) << RL.TrapMessage;
+  EXPECT_EQ(RL.MainResult, WantResult);
+
+  std::map<std::string, std::multiset<std::string>> GotWarnings;
+  for (const runtime::Warning &W : RL.OracleWarnings) {
+    std::string Key = workload::warningSiteKey(W.At);
+    size_t Unit = LP.Prefixes.size();
+    for (size_t U = 0; U != LP.Prefixes.size(); ++U) {
+      if (Key.rfind(LP.Prefixes[U], 0) == 0) {
+        Unit = U;
+        break;
+      }
+    }
+    ASSERT_NE(Unit, LP.Prefixes.size())
+        << "warning in unprefixed function: " << Key;
+    GotWarnings[LP.Prefixes[Unit]].insert(
+        workload::warningSiteKey(W.At, LP.Prefixes[Unit]));
+  }
+  for (size_t U = 0; U != Suite.size(); ++U) {
+    EXPECT_EQ(GotWarnings[LP.Prefixes[U]], WantWarnings[U])
+        << Suite[U].Name << " warnings changed under linking";
+  }
+}
 
 TEST(SuiteGlobal, FifteenBenchmarksWithOneKnownBug) {
   const auto &Suite = workload::spec2000Suite();

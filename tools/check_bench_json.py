@@ -5,6 +5,7 @@ Dispatches on the report's "schema" tag:
   usher-bench-solver-v1    bench_solver's BENCH_solver.json
   usher-bench-parallel-v1  bench_parallel's BENCH_parallel.json
   usher-bench-summary-v1   bench_summary's BENCH_summary.json
+  usher-bench-scale-v1     bench_scale's BENCH_scale.json
 
 Usage:
   check_bench_json.py FILE.json              validate an existing report
@@ -293,6 +294,136 @@ def check_summary_report(report, path):
     print(f"check_bench_json: OK: {path} ({len(workloads)} workloads)")
 
 
+SCALE_CONFIGS = [
+    "andersen-global",
+    "andersen-global-j2",
+    "unify-global",
+    "andersen-summary",
+]
+
+SCALE_PHASES = [
+    "pointer_analysis_ms",
+    "memory_ssa_ms",
+    "vfg_ms",
+    "definedness_ms",
+    "opt2_ms",
+]
+
+
+def check_scale_report(report, path):
+    check_common_header(report)
+    hw = report.get("hardware_concurrency")
+    if not isinstance(hw, int) or hw < 1:
+        fail(f"missing positive integer 'hardware_concurrency': {hw!r}")
+
+    sizes = report.get("sizes")
+    if not isinstance(sizes, list) or not sizes:
+        fail("'sizes' missing or empty")
+    if not report["smoke"] and len(sizes) < 4:
+        fail(f"full run must cover at least 4 sizes, got {len(sizes)}")
+
+    prev_nodes = -1
+    prev_instrs = -1
+    for size in sizes:
+        name = size.get("name")
+        if not isinstance(name, str) or not name:
+            fail("size with missing name")
+        for field in ("target_nodes", "functions", "instructions"):
+            value = size.get(field)
+            if not isinstance(value, int) or value <= 0:
+                fail(f"size {name!r}: bad {field!r}: {value!r}")
+        # The answer cross-checks are enforced by the harness (it aborts
+        # on any mismatch); the report must still attest that they ran.
+        for field in ("fingerprints_equal", "warnings_equal_all_configs"):
+            if size.get(field) is not True:
+                fail(f"size {name!r}: {field!r} is not true")
+
+        configs = size.get("configs")
+        if not isinstance(configs, list):
+            fail(f"size {name!r}: missing 'configs'")
+        if [c.get("name") for c in configs] != SCALE_CONFIGS:
+            fail(
+                f"size {name!r}: configs must be exactly {SCALE_CONFIGS}, "
+                f"got {[c.get('name') for c in configs]}"
+            )
+        by_name = {c["name"]: c for c in configs}
+        for config in configs:
+            cname = f"{name}/{config['name']}"
+            for field in ("parse_ms", "mem2reg_ms", "analyze_ms"):
+                value = config.get(field)
+                if not isinstance(value, (int, float)) or value <= 0:
+                    fail(f"{cname}: non-positive {field!r}: {value!r}")
+            rss = config.get("peak_rss_bytes")
+            if not isinstance(rss, int) or rss <= 0:
+                fail(f"{cname}: bad 'peak_rss_bytes': {rss!r}")
+            phases = config.get("phases")
+            if not isinstance(phases, dict):
+                fail(f"{cname}: missing 'phases'")
+            for field in SCALE_PHASES:
+                value = phases.get(field)
+                if not isinstance(value, (int, float)) or value < 0:
+                    fail(f"{cname}: bad phase {field!r}: {value!r}")
+            # The recorded phases partition the analyze interval (up to
+            # rounding and the driver's own bookkeeping between phases).
+            if sum(phases.values()) > config["analyze_ms"] * 1.10 + 1.0:
+                fail(f"{cname}: phase times exceed analyze_ms")
+            for field in ("vfg_nodes", "vfg_edges", "checks", "shadow_ops"):
+                value = config.get(field)
+                if not isinstance(value, int) or value < 0:
+                    fail(f"{cname}: bad {field!r}: {value!r}")
+            ws = config.get("warning_sites")
+            if not isinstance(ws, int) or ws < 0:
+                fail(f"{cname}: bad 'warning_sites': {ws!r}")
+
+        ref = by_name["andersen-global"]
+        # Exact-equivalence configurations must report the identical
+        # analysis; the unify rung may only over-approximate.
+        for other in ("andersen-global-j2", "andersen-summary"):
+            for field in ("vfg_nodes", "vfg_edges", "checks", "shadow_ops",
+                          "warning_sites"):
+                if by_name[other][field] != ref[field]:
+                    fail(
+                        f"size {name!r}: {other} disagrees with "
+                        f"andersen-global on {field!r}"
+                    )
+        unify = by_name["unify-global"]
+        if unify["checks"] < ref["checks"]:
+            fail(
+                f"size {name!r}: unify plan has fewer checks than "
+                "Andersen's — unsound check elision"
+            )
+        if unify["warning_sites"] != ref["warning_sites"]:
+            fail(
+                f"size {name!r}: runtime warning count depends on the "
+                "constraint engine"
+            )
+
+        if ref["vfg_nodes"] <= prev_nodes:
+            fail(f"size {name!r}: VFG node count not strictly increasing")
+        if size["instructions"] < prev_instrs:
+            fail(f"size {name!r}: instruction count decreased")
+        prev_nodes = ref["vfg_nodes"]
+        prev_instrs = size["instructions"]
+
+    summary = report.get("summary")
+    if not isinstance(summary, dict):
+        fail("missing 'summary'")
+    first = sizes[0]["configs"][0]["vfg_nodes"]
+    last = sizes[-1]["configs"][0]["vfg_nodes"]
+    if summary.get("min_vfg_nodes") != first:
+        fail("summary: min_vfg_nodes disagrees with the first size")
+    if summary.get("max_vfg_nodes") != last:
+        fail("summary: max_vfg_nodes disagrees with the last size")
+    if not report["smoke"]:
+        # The committed curve must actually span the claimed range:
+        # roughly 1k nodes at the bottom, past 100k at the top.
+        if first > 2500:
+            fail(f"full run: smallest size has {first} VFG nodes (> 2500)")
+        if last < 100000:
+            fail(f"full run: largest size has {last} VFG nodes (< 100000)")
+    print(f"check_bench_json: OK: {path} ({len(sizes)} sizes)")
+
+
 def check_report(path):
     try:
         with open(path) as f:
@@ -307,6 +438,8 @@ def check_report(path):
         check_parallel_report(report, path)
     elif schema == "usher-bench-summary-v1":
         check_summary_report(report, path)
+    elif schema == "usher-bench-scale-v1":
+        check_scale_report(report, path)
     else:
         fail(f"unexpected schema tag: {schema!r}")
 

@@ -52,6 +52,9 @@ void printUsage(raw_ostream &OS) {
      << "  --runs=N        inputs to schedule (default 256)\n"
      << "  --json=PATH     write the usher-fuzz-v1 report (- for stdout)\n"
      << "  --no-reduce     report divergences without minimizing them\n"
+     << "  --seed-corpus-synth=N\n"
+     << "                  seed the corpus with N synthesized mid-size\n"
+     << "                  programs before round 0 (default 0)\n"
      << "  --max-corpus=N  corpus capacity (default 64)\n"
      << "  --max-steps=N   interpreter step budget per run\n"
      << "  --jobs=N        campaign worker threads (default 1 = serial;\n"
@@ -83,6 +86,10 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Cli) {
       Cli.JsonPath = Arg.substr(7);
     } else if (Arg == "--no-reduce") {
       Cli.Fuzz.Reduce = false;
+    } else if (Arg.rfind("--seed-corpus-synth=", 0) == 0) {
+      if (!parseUInt(Arg.substr(20), N) || N > 1024)
+        return false;
+      Cli.Fuzz.SeedCorpusSynth = static_cast<unsigned>(N);
     } else if (Arg.rfind("--max-corpus=", 0) == 0) {
       if (!parseUInt(Arg.substr(13), N) || N == 0)
         return false;
