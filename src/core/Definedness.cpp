@@ -59,6 +59,12 @@ Definedness::Definedness(
       if (!AllTop)
         Bottom.set(Id);
     }
+    // Taint seeds are bottom by definition, even when structurally
+    // defined (an alloc result depends only on RootT yet IS the source).
+    if (Opts.Seeds)
+      for (uint32_t S : *Opts.Seeds)
+        if (!G.isRoot(S))
+          Bottom.set(S);
   };
 
   if (B && !B->step()) {
@@ -219,7 +225,12 @@ Definedness::Definedness(
     Work.push_back({R, Ctx});
   };
 
-  Reach(VFG::RootF, Context::empty());
+  if (Opts.Seeds) {
+    for (uint32_t S : *Opts.Seeds)
+      Reach(S, Context::empty());
+  } else {
+    Reach(VFG::RootF, Context::empty());
+  }
   if (!Opts.AddressTakenAware) {
     // The top-level-only variant does not reason about memory: every
     // address-taken definition may hold an undefined value.

@@ -36,6 +36,12 @@ struct DefinednessOptions {
   /// this models the UsherTL variant, which analyzes top-level variables
   /// only.
   bool AddressTakenAware = true;
+  /// Reachability seed nodes. Null (the default) seeds from VFG::RootF —
+  /// the UUV client's "undefined" root. A taint client (e.g. the
+  /// address-leak detector) passes its source-node set instead; Gamma then
+  /// answers "may this node carry a tainted value" with the identical
+  /// context-sensitive machinery. Seeds are marked bottom themselves.
+  const std::vector<uint32_t> *Seeds = nullptr;
 };
 
 /// The Gamma function of Section 3.3.

@@ -286,8 +286,9 @@ void InstrumentationPlanner::Impl::emitRetOutsOf(const Function *Callee) {
         continue;
       ShadowOp Op;
       Op.K = ShadowOp::Kind::RetOut;
-      Op.Srcs = {R->getValue().isNone() ? ShadowVal::literal(false)
-                                        : ShadowVal::operand(R->getValue())};
+      Op.Srcs = {R->getValue().isNone()
+                     ? ShadowVal::literal(Opts.VoidRetShadow)
+                     : ShadowVal::operand(R->getValue())};
       Plan.addBefore(R, std::move(Op));
     }
   }
@@ -461,6 +462,11 @@ void InstrumentationPlanner::Impl::processTopLevel(uint32_t Node,
     break;
   }
   case Instruction::IKind::Alloc:
+    if (Opts.AllocResultsAreSources) {
+      // A taint client's source: the fresh address is born tainted.
+      Plan.addAfter(I, setVar(I->getDef(), ShadowVal::literal(false)));
+      break;
+    }
     assert(false && "allocation results are always defined");
     break;
   case Instruction::IKind::Load: {
@@ -540,7 +546,9 @@ void InstrumentationPlanner::Impl::processMemory(uint32_t Node,
                                  ? cast<AllocInst>(I)->getObject()
                                  : nullptr;
       bool Init;
-      if (Obj) {
+      if (Opts.ObjectsStartClean) {
+        Init = true;
+      } else if (Obj) {
         Init = Obj->isInitialized();
       } else {
         // All clones of a wrapper share the initialization flag (the
@@ -629,7 +637,11 @@ InstrumentationPlan InstrumentationPlanner::Impl::run() {
     prepassTopLevelOnly();
 
   // Seed from the runtime checks that are needed ([T-Check]/[B-Check]).
-  for (const VFG::CriticalUse &Use : G.criticalUses()) {
+  // A SanitizerClient substitutes its own sink list for the UUV critical
+  // uses; the demand rules below are client-agnostic.
+  const std::vector<VFG::CriticalUse> &Sinks =
+      Opts.Sinks ? *Opts.Sinks : G.criticalUses();
+  for (const VFG::CriticalUse &Use : Sinks) {
     if (Gamma.isDefined(Use.Node))
       continue;
     ShadowOp Op;

@@ -46,6 +46,27 @@ struct PlannerOptions {
   /// attempt. Exhaustion leaves remaining closures unsimplified — the
   /// normal Figure 7 rules still cover them, so the plan stays sound.
   Budget *B = nullptr;
+
+  // -- SanitizerClient hooks -----------------------------------------------
+  // Defaults reproduce the UUV client bit-for-bit; a taint client (see
+  // core/SanitizerClient.h) overrides them together with a seeded
+  // Definedness so the same Figure 7 rules plan its instrumentation.
+
+  /// Check sites to seed the demand from; null = the VFG's critical uses
+  /// (the UUV client's loads/stores/branches/returns).
+  const std::vector<vfg::VFG::CriticalUse> *Sinks = nullptr;
+  /// Taint mode: allocation results may be Gamma-bottom because they ARE
+  /// the taint sources; plan sigma(def) := F at the allocation instead of
+  /// asserting unreachability.
+  bool AllocResultsAreSources = false;
+  /// Fresh objects' cells start clean (taint clients: an uninitialized
+  /// cell holds no address) instead of at the object's isInitialized()
+  /// flag (UUV).
+  bool ObjectsStartClean = false;
+  /// Shadow a void `ret` contributes to its captured result. UUV: false
+  /// (capturing a void return is an undefined use); taint clients: true
+  /// (a void return carries no address).
+  bool VoidRetShadow = false;
 };
 
 /// Demand-driven planner implementing the deduction rules of Figure 7.

@@ -15,7 +15,8 @@ uint64_t InstrumentationPlan::countIf(bool CountChecks,
   uint64_t N = 0;
   auto CountOps = [&](const std::vector<ShadowOp> &Ops) {
     for (const ShadowOp &Op : Ops) {
-      bool IsCheck = Op.K == ShadowOp::Kind::Check;
+      bool IsCheck = Op.K == ShadowOp::Kind::Check ||
+                     Op.K == ShadowOp::Kind::CheckBounds;
       if (IsCheck != CountChecks)
         continue;
       N += CountReads ? Op.reads() : 1;

@@ -12,6 +12,13 @@
 /// MSan-style full plan and every Usher variant directly comparable and
 /// lets property tests assert warning-set equivalence.
 ///
+/// The vocabulary is client-agnostic boolean taint algebra: shadow F is
+/// "bad" (undefined for the UUV client, tainted for the address-leak
+/// client), AndVar propagates badness through any operand, and Check warns
+/// on F. Every SanitizerClient's plan is expressed in these same ops plus
+/// CheckBounds, so one interpreter executes any client (see
+/// core/SanitizerClient.h).
+///
 /// Shadow state at run time:
 ///  - one boolean shadow per top-level variable per activation frame
 ///    (initialized to F: locals are undefined on entry, like C);
@@ -86,7 +93,11 @@ struct ShadowOp {
     /// sigma(Dst) := sigma_g[ret]       (result shadow, after a call).
     RetIn,
     /// warn if sigma(Srcs[0]) == F      (runtime check at a critical op).
-    Check
+    Check,
+    /// warn if the pointer value of Ptr lies outside its object's field
+    /// range (spatial-safety client; reads the concrete value, not a
+    /// shadow, and never traps).
+    CheckBounds
   };
 
   Kind K;

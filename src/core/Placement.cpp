@@ -1,0 +1,99 @@
+//===- core/Placement.cpp - Budgeted check placement -----------------------===//
+//
+// Part of the Usher project, reproducing "Accelerating Dynamic Detection of
+// Uses of Undefined Values with Static Value-Flow Analysis" (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Placement.h"
+
+#include "support/Budget.h"
+
+#include <limits>
+
+using namespace usher;
+using namespace usher::core;
+
+PlacementResult core::solvePlacement(
+    const std::vector<PlacementCandidate> &Cands, uint64_t Capacity,
+    Budget *B) {
+  PlacementResult R;
+  R.Chosen.assign(Cands.size(), 0);
+
+  uint64_t AllValue = 0, AllCost = 0;
+  for (const PlacementCandidate &C : Cands) {
+    AllValue += C.Value;
+    AllCost += C.Cost;
+  }
+
+  auto TakeAll = [&] {
+    for (uint8_t &F : R.Chosen)
+      F = 1;
+    R.TotalValue = AllValue;
+    R.TotalCost = AllCost;
+  };
+
+  // Everything fits: no optimization problem to solve. This is the
+  // default (unlimited budget) path, so the full==guided differential
+  // oracle sees complete coverage unless a budget was explicitly asked
+  // for.
+  if (AllCost <= Capacity) {
+    TakeAll();
+    return R;
+  }
+  R.CapacityBound = true;
+
+  // DP over the value dimension: MinCost[v] = least total cost achieving
+  // coverage exactly v. Values are small (loop weights), costs can be
+  // large (scaled model cycles), so this orientation keeps the table
+  // linear in total coverage rather than in capacity.
+  constexpr uint64_t Inf = std::numeric_limits<uint64_t>::max();
+  const size_t NumV = static_cast<size_t>(AllValue) + 1;
+  std::vector<uint64_t> MinCost(NumV, Inf);
+  MinCost[0] = 0;
+
+  // Take[i] is a bitset over v: whether candidate i is taken on the
+  // optimal path to coverage v.
+  const size_t Words = (NumV + 63) / 64;
+  std::vector<std::vector<uint64_t>> Take(Cands.size(),
+                                          std::vector<uint64_t>(Words, 0));
+
+  for (size_t I = 0; I != Cands.size(); ++I) {
+    // One budget step per DP row; exhaustion falls back to instrumenting
+    // everything (sound: more checks, never fewer warnings).
+    if (B && !B->step()) {
+      TakeAll();
+      return R;
+    }
+    const uint64_t V = Cands[I].Value, C = Cands[I].Cost;
+    for (size_t Cov = NumV; Cov-- > V;) {
+      uint64_t From = MinCost[Cov - V];
+      if (From == Inf || From + C >= MinCost[Cov])
+        continue; // Strict <: equal-cost plans keep the earlier candidates.
+      MinCost[Cov] = From + C;
+      Take[I][Cov / 64] |= 1ull << (Cov % 64);
+    }
+  }
+
+  // Highest coverage within capacity; MinCost already breaks value ties
+  // toward the cheaper plan.
+  size_t BestV = 0;
+  for (size_t Cov = NumV; Cov-- > 0;) {
+    if (MinCost[Cov] <= Capacity) {
+      BestV = Cov;
+      break;
+    }
+  }
+  R.TotalValue = BestV;
+  R.TotalCost = MinCost[BestV];
+
+  // Walk the take-bits backwards to recover the chosen set.
+  size_t Cov = BestV;
+  for (size_t I = Cands.size(); I-- > 0;) {
+    if (Cov && (Take[I][Cov / 64] >> (Cov % 64)) & 1) {
+      R.Chosen[I] = 1;
+      Cov -= Cands[I].Value;
+    }
+  }
+  return R;
+}

@@ -1,0 +1,65 @@
+//===- core/Placement.h - Budgeted check placement --------------*- C++ -*-===//
+//
+// Part of the Usher project, reproducing "Accelerating Dynamic Detection of
+// Uses of Undefined Values with Static Value-Flow Analysis" (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// OptiSan-style budgeted placement: given a set of candidate runtime
+/// checks, each with a coverage value and a modeled cost, choose the
+/// subset that maximizes covered unsafe operations subject to a total
+/// modeled-cost capacity (slowdown budget). Solved as an exact 0/1
+/// knapsack with dynamic programming over the value dimension (min cost
+/// to reach each coverage level), so the answer is provably optimal on
+/// enumerable instances and coverage is monotone in the capacity — both
+/// properties the placement property tests assert.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef USHER_CORE_PLACEMENT_H
+#define USHER_CORE_PLACEMENT_H
+
+#include <cstdint>
+#include <vector>
+
+namespace usher {
+class Budget;
+
+namespace core {
+
+/// One candidate check site.
+struct PlacementCandidate {
+  /// Coverage value of protecting this site (loop-weighted unsafe-op
+  /// count; see BoundsClient).
+  uint64_t Value = 1;
+  /// Modeled runtime cost of the check (loop-weighted CostModel cycles,
+  /// scaled to an integer).
+  uint64_t Cost = 1;
+};
+
+/// The chosen placement.
+struct PlacementResult {
+  /// One flag per candidate, in input order.
+  std::vector<uint8_t> Chosen;
+  uint64_t TotalValue = 0;
+  uint64_t TotalCost = 0;
+  /// True if the capacity actually excluded candidates (or the budget ran
+  /// out and the sound instrument-everything fallback was taken).
+  bool CapacityBound = false;
+};
+
+/// Solves max sum(Value) s.t. sum(Cost) <= Capacity, exactly.
+///
+/// Ties between equal-coverage plans break deterministically (lowest cost
+/// first, then earliest candidates). When \p B is armed it is stepped once
+/// per DP row; on exhaustion the solver falls back to choosing every
+/// candidate — over-budget but sound, since placement only ever *limits*
+/// coverage, and a degraded run must not lose checks silently.
+PlacementResult solvePlacement(const std::vector<PlacementCandidate> &Cands,
+                               uint64_t Capacity, Budget *B = nullptr);
+
+} // namespace core
+} // namespace usher
+
+#endif // USHER_CORE_PLACEMENT_H

@@ -78,6 +78,7 @@ unsigned core::optimizeShadowPlan(InstrumentationPlan &Plan,
         case ShadowOp::Kind::SetMemCell:
         case ShadowOp::Kind::SetMemObject:
         case ShadowOp::Kind::Check:
+        case ShadowOp::Kind::CheckBounds:
           break; // Roots.
         }
         if (Kill) {

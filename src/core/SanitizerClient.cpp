@@ -1,0 +1,583 @@
+//===- core/SanitizerClient.cpp - Multi-client sanitizer framework ----------===//
+//
+// Part of the Usher project, reproducing "Accelerating Dynamic Detection of
+// Uses of Undefined Values with Static Value-Flow Analysis" (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/SanitizerClient.h"
+
+#include "analysis/PointerAnalysis.h"
+#include "core/Definedness.h"
+#include "core/Instrumentation.h"
+#include "core/Placement.h"
+#include "ir/IR.h"
+#include "runtime/CostModel.h"
+#include "ssa/MemorySSA.h"
+#include "vfg/VFG.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+using namespace usher;
+using namespace usher::core;
+using namespace usher::ir;
+using ssa::FunctionSSA;
+using ssa::InstSSA;
+using ssa::MemorySSA;
+using ssa::Space;
+using vfg::NodeOrigin;
+using vfg::VFG;
+
+const char *core::clientName(ClientKind K) {
+  switch (K) {
+  case ClientKind::UUV:
+    return "uuv";
+  case ClientKind::AddrLeak:
+    return "addrleak";
+  case ClientKind::Bounds:
+    return "bounds";
+  }
+  return "?";
+}
+
+bool core::parseClientName(const std::string &Name, ClientKind &K) {
+  for (unsigned I = 0; I != NumClientKinds; ++I) {
+    ClientKind C = static_cast<ClientKind>(I);
+    if (Name == clientName(C)) {
+      K = C;
+      return true;
+    }
+  }
+  return false;
+}
+
+const char *core::clientWarningText(ClientKind K) {
+  switch (K) {
+  case ClientKind::UUV:
+    return "use of undefined value";
+  case ClientKind::AddrLeak:
+    return "allocated address may leak";
+  case ClientKind::Bounds:
+    return "out-of-bounds pointer formed";
+  }
+  return "?";
+}
+
+ShadowSemantics core::clientShadowSemantics(ClientKind K) {
+  ShadowSemantics Sem;
+  if (K != ClientKind::UUV) {
+    // Taint-style clients: "no information" means clean, not bad.
+    Sem.FrameInit = true;
+    Sem.GlobalsFromInit = false;
+  }
+  return Sem;
+}
+
+//===----------------------------------------------------------------------===//
+// Address-leak client
+//===----------------------------------------------------------------------===//
+
+/// Collects the AddrLeak sink set: stores whose pointer may target a
+/// global object (the value escapes the process's reachable state) and
+/// value-carrying returns of main (the value escapes to the exit status).
+/// With \p PA null every store is conservatively a sink. With \p SSA / \p G
+/// the VFG node of the used value is resolved (required by the planner);
+/// sinks in unreachable code are dropped — they cannot execute.
+static std::vector<VFG::CriticalUse>
+addrLeakSinks(const Module &M, const analysis::PointerAnalysis *PA,
+              const MemorySSA *SSA, const VFG *G) {
+  std::vector<VFG::CriticalUse> Sinks;
+  const Function *Main = M.findFunction("main");
+  for (const auto &F : M.functions()) {
+    const FunctionSSA *FS = SSA ? &SSA->get(F.get()) : nullptr;
+    for (const auto &BB : F->blocks()) {
+      for (const auto &I : BB->instructions()) {
+        const Variable *V = nullptr;
+        if (const auto *St = dyn_cast<StoreInst>(I.get())) {
+          if (!St->getValue().isVar())
+            continue;
+          if (PA) {
+            bool MayTargetGlobal = false;
+            for (uint32_t L : PA->pointsTo(St->getPtr()))
+              if (PA->location(L).Obj->isGlobal()) {
+                MayTargetGlobal = true;
+                break;
+              }
+            if (!MayTargetGlobal)
+              continue;
+          }
+          V = St->getValue().getVar();
+        } else if (const auto *R = dyn_cast<RetInst>(I.get())) {
+          if (F.get() != Main || !R->getValue().isVar())
+            continue;
+          V = R->getValue().getVar();
+        } else {
+          continue;
+        }
+        uint32_t Node = VFG::RootT;
+        if (FS && G) {
+          const InstSSA *Info = FS->instInfo(I.get());
+          if (!Info)
+            continue;
+          uint32_t Version = ~0u;
+          for (const ssa::TLUse &Use : Info->TLUses)
+            if (Use.Var == V) {
+              Version = Use.Version;
+              break;
+            }
+          assert(Version != ~0u && "sink use without a recorded SSA use");
+          Node = G->findNode(F.get(), {Space::TopLevel, V->getId()}, Version);
+          if (Node == ~0u)
+            continue;
+        }
+        Sinks.push_back({I.get(), V, Node});
+      }
+    }
+  }
+  return Sinks;
+}
+
+static ClientPlanInfo buildAddrLeakGuided(const ClientBuildInputs &In) {
+  assert(In.PA && In.SSA && In.G &&
+         "guided addrleak plan needs the full analysis pipeline");
+  const VFG &G = *In.G;
+
+  // Sources: every allocation's result pointer is born tainted.
+  std::vector<uint32_t> Seeds;
+  for (uint32_t Id = 2; Id != G.numNodes(); ++Id)
+    if (G.origin(Id) == NodeOrigin::AllocPtr)
+      Seeds.push_back(Id);
+
+  // Taint reachability: the identical context-sensitive machinery as UUV
+  // definedness, seeded from the sources instead of the F root.
+  DefinednessOptions DefOpts;
+  DefOpts.ContextK = In.ContextK;
+  DefOpts.AddressTakenAware = true;
+  DefOpts.Seeds = &Seeds;
+  Definedness Taint(G, DefOpts);
+
+  std::vector<VFG::CriticalUse> Sinks =
+      addrLeakSinks(In.M, In.PA, In.SSA, In.G);
+
+  PlannerOptions POpts;
+  POpts.AddressTakenAware = true;
+  POpts.OptI = false;
+  POpts.Sinks = &Sinks;
+  POpts.AllocResultsAreSources = true;
+  POpts.ObjectsStartClean = true;
+  POpts.VoidRetShadow = true;
+  InstrumentationPlanner Planner(In.M, *In.SSA, G, Taint, POpts);
+
+  ClientPlanInfo Info(ClientKind::AddrLeak, Planner.run());
+  Info.SinkCandidates = Sinks.size();
+  for (const VFG::CriticalUse &Use : Sinks)
+    if (Taint.mayBeUndefined(Use.Node))
+      ++Info.UnsafeSinks;
+  Info.ChosenChecks = Info.Plan.countChecks();
+  return Info;
+}
+
+static ClientPlanInfo buildAddrLeakFull(const ClientBuildInputs &In) {
+  const Module &M = In.M;
+  InstrumentationPlan Plan(M);
+
+  std::vector<VFG::CriticalUse> Sinks =
+      addrLeakSinks(M, In.PA, nullptr, nullptr);
+  std::vector<uint8_t> IsSink;
+  for (const VFG::CriticalUse &Use : Sinks) {
+    if (Use.I->getId() >= IsSink.size())
+      IsSink.resize(Use.I->getId() + 1, 0);
+    IsSink[Use.I->getId()] = 1;
+  }
+  auto SinkAt = [&](const Instruction *I) {
+    return I->getId() < IsSink.size() && IsSink[I->getId()];
+  };
+
+  auto SetVar = [](const Variable *Dst, ShadowVal Src) {
+    ShadowOp Op;
+    Op.K = ShadowOp::Kind::SetVar;
+    Op.Dst = Dst;
+    Op.Srcs = {Src};
+    return Op;
+  };
+  auto Check = [](const Variable *V) {
+    ShadowOp Op;
+    Op.K = ShadowOp::Kind::Check;
+    Op.Srcs = {ShadowVal::var(V)};
+    return Op;
+  };
+
+  // Full taint propagation: the same statement-by-statement shadowing as
+  // the UUV MSan baseline, with the client's sources (allocations taint
+  // their result, their cells start clean) and sinks (escaping stores and
+  // main's return, not pointer/branch operands).
+  for (const auto &F : M.functions()) {
+    for (size_t Idx = 0; Idx != F->params().size(); ++Idx) {
+      ShadowOp Op;
+      Op.K = ShadowOp::Kind::ParamIn;
+      Op.Dst = F->params()[Idx];
+      Op.Index = static_cast<uint32_t>(Idx);
+      Plan.addEntry(F.get(), std::move(Op));
+    }
+    for (const auto &BB : F->blocks()) {
+      for (const auto &I : BB->instructions()) {
+        switch (I->getKind()) {
+        case Instruction::IKind::Copy:
+          Plan.addAfter(I.get(),
+                        SetVar(I->getDef(), ShadowVal::operand(
+                                                cast<CopyInst>(I.get())
+                                                    ->getSrc())));
+          break;
+        case Instruction::IKind::BinOp: {
+          const auto *B = cast<BinOpInst>(I.get());
+          ShadowOp Op;
+          Op.K = ShadowOp::Kind::AndVar;
+          Op.Dst = B->getDef();
+          Op.Srcs = {ShadowVal::operand(B->getLHS()),
+                     ShadowVal::operand(B->getRHS())};
+          Plan.addAfter(I.get(), std::move(Op));
+          break;
+        }
+        case Instruction::IKind::Alloc: {
+          const auto *A = cast<AllocInst>(I.get());
+          Plan.addAfter(I.get(),
+                        SetVar(A->getDef(), ShadowVal::literal(false)));
+          ShadowOp Op;
+          Op.K = ShadowOp::Kind::SetMemObject;
+          Op.Ptr = Operand::var(A->getDef());
+          Op.Srcs = {ShadowVal::literal(true)};
+          Plan.addAfter(I.get(), std::move(Op));
+          break;
+        }
+        case Instruction::IKind::FieldAddr: {
+          const auto *FA = cast<FieldAddrInst>(I.get());
+          ShadowOp Op;
+          Op.K = ShadowOp::Kind::AndVar;
+          Op.Dst = FA->getDef();
+          Op.Srcs = {ShadowVal::operand(FA->getBase()),
+                     ShadowVal::operand(FA->getIndex())};
+          Plan.addAfter(I.get(), std::move(Op));
+          break;
+        }
+        case Instruction::IKind::Load: {
+          const auto *L = cast<LoadInst>(I.get());
+          ShadowOp Op;
+          Op.K = ShadowOp::Kind::LoadMem;
+          Op.Dst = L->getDef();
+          Op.Ptr = L->getPtr();
+          Plan.addAfter(I.get(), std::move(Op));
+          break;
+        }
+        case Instruction::IKind::Store: {
+          const auto *St = cast<StoreInst>(I.get());
+          if (SinkAt(St))
+            Plan.addBefore(I.get(), Check(St->getValue().getVar()));
+          ShadowOp Op;
+          Op.K = ShadowOp::Kind::SetMemCell;
+          Op.Ptr = St->getPtr();
+          Op.Srcs = {ShadowVal::operand(St->getValue())};
+          Plan.addAfter(I.get(), std::move(Op));
+          break;
+        }
+        case Instruction::IKind::Call: {
+          const auto *C = cast<CallInst>(I.get());
+          for (size_t Idx = 0; Idx != C->getArgs().size(); ++Idx) {
+            ShadowOp Op;
+            Op.K = ShadowOp::Kind::ArgOut;
+            Op.Index = static_cast<uint32_t>(Idx);
+            Op.Srcs = {ShadowVal::operand(C->getArgs()[Idx])};
+            Plan.addBefore(I.get(), std::move(Op));
+          }
+          if (C->getDef()) {
+            ShadowOp Op;
+            Op.K = ShadowOp::Kind::RetIn;
+            Op.Dst = C->getDef();
+            Plan.addAfter(I.get(), std::move(Op));
+          }
+          break;
+        }
+        case Instruction::IKind::Ret: {
+          const auto *R = cast<RetInst>(I.get());
+          if (SinkAt(R))
+            Plan.addBefore(I.get(), Check(R->getValue().getVar()));
+          ShadowOp Op;
+          Op.K = ShadowOp::Kind::RetOut;
+          Op.Srcs = {R->getValue().isNone()
+                         ? ShadowVal::literal(true)
+                         : ShadowVal::operand(R->getValue())};
+          Plan.addBefore(I.get(), std::move(Op));
+          break;
+        }
+        case Instruction::IKind::CondBr:
+        case Instruction::IKind::Goto:
+          break;
+        }
+      }
+    }
+  }
+
+  ClientPlanInfo Info(ClientKind::AddrLeak, std::move(Plan));
+  Info.SinkCandidates = Sinks.size();
+  Info.UnsafeSinks = Sinks.size();
+  Info.ChosenChecks = Info.Plan.countChecks();
+  return Info;
+}
+
+//===----------------------------------------------------------------------===//
+// Bounds client
+//===----------------------------------------------------------------------===//
+
+/// All costs enter the placement knapsack scaled to integers.
+static constexpr double CostScale = 100.0;
+/// Coverage weight of a site inside a CFG cycle versus straight-line code.
+static constexpr uint64_t LoopWeight = 8;
+
+/// True if the CheckBounds after \p FA can never warn, by provenance: the
+/// formed pointer either traps natively first, or its base is provably a
+/// fresh object-base pointer (field 0) and the constant index stays inside
+/// every object the base can name. Points-to sets are deliberately NOT
+/// consulted: the loc domain has no representation for a pointer that is
+/// already out of range, so "every pointee's field fits" would silently
+/// miss geps whose base went out of bounds earlier.
+static bool boundsStaticallySafe(const FieldAddrInst *FA) {
+  if (!FA->getIndex().isConst())
+    return false;
+  int64_t C = FA->getIndex().getConst();
+  if (C < 0)
+    return true; // Negative indices trap natively before any after-op.
+  const Operand &Base = FA->getBase();
+  if (Base.isConst() || Base.isNone())
+    return true; // Non-pointer bases trap natively.
+  if (Base.isGlobal())
+    return static_cast<uint64_t>(C) < Base.getGlobal()->getNumFields();
+
+  const Variable *V = Base.getVar();
+  if (V->isParam())
+    return false; // The caller's value: provenance unknown.
+  uint64_t MinFields = std::numeric_limits<uint64_t>::max();
+  bool AnyPointerDef = false;
+  for (const auto &BB : V->getParent()->blocks()) {
+    for (const auto &I : BB->instructions()) {
+      if (I->getDef() != V)
+        continue;
+      uint64_t Fields;
+      if (const auto *A = dyn_cast<AllocInst>(I.get())) {
+        Fields = A->getObject()->getNumFields();
+      } else if (const auto *Cp = dyn_cast<CopyInst>(I.get())) {
+        if (Cp->getSrc().isConst())
+          continue; // Never yields a pointer; a gep on it traps.
+        if (!Cp->getSrc().isGlobal())
+          return false;
+        Fields = Cp->getSrc().getGlobal()->getNumFields();
+      } else {
+        return false;
+      }
+      AnyPointerDef = true;
+      MinFields = std::min(MinFields, Fields);
+    }
+  }
+  if (!AnyPointerDef)
+    return true; // V can only hold integers (or stay uninitialized).
+  return static_cast<uint64_t>(C) < MinFields;
+}
+
+static ShadowOp checkBoundsOp(const Instruction *FA) {
+  ShadowOp Op;
+  Op.K = ShadowOp::Kind::CheckBounds;
+  Op.Ptr = Operand::var(FA->getDef());
+  return Op;
+}
+
+/// Marks, per block id, whether the block sits on a CFG cycle (member of a
+/// successor-graph SCC of size > 1, or self-looping). Loop membership is
+/// the coverage/cost weight of the budgeted placement.
+static std::vector<uint8_t> blocksInCycle(const Function &F) {
+  const size_t N = F.blocks().size();
+  std::vector<std::vector<uint32_t>> Succs(N);
+  std::vector<BasicBlock *> Tmp;
+  for (const auto &BB : F.blocks()) {
+    Tmp.clear();
+    BB->getSuccessors(Tmp);
+    for (BasicBlock *S : Tmp)
+      Succs[BB->getId()].push_back(S->getId());
+  }
+
+  std::vector<uint8_t> InCycle(N, 0);
+  std::vector<uint32_t> Index(N, 0), Low(N, 0), SccStack;
+  std::vector<uint8_t> OnStack(N, 0);
+  struct Frame {
+    uint32_t Node;
+    uint32_t NextEdge;
+  };
+  std::vector<Frame> Stack;
+  uint32_t NextIndex = 1;
+  for (uint32_t Root = 0; Root != N; ++Root) {
+    if (Index[Root])
+      continue;
+    Index[Root] = Low[Root] = NextIndex++;
+    OnStack[Root] = 1;
+    SccStack.push_back(Root);
+    Stack.push_back({Root, 0});
+    while (!Stack.empty()) {
+      Frame &Fr = Stack.back();
+      uint32_t U = Fr.Node;
+      if (Fr.NextEdge < Succs[U].size()) {
+        uint32_t W = Succs[U][Fr.NextEdge++];
+        if (!Index[W]) {
+          Index[W] = Low[W] = NextIndex++;
+          OnStack[W] = 1;
+          SccStack.push_back(W);
+          Stack.push_back({W, 0});
+        } else if (OnStack[W]) {
+          Low[U] = std::min(Low[U], Index[W]);
+        }
+        continue;
+      }
+      Stack.pop_back();
+      if (!Stack.empty())
+        Low[Stack.back().Node] = std::min(Low[Stack.back().Node], Low[U]);
+      if (Low[U] == Index[U]) {
+        std::vector<uint32_t> Comp;
+        while (true) {
+          uint32_t M = SccStack.back();
+          SccStack.pop_back();
+          OnStack[M] = 0;
+          Comp.push_back(M);
+          if (M == U)
+            break;
+        }
+        bool Cyclic = Comp.size() > 1;
+        if (!Cyclic)
+          for (uint32_t S : Succs[U])
+            if (S == U)
+              Cyclic = true;
+        if (Cyclic)
+          for (uint32_t M : Comp)
+            InCycle[M] = 1;
+      }
+    }
+  }
+  return InCycle;
+}
+
+/// Blocks reachable from the entry (unreachable sites cannot execute, so
+/// the guided plan does not spend budget on them).
+static std::vector<uint8_t> reachableBlocks(const Function &F) {
+  std::vector<uint8_t> Seen(F.blocks().size(), 0);
+  std::vector<BasicBlock *> Tmp;
+  std::vector<uint32_t> Work{F.getEntry()->getId()};
+  Seen[F.getEntry()->getId()] = 1;
+  while (!Work.empty()) {
+    uint32_t B = Work.back();
+    Work.pop_back();
+    Tmp.clear();
+    F.blocks()[B]->getSuccessors(Tmp);
+    for (BasicBlock *S : Tmp)
+      if (!Seen[S->getId()]) {
+        Seen[S->getId()] = 1;
+        Work.push_back(S->getId());
+      }
+  }
+  return Seen;
+}
+
+static ClientPlanInfo buildBoundsGuided(const ClientBuildInputs &In) {
+  const Module &M = In.M;
+  runtime::CostModel Model;
+  ClientPlanInfo Info(ClientKind::Bounds, InstrumentationPlan(M));
+
+  std::vector<const Instruction *> Sites;
+  std::vector<PlacementCandidate> Cands;
+  const uint64_t CheckCost =
+      static_cast<uint64_t>(std::llround(Model.CheckBounds * CostScale));
+  uint64_t ScaledBase = 0;
+  for (const auto &F : M.functions()) {
+    std::vector<uint8_t> Reach = reachableBlocks(*F);
+    std::vector<uint8_t> InCycle = blocksInCycle(*F);
+    for (const auto &BB : F->blocks()) {
+      if (!Reach[BB->getId()])
+        continue;
+      uint64_t W = InCycle[BB->getId()] ? LoopWeight : 1;
+      for (const auto &I : BB->instructions()) {
+        ScaledBase +=
+            static_cast<uint64_t>(std::llround(Model.baseCost(*I) *
+                                               CostScale)) *
+            W;
+        const auto *FA = dyn_cast<FieldAddrInst>(I.get());
+        if (!FA)
+          continue;
+        ++Info.SinkCandidates;
+        if (boundsStaticallySafe(FA))
+          continue;
+        ++Info.UnsafeSinks;
+        Sites.push_back(I.get());
+        Cands.push_back({W, CheckCost * W});
+      }
+    }
+  }
+
+  uint64_t Capacity = std::numeric_limits<uint64_t>::max();
+  if (In.BoundsBudgetPercent)
+    Capacity = ScaledBase / 100 * In.BoundsBudgetPercent +
+               ScaledBase % 100 * In.BoundsBudgetPercent / 100;
+  PlacementResult R = solvePlacement(Cands, Capacity);
+  for (size_t I = 0; I != Sites.size(); ++I)
+    if (R.Chosen[I])
+      Info.Plan.addAfter(Sites[I], checkBoundsOp(Sites[I]));
+
+  Info.ChosenChecks = Info.Plan.countChecks();
+  Info.PlacementCapacity = In.BoundsBudgetPercent ? Capacity : 0;
+  Info.PlacementCost = R.TotalCost;
+  Info.CapacityBound = R.CapacityBound;
+  return Info;
+}
+
+static ClientPlanInfo buildBoundsFull(const ClientBuildInputs &In) {
+  const Module &M = In.M;
+  ClientPlanInfo Info(ClientKind::Bounds, InstrumentationPlan(M));
+  for (const auto &F : M.functions())
+    for (const auto &BB : F->blocks())
+      for (const auto &I : BB->instructions())
+        if (isa<FieldAddrInst>(I.get())) {
+          ++Info.SinkCandidates;
+          Info.Plan.addAfter(I.get(), checkBoundsOp(I.get()));
+        }
+  Info.UnsafeSinks = Info.SinkCandidates;
+  Info.ChosenChecks = Info.Plan.countChecks();
+  return Info;
+}
+
+//===----------------------------------------------------------------------===//
+// Entry points
+//===----------------------------------------------------------------------===//
+
+ClientPlanInfo core::buildClientPlan(ClientKind K,
+                                     const ClientBuildInputs &In) {
+  switch (K) {
+  case ClientKind::AddrLeak:
+    return buildAddrLeakGuided(In);
+  case ClientKind::Bounds:
+    return buildBoundsGuided(In);
+  case ClientKind::UUV:
+    break;
+  }
+  assert(false && "the UUV client is planned by runUsher itself");
+  return ClientPlanInfo(ClientKind::UUV, InstrumentationPlan(In.M));
+}
+
+ClientPlanInfo core::buildClientFullPlan(ClientKind K,
+                                         const ClientBuildInputs &In) {
+  switch (K) {
+  case ClientKind::AddrLeak:
+    return buildAddrLeakFull(In);
+  case ClientKind::Bounds:
+    return buildBoundsFull(In);
+  case ClientKind::UUV:
+    break;
+  }
+  assert(false && "the UUV client is planned by runUsher itself");
+  return ClientPlanInfo(ClientKind::UUV, InstrumentationPlan(In.M));
+}

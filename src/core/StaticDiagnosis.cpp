@@ -522,6 +522,7 @@ void StaticDiagnosis::printJson(raw_ostream &OS) const {
       OS << ',';
     FirstFinding = false;
     OS << "\n    {\n      \"ruleId\": \"usher-uuv\",\n";
+    OS << "      \"client\": \"uuv\",\n";
     OS << "      \"severity\": \""
        << (F.V == Verdict::Definite ? "error" : "warning") << "\",\n";
     OS << "      \"verdict\": \"" << verdictName(F.V) << "\",\n";

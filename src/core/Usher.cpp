@@ -99,9 +99,15 @@ UsherResult core::runUsher(Module &M, const UsherOptions &Opts) {
   DR.Rung = Opts.Variant;
 
   // The terminal ladder rung: the MSan full plan needs no fixed point at
-  // all, so it is always reachable within any budget.
+  // all, so it is always reachable within any budget. Requested clients
+  // land on their own MSan analogs (full plans, no analyses consulted).
   auto FinishMSan = [&]() -> UsherResult {
     UsherResult Result(buildFullInstrumentation(M));
+    ClientBuildInputs In(M);
+    In.BoundsBudgetPercent = Opts.BoundsBudgetPercent;
+    for (ClientKind K : Opts.Clients)
+      if (K != ClientKind::UUV)
+        Result.ClientPlans.push_back(buildClientFullPlan(K, In));
     Stats.AnalysisSeconds = Total.seconds();
     Stats.StaticPropagations = Result.Plan.countPropagationReads();
     Stats.StaticChecks = Result.Plan.countChecks();
@@ -346,6 +352,25 @@ UsherResult core::runUsher(Module &M, const UsherOptions &Opts) {
       G->numNodes() ? 100.0 * Reaching.count() / G->numNodes() : 0.0;
   Stats.StaticPropagations = Result.Plan.countPropagationReads();
   Stats.StaticChecks = Result.Plan.countChecks();
+
+  // Guided plans for the additional clients, over the same analyses (one
+  // VFG, many detectors). Client taint resolution runs unbudgeted: it is
+  // a plain reachability pass, linear in the graph the budgets already
+  // admitted.
+  if (!Opts.Clients.empty()) {
+    Phase.reset();
+    ClientBuildInputs In(M);
+    In.PA = PA.get();
+    In.SSA = SSA.get();
+    In.G = G.get();
+    In.ContextK = Opts.ContextK;
+    In.BoundsBudgetPercent = Opts.BoundsBudgetPercent;
+    for (ClientKind K : Opts.Clients)
+      if (K != ClientKind::UUV)
+        Result.ClientPlans.push_back(buildClientPlan(K, In));
+    Record("7.clients");
+  }
+
   Stats.AnalysisSeconds = Total.seconds();
   Stats.PeakRSSBytes = peakRSSBytes();
 

@@ -31,6 +31,7 @@
 #include "core/Definedness.h"
 #include "core/Instrumentation.h"
 #include "core/InstrumentationPlan.h"
+#include "core/SanitizerClient.h"
 #include "ssa/MemorySSA.h"
 #include "support/Budget.h"
 #include "vfg/VFG.h"
@@ -88,6 +89,14 @@ struct UsherOptions {
   /// by the caller (usher-serve shares one across requests and plugs its
   /// SnapshotStore in as the persistence layer). Null computes fresh.
   analysis::SummaryCache *SummaryCache = nullptr;
+  /// Additional sanitizer clients to plan over the same VFG, in request
+  /// order (--client=). ClientKind::UUV entries are ignored here: the UUV
+  /// plan is UsherResult::Plan itself. Empty (the default) runs the
+  /// pipeline exactly as before the multi-client framework.
+  std::vector<ClientKind> Clients;
+  /// Bounds client: slowdown capacity for budgeted check placement, as a
+  /// percentage of modeled native cost (0 = unlimited).
+  unsigned BoundsBudgetPercent = 0;
 };
 
 /// One rung descent of the degradation ladder.
@@ -155,6 +164,11 @@ struct UsherResult {
   InstrumentationPlan Plan;
   UsherStatistics Stats;
   DegradationReport Degradation;
+  /// Plans for the non-UUV clients requested via UsherOptions::Clients,
+  /// in request order. On the degraded MSan rung (or PA exhaustion) these
+  /// are the clients' *full* plans — the ladder lands every client on its
+  /// own MSan analog.
+  std::vector<ClientPlanInfo> ClientPlans;
 
   std::unique_ptr<analysis::CallGraph> CG;
   std::unique_ptr<analysis::PointerAnalysis> PA;

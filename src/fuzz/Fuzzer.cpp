@@ -49,6 +49,7 @@ OracleOptions onlyOracle(OracleKind K, const OracleOptions &Base) {
   Only.CheckServe = K == OracleKind::ServeEquivalence;
   Only.CheckSummary = K == OracleKind::SummaryEquivalence;
   Only.CheckQuery = K == OracleKind::QueryEquivalence;
+  Only.CheckClients = K == OracleKind::ClientConsistency;
   return Only;
 }
 

@@ -52,6 +52,8 @@ const char *fuzz::oracleKindName(OracleKind K) {
     return "summary-equivalence";
   case OracleKind::QueryEquivalence:
     return "query-equivalence";
+  case OracleKind::ClientConsistency:
+    return "client-consistency";
   }
   return "unknown";
 }
@@ -659,6 +661,154 @@ OracleOutcome fuzz::runOracles(const std::string &Source,
           if (!Q2.FromCache || Q2.Reachable != Q.Reachable)
             Diverge(OracleKind::QueryEquivalence,
                     Tag + ": memoized answer differs from the first");
+        }
+      }
+    }
+  }
+
+  // -- Oracle 8: sanitizer-client consistency ----------------------------
+  if (Opts.CheckClients) {
+    Out.Checked[static_cast<unsigned>(OracleKind::ClientConsistency)] = true;
+    // A plan covers a warning when the warned instruction carries one of
+    // the plan's own check ops.
+    auto PlanChecksAt = [](const core::InstrumentationPlan &P,
+                           const ir::Instruction *I) {
+      for (const std::vector<core::ShadowOp> *Ops : {&P.before(I), &P.after(I)})
+        for (const core::ShadowOp &Op : *Ops)
+          if (Op.K == core::ShadowOp::Kind::Check ||
+              Op.K == core::ShadowOp::Kind::CheckBounds)
+            return true;
+      return false;
+    };
+
+    const core::ClientKind NewClients[] = {core::ClientKind::AddrLeak,
+                                           core::ClientKind::Bounds};
+    std::map<core::ClientKind, std::set<uint32_t>> SoloWarns;
+    std::map<core::ClientKind, uint64_t> SoloChecks;
+    bool SoloOk = true;
+    for (core::ClientKind K : NewClients) {
+      const std::string Tag = std::string("client ") + core::clientName(K);
+      auto M = parseFresh(Source);
+      core::UsherOptions UOpts;
+      UOpts.Variant = ToolVariant::UsherFull;
+      UOpts.Clients = {K};
+      core::UsherResult R = core::runUsher(*M, UOpts);
+      if (R.ClientPlans.size() != 1) {
+        Diverge(OracleKind::ClientConsistency,
+                Tag + ": pipeline produced " +
+                    std::to_string(R.ClientPlans.size()) +
+                    " client plans, expected 1");
+        SoloOk = false;
+        continue;
+      }
+      // The client's MSan analog: full statement-by-statement shadowing
+      // with the same PA-refined sink set, no taint analysis, no budgeted
+      // placement. Both plans execute in ONE interpreter pass, which also
+      // pits the multi-plan shadow planes against each other.
+      core::ClientBuildInputs FullIn(*M);
+      FullIn.PA = R.PA.get();
+      core::ClientPlanInfo Full = core::buildClientFullPlan(K, FullIn);
+      std::vector<runtime::PlanExec> Plans{
+          {&R.ClientPlans[0].Plan, core::clientShadowSemantics(K)},
+          {&Full.Plan, core::clientShadowSemantics(K)}};
+      ExecutionReport Rep =
+          Interpreter(*M, Plans, runtime::CostModel(), ToolLimits).run();
+      if (Rep.Reason != ExitReason::Finished) {
+        Diverge(OracleKind::ClientConsistency,
+                Tag + ": instrumented run did not finish (" +
+                    Rep.TrapMessage + ")");
+        SoloOk = false;
+        continue;
+      }
+      if (Rep.MainResult != Native.MainResult)
+        Diverge(OracleKind::ClientConsistency,
+                Tag + ": instrumentation changed main's result");
+      const std::set<uint32_t> GuidedW =
+          warnIds(Rep.PlanResults[0].ToolWarnings);
+      const std::set<uint32_t> FullW = warnIds(Rep.PlanResults[1].ToolWarnings);
+      if (GuidedW != FullW)
+        Diverge(OracleKind::ClientConsistency,
+                Tag + ": guided vs full: " + describeSetDiff(GuidedW, FullW));
+      for (const runtime::Warning &W : Rep.PlanResults[0].ToolWarnings)
+        if (!PlanChecksAt(R.ClientPlans[0].Plan, W.At)) {
+          Diverge(OracleKind::ClientConsistency,
+                  Tag + ": warning at inst#" + std::to_string(W.At->getId()) +
+                      " has no check in the client's plan");
+          break;
+        }
+      SoloWarns[K] = GuidedW;
+      SoloChecks[K] = Rep.PlanResults[0].DynChecks;
+    }
+
+    // The UUV client's own individual run, via the legacy single-plan
+    // entry point — the third row of the comparison matrix.
+    std::set<uint32_t> UuvWarns;
+    uint64_t UuvChecks = 0;
+    {
+      auto M = parseFresh(Source);
+      core::UsherOptions UOpts;
+      UOpts.Variant = ToolVariant::UsherFull;
+      core::UsherResult R = core::runUsher(*M, UOpts);
+      ExecutionReport Rep =
+          Interpreter(*M, &R.Plan, runtime::CostModel(), ToolLimits).run();
+      if (Rep.Reason != ExitReason::Finished)
+        SoloOk = false;
+      else {
+        UuvWarns = warnIds(Rep.ToolWarnings);
+        UuvChecks = Rep.DynChecks;
+      }
+    }
+
+    // Multi-client single pass: one pipeline, one interpreter, one plan
+    // per client. Each client's plane must reproduce its individual run.
+    if (SoloOk) {
+      auto M = parseFresh(Source);
+      core::UsherOptions UOpts;
+      UOpts.Variant = ToolVariant::UsherFull;
+      UOpts.Clients = {core::ClientKind::UUV, core::ClientKind::AddrLeak,
+                       core::ClientKind::Bounds};
+      core::UsherResult R = core::runUsher(*M, UOpts);
+      std::vector<runtime::PlanExec> Plans{{&R.Plan, core::ShadowSemantics()}};
+      for (const core::ClientPlanInfo &CP : R.ClientPlans)
+        Plans.push_back({&CP.Plan, core::clientShadowSemantics(CP.Kind)});
+      ExecutionReport Rep =
+          Interpreter(*M, Plans, runtime::CostModel(), ToolLimits).run();
+      if (Rep.Reason != ExitReason::Finished) {
+        Diverge(OracleKind::ClientConsistency,
+                "multi-client: run did not finish (" + Rep.TrapMessage + ")");
+      } else if (R.ClientPlans.size() != 2) {
+        Diverge(OracleKind::ClientConsistency,
+                "multi-client: pipeline produced " +
+                    std::to_string(R.ClientPlans.size()) +
+                    " client plans, expected 2");
+      } else {
+        struct Row {
+          const char *Name;
+          const std::set<uint32_t> &Warns;
+          uint64_t Checks;
+        };
+        const Row Rows[] = {
+            {"uuv", UuvWarns, UuvChecks},
+            {"addrleak", SoloWarns[core::ClientKind::AddrLeak],
+             SoloChecks[core::ClientKind::AddrLeak]},
+            {"bounds", SoloWarns[core::ClientKind::Bounds],
+             SoloChecks[core::ClientKind::Bounds]},
+        };
+        for (size_t P = 0; P != 3; ++P) {
+          const Row &Want = Rows[P];
+          const std::string Tag =
+              std::string("multi-client ") + Want.Name + ": ";
+          if (warnIds(Rep.PlanResults[P].ToolWarnings) != Want.Warns)
+            Diverge(OracleKind::ClientConsistency,
+                    Tag + "single-pass vs individual run: " +
+                        describeSetDiff(warnIds(Rep.PlanResults[P].ToolWarnings),
+                                        Want.Warns));
+          if (Rep.PlanResults[P].DynChecks != Want.Checks)
+            Diverge(OracleKind::ClientConsistency,
+                    Tag + "dynamic check count " +
+                        std::to_string(Rep.PlanResults[P].DynChecks) +
+                        " vs individual run's " +
+                        std::to_string(Want.Checks));
         }
       }
     }

@@ -6,7 +6,7 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The six differential oracles the fuzzer evaluates on every valid
+/// The eight differential oracles the fuzzer evaluates on every valid
 /// input, each reusing an existing piece of the project's verification
 /// infrastructure:
 ///
@@ -44,6 +44,13 @@
 ///     exhaustive state-space traversal, every positive verdict's witness
 ///     must replay as a realizable VFG path, and a repeated query must be
 ///     answered from the memo table with the same verdict.
+///  8. ClientConsistency — every sanitizer client's guided plan must
+///     report exactly the warnings its own full (analysis-free)
+///     instrumentation reports, each warning must sit at an instruction
+///     the client's static plan instruments with a check, and a
+///     multi-client single-pass run (one interpreter, one plan per
+///     client) must reproduce each client's individual-run warning set
+///     and dynamic-check count.
 ///
 /// Programs are interchanged as TinyC source text; each pipeline run
 /// parses its own fresh module because heap cloning mutates modules, and
@@ -72,9 +79,10 @@ enum class OracleKind : uint8_t {
   ServeEquivalence,
   SummaryEquivalence,
   QueryEquivalence,
+  ClientConsistency,
 };
 
-constexpr unsigned NumOracleKinds = 7;
+constexpr unsigned NumOracleKinds = 8;
 
 /// Stable lower-case name used in reports and JSON
 /// ("variant-equivalence", "solver-equivalence", ...).
@@ -96,6 +104,7 @@ struct OracleOptions {
   bool CheckServe = true;
   bool CheckSummary = true;
   bool CheckQuery = true;
+  bool CheckClients = true;
   /// Applied to every interpreter run. Mutants can manufacture infinite
   /// loops, so the default step budget is far below the interpreter's.
   uint64_t MaxSteps = 2'000'000;

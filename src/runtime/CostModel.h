@@ -58,6 +58,10 @@ struct CostModel {
   double RetOut = 1.7;
   double RetIn = 1.7;
   double Check = 2.2;
+  /// A bounds check compares the formed pointer against its object's
+  /// field range (two comparisons plus the range load) — slightly more
+  /// than the single shadow-bit Check.
+  double CheckBounds = 2.8;
 
   /// Modeled cost of executing \p I (without instrumentation).
   double baseCost(const ir::Instruction &I) const {
@@ -109,6 +113,8 @@ struct CostModel {
       return RetIn;
     case core::ShadowOp::Kind::Check:
       return Check;
+    case core::ShadowOp::Kind::CheckBounds:
+      return CheckBounds;
     }
     return 1.0;
   }

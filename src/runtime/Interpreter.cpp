@@ -55,7 +55,8 @@ struct Value {
 struct Instance {
   const MemObject *Obj;
   std::vector<Value> Cells;
-  std::vector<uint8_t> Shadow; ///< Tool shadow (plan-maintained).
+  /// Tool shadows, one plane per executing plan (plan-maintained).
+  std::vector<std::vector<uint8_t>> Shadow;
   std::vector<uint8_t> Oracle; ///< Ground-truth definedness.
 };
 
@@ -66,7 +67,8 @@ struct Frame {
   uint32_t Index = 0;
   bool ResumeAfterCall = false;
   std::vector<Value> Vars;
-  std::vector<uint8_t> Shadow;
+  /// Variable shadows, one plane per executing plan.
+  std::vector<std::vector<uint8_t>> Shadow;
   std::vector<uint8_t> Oracle;
 };
 
@@ -74,19 +76,37 @@ struct Frame {
 
 class Interpreter::Impl {
 public:
-  Impl(const Module &M, const InstrumentationPlan *Plan, CostModel Model,
+  Impl(const Module &M, std::vector<PlanExec> Plans, CostModel Model,
        ExecLimits Limits)
-      : M(M), Plan(Plan), Model(Model), Limits(Limits) {}
+      : M(M), Plans(std::move(Plans)), Model(Model), Limits(Limits) {}
 
   ExecutionReport run();
 
 private:
   // -- Shadow helpers -----------------------------------------------------
-  bool evalShadow(const Frame &F, const ShadowVal &SV) const {
-    return SV.IsLiteral ? SV.Literal : F.Shadow[SV.Var->getId()] != 0;
+  bool evalShadow(const Frame &F, size_t P, const ShadowVal &SV) const {
+    return SV.IsLiteral ? SV.Literal : F.Shadow[P][SV.Var->getId()] != 0;
   }
-  bool runOps(const std::vector<ShadowOp> &Ops, Frame &F,
+  bool runOps(size_t P, const std::vector<ShadowOp> &Ops, Frame &F,
               const Instruction *At);
+  bool runBefore(const Instruction *I, Frame &F) {
+    for (size_t P = 0; P != Plans.size(); ++P)
+      if (!runOps(P, Plans[P].Plan->before(I), F, I))
+        return false;
+    return true;
+  }
+  bool runAfter(const Instruction *I, Frame &F) {
+    for (size_t P = 0; P != Plans.size(); ++P)
+      if (!runOps(P, Plans[P].Plan->after(I), F, I))
+        return false;
+    return true;
+  }
+  bool runEntry(const Function *Fn, Frame &F, const Instruction *At) {
+    for (size_t P = 0; P != Plans.size(); ++P)
+      if (!runOps(P, Plans[P].Plan->entry(Fn), F, At))
+        return false;
+    return true;
+  }
 
   // -- Base semantics -----------------------------------------------------
   Value evalOperand(const Frame &F, const Operand &Op) const;
@@ -106,14 +126,14 @@ private:
   bool resolve(const Frame &F, const Operand &Op, uint32_t &Inst,
                uint32_t &Field);
 
-  void warnTool(const Instruction *I) { ++ToolWarnCounts[I]; }
+  void warnTool(size_t P, const Instruction *I) { ++ToolWarnCounts[P][I]; }
   void warnOracle(const Instruction *I) { ++OracleWarnCounts[I]; }
 
   bool pushFrame(const Function *Fn);
   bool step();
 
   const Module &M;
-  const InstrumentationPlan *Plan;
+  std::vector<PlanExec> Plans;
   CostModel Model;
   ExecLimits Limits;
 
@@ -121,15 +141,16 @@ private:
   std::unordered_map<const MemObject *, uint32_t> GlobalInstances;
   std::vector<Frame> Frames;
 
-  // Shadow transfer registers (sigma_g).
-  std::vector<uint8_t> ArgShadow;
-  uint8_t RetShadow = 1;
+  // Shadow transfer registers (sigma_g), one bank per plan.
+  std::vector<std::vector<uint8_t>> ArgShadow;
+  std::vector<uint8_t> RetShadow;
   // Base-value transfer for returns.
   Value RetVal;
   bool RetOracle = true;
 
   ExecutionReport Report;
-  std::map<const Instruction *, uint64_t> ToolWarnCounts, OracleWarnCounts;
+  std::vector<std::map<const Instruction *, uint64_t>> ToolWarnCounts;
+  std::map<const Instruction *, uint64_t> OracleWarnCounts;
   bool Done = false;
 };
 
@@ -213,26 +234,27 @@ bool Interpreter::Impl::resolve(const Frame &F, const Operand &Op,
   return true;
 }
 
-bool Interpreter::Impl::runOps(const std::vector<ShadowOp> &Ops, Frame &F,
-                               const Instruction *At) {
+bool Interpreter::Impl::runOps(size_t P, const std::vector<ShadowOp> &Ops,
+                               Frame &F, const Instruction *At) {
+  PlanReport &PR = Report.PlanResults[P];
   for (const ShadowOp &Op : Ops) {
     size_t Cells = 1;
     switch (Op.K) {
     case ShadowOp::Kind::SetVar:
-      F.Shadow[Op.Dst->getId()] = evalShadow(F, Op.Srcs[0]);
+      F.Shadow[P][Op.Dst->getId()] = evalShadow(F, P, Op.Srcs[0]);
       break;
     case ShadowOp::Kind::AndVar: {
       bool V = true;
       for (const ShadowVal &SV : Op.Srcs)
-        V = V && evalShadow(F, SV);
-      F.Shadow[Op.Dst->getId()] = V;
+        V = V && evalShadow(F, P, SV);
+      F.Shadow[P][Op.Dst->getId()] = V;
       break;
     }
     case ShadowOp::Kind::SetMemCell: {
       uint32_t Inst, Field;
       if (!resolve(F, Op.Ptr, Inst, Field))
         return false;
-      Instances[Inst].Shadow[Field] = evalShadow(F, Op.Srcs[0]);
+      Instances[Inst].Shadow[P][Field] = evalShadow(F, P, Op.Srcs[0]);
       break;
     }
     case ShadowOp::Kind::SetMemObject: {
@@ -240,9 +262,9 @@ bool Interpreter::Impl::runOps(const std::vector<ShadowOp> &Ops, Frame &F,
       if (!resolve(F, Op.Ptr, Inst, Field))
         return false;
       Instance &In = Instances[Inst];
-      Cells = In.Shadow.size();
-      bool V = evalShadow(F, Op.Srcs[0]);
-      for (uint8_t &S : In.Shadow)
+      Cells = In.Shadow[P].size();
+      bool V = evalShadow(F, P, Op.Srcs[0]);
+      for (uint8_t &S : In.Shadow[P])
         S = V;
       break;
     }
@@ -250,33 +272,45 @@ bool Interpreter::Impl::runOps(const std::vector<ShadowOp> &Ops, Frame &F,
       uint32_t Inst, Field;
       if (!resolve(F, Op.Ptr, Inst, Field))
         return false;
-      F.Shadow[Op.Dst->getId()] = Instances[Inst].Shadow[Field];
+      F.Shadow[P][Op.Dst->getId()] = Instances[Inst].Shadow[P][Field];
       break;
     }
     case ShadowOp::Kind::ArgOut:
-      if (Op.Index >= ArgShadow.size())
-        ArgShadow.resize(Op.Index + 1, 1);
-      ArgShadow[Op.Index] = evalShadow(F, Op.Srcs[0]);
+      if (Op.Index >= ArgShadow[P].size())
+        ArgShadow[P].resize(Op.Index + 1, 1);
+      ArgShadow[P][Op.Index] = evalShadow(F, P, Op.Srcs[0]);
       break;
     case ShadowOp::Kind::ParamIn:
-      F.Shadow[Op.Dst->getId()] =
-          Op.Index < ArgShadow.size() ? ArgShadow[Op.Index] : 1;
+      F.Shadow[P][Op.Dst->getId()] =
+          Op.Index < ArgShadow[P].size() ? ArgShadow[P][Op.Index] : 1;
       break;
     case ShadowOp::Kind::RetOut:
-      RetShadow = evalShadow(F, Op.Srcs[0]);
+      RetShadow[P] = evalShadow(F, P, Op.Srcs[0]);
       break;
     case ShadowOp::Kind::RetIn:
-      F.Shadow[Op.Dst->getId()] = RetShadow;
+      F.Shadow[P][Op.Dst->getId()] = RetShadow[P];
       break;
     case ShadowOp::Kind::Check:
-      ++Report.DynChecks;
-      Report.ShadowCost += Model.shadowCost(Op, Cells);
-      if (!evalShadow(F, Op.Srcs[0]))
-        warnTool(At);
+      ++PR.DynChecks;
+      PR.ShadowCost += Model.shadowCost(Op, Cells);
+      if (!evalShadow(F, P, Op.Srcs[0]))
+        warnTool(P, At);
+      continue;
+    case ShadowOp::Kind::CheckBounds: {
+      // Spatial-safety check: reads the concrete pointer value, never a
+      // shadow, and never traps — an out-of-range pointer is the finding,
+      // not an execution error.
+      ++PR.DynChecks;
+      PR.ShadowCost += Model.shadowCost(Op, Cells);
+      Value Ptr = evalOperand(F, Op.Ptr);
+      if (Ptr.IsPtr && (Ptr.Inst >= Instances.size() ||
+                        Ptr.Field >= Instances[Ptr.Inst].Cells.size()))
+        warnTool(P, At);
       continue;
     }
-    ++Report.DynShadowOps;
-    Report.ShadowCost += Model.shadowCost(Op, Cells);
+    }
+    ++PR.DynShadowOps;
+    PR.ShadowCost += Model.shadowCost(Op, Cells);
   }
   return true;
 }
@@ -293,7 +327,10 @@ bool Interpreter::Impl::pushFrame(const Function *Fn) {
   F.Block = Fn->getEntry()->getId();
   F.Index = 0;
   F.Vars.resize(Fn->variables().size());
-  F.Shadow.assign(Fn->variables().size(), 0);
+  F.Shadow.resize(Plans.size());
+  for (size_t P = 0; P != Plans.size(); ++P)
+    F.Shadow[P].assign(Fn->variables().size(),
+                       Plans[P].Sem.FrameInit ? 1 : 0);
   F.Oracle.assign(Fn->variables().size(), 0);
   return true;
 }
@@ -308,7 +345,7 @@ bool Interpreter::Impl::step() {
   // call's after-instrumentation and advance.
   if (F.ResumeAfterCall) {
     F.ResumeAfterCall = false;
-    if (Plan && !runOps(Plan->after(I), F, I))
+    if (!runAfter(I, F))
       return false;
     ++F.Index;
     return true;
@@ -327,7 +364,7 @@ bool Interpreter::Impl::step() {
   }
   Report.BaseCost += Model.baseCost(*I);
 
-  if (Plan && !runOps(Plan->before(I), F, I))
+  if (!runBefore(I, F))
     return false;
 
   bool Advance = true;
@@ -356,9 +393,11 @@ bool Interpreter::Impl::step() {
     Instance &In = Instances.back();
     In.Obj = Obj;
     In.Cells.assign(Obj->getNumFields(), Value::integer(0));
-    // Tool shadows default to "defined"; any allocation whose definedness
-    // can matter is instrumented with an explicit SetMemObject.
-    In.Shadow.assign(Obj->getNumFields(), 1);
+    // Tool shadows default to "good"; any allocation whose state can
+    // matter to a client is instrumented with an explicit SetMemObject.
+    In.Shadow.resize(Plans.size());
+    for (size_t P = 0; P != Plans.size(); ++P)
+      In.Shadow[P].assign(Obj->getNumFields(), 1);
     In.Oracle.assign(Obj->getNumFields(), Obj->isInitialized() ? 1 : 0);
     F.Vars[I->getDef()->getId()] =
         Value::pointer(static_cast<uint32_t>(Instances.size() - 1), 0);
@@ -421,7 +460,7 @@ bool Interpreter::Impl::step() {
       NewF.Vars[P->getId()] = Args[Idx];
       NewF.Oracle[P->getId()] = ArgOracles[Idx];
     }
-    if (Plan && !runOps(Plan->entry(Callee), NewF, I))
+    if (!runEntry(Callee, NewF, I))
       return false;
     return true; // Control continues in the callee.
   }
@@ -474,7 +513,7 @@ bool Interpreter::Impl::step() {
   }
   }
 
-  if (Plan && !runOps(Plan->after(I), F, I))
+  if (!runAfter(I, F))
     return false;
   if (Advance)
     ++F.Index;
@@ -484,6 +523,10 @@ bool Interpreter::Impl::step() {
 ExecutionReport Interpreter::Impl::run() {
   Report = ExecutionReport();
   Report.Reason = ExitReason::Finished;
+  Report.PlanResults.resize(Plans.size());
+  ArgShadow.assign(Plans.size(), {});
+  RetShadow.assign(Plans.size(), 1);
+  ToolWarnCounts.assign(Plans.size(), {});
 
   // Instantiate globals. Their shadows are initialized statically (shadow
   // memory of globals is set up at link time in a real MSan pipeline), so
@@ -495,7 +538,12 @@ ExecutionReport Interpreter::Impl::run() {
     Instance &In = Instances.back();
     In.Obj = Obj.get();
     In.Cells.assign(Obj->getNumFields(), Value::integer(0));
-    In.Shadow.assign(Obj->getNumFields(), Obj->isInitialized() ? 1 : 0);
+    In.Shadow.resize(Plans.size());
+    for (size_t P = 0; P != Plans.size(); ++P)
+      In.Shadow[P].assign(Obj->getNumFields(),
+                          Plans[P].Sem.GlobalsFromInit
+                              ? (Obj->isInitialized() ? 1 : 0)
+                              : 1);
     In.Oracle.assign(Obj->getNumFields(), Obj->isInitialized() ? 1 : 0);
     GlobalInstances[Obj.get()] = static_cast<uint32_t>(Instances.size() - 1);
   }
@@ -504,7 +552,7 @@ ExecutionReport Interpreter::Impl::run() {
   assert(Main && "module has no main (verifier should have caught this)");
   if (!pushFrame(Main))
     return Report;
-  if (Plan && !runOps(Plan->entry(Main), Frames.back(), nullptr))
+  if (!runEntry(Main, Frames.back(), nullptr))
     return Report;
 
   while (!Done && step()) {
@@ -516,18 +564,40 @@ ExecutionReport Interpreter::Impl::run() {
   auto ById = [](const Warning &A, const Warning &B) {
     return A.At->getId() < B.At->getId();
   };
-  for (const auto &[I, N] : ToolWarnCounts)
-    Report.ToolWarnings.push_back({I, N});
-  std::sort(Report.ToolWarnings.begin(), Report.ToolWarnings.end(), ById);
+  for (size_t P = 0; P != Plans.size(); ++P) {
+    PlanReport &PR = Report.PlanResults[P];
+    for (const auto &[I, N] : ToolWarnCounts[P])
+      PR.ToolWarnings.push_back({I, N});
+    std::sort(PR.ToolWarnings.begin(), PR.ToolWarnings.end(), ById);
+    // Legacy aggregates: plan 0's warnings, summed counters. A single-plan
+    // run sums exactly one addend, so its report is bit-identical to the
+    // pre-framework interpreter's.
+    Report.DynShadowOps += PR.DynShadowOps;
+    Report.DynChecks += PR.DynChecks;
+    Report.ShadowCost += PR.ShadowCost;
+  }
+  if (!Plans.empty())
+    Report.ToolWarnings = Report.PlanResults[0].ToolWarnings;
   for (const auto &[I, N] : OracleWarnCounts)
     Report.OracleWarnings.push_back({I, N});
   std::sort(Report.OracleWarnings.begin(), Report.OracleWarnings.end(), ById);
   return Report;
 }
 
+static std::vector<PlanExec> singlePlan(const InstrumentationPlan *Plan) {
+  std::vector<PlanExec> Plans;
+  if (Plan)
+    Plans.push_back({Plan, core::ShadowSemantics()});
+  return Plans;
+}
+
 Interpreter::Interpreter(const Module &M, const InstrumentationPlan *Plan,
                          CostModel Model, ExecLimits Limits)
-    : PImpl(std::make_unique<Impl>(M, Plan, Model, Limits)) {}
+    : PImpl(std::make_unique<Impl>(M, singlePlan(Plan), Model, Limits)) {}
+
+Interpreter::Interpreter(const Module &M, std::vector<PlanExec> Plans,
+                         CostModel Model, ExecLimits Limits)
+    : PImpl(std::make_unique<Impl>(M, std::move(Plans), Model, Limits)) {}
 
 Interpreter::~Interpreter() = default;
 

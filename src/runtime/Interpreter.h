@@ -23,6 +23,7 @@
 #define USHER_RUNTIME_INTERPRETER_H
 
 #include "core/InstrumentationPlan.h"
+#include "core/SanitizerClient.h"
 #include "runtime/CostModel.h"
 
 #include <atomic>
@@ -76,6 +77,23 @@ struct Warning {
   uint64_t Occurrences;
 };
 
+/// One instrumentation plan to execute, paired with the shadow semantics
+/// of the client it belongs to. Several PlanExecs run side by side in a
+/// single pass: each gets its own shadow planes (frame slots, memory
+/// cells, transfer registers), while the base execution is shared.
+struct PlanExec {
+  const core::InstrumentationPlan *Plan = nullptr;
+  core::ShadowSemantics Sem;
+};
+
+/// Per-plan outcome of a multi-client run.
+struct PlanReport {
+  std::vector<Warning> ToolWarnings;
+  uint64_t DynShadowOps = 0;
+  uint64_t DynChecks = 0;
+  double ShadowCost = 0;
+};
+
 /// Everything one execution produced.
 struct ExecutionReport {
   ExitReason Reason = ExitReason::Finished;
@@ -88,10 +106,16 @@ struct ExecutionReport {
   uint64_t DynShadowOps = 0; ///< Executed shadow operations (non-check).
   uint64_t DynChecks = 0;    ///< Executed runtime checks.
 
-  /// Tool warnings (from plan checks), keyed by instruction id.
+  /// Tool warnings (from plan checks), keyed by instruction id. With
+  /// several plans this aggregates plan 0 only (the legacy field); see
+  /// PlanResults for per-plan warning sets.
   std::vector<Warning> ToolWarnings;
   /// Ground-truth warnings: undefined values used at critical operations.
   std::vector<Warning> OracleWarnings;
+
+  /// Per-plan results, in the order the plans were passed. A single-plan
+  /// run has exactly one entry whose fields equal the legacy aggregates.
+  std::vector<PlanReport> PlanResults;
 
   /// Executed control-flow edges (branch/goto transfers), keyed by
   /// edgeKey(); populated only with ExecLimits::CollectCoverage.
@@ -114,8 +138,14 @@ struct ExecutionReport {
 class Interpreter {
 public:
   /// Prepares to run \p M, optionally under \p Plan (null = native run).
-  /// Both must outlive the interpreter.
+  /// Both must outlive the interpreter. Equivalent to the multi-plan
+  /// constructor with a single UUV-semantics PlanExec.
   Interpreter(const ir::Module &M, const core::InstrumentationPlan *Plan,
+              CostModel Model = CostModel(), ExecLimits Limits = ExecLimits());
+
+  /// Prepares to run \p M under several plans at once (one per client).
+  /// The module and every plan must outlive the interpreter.
+  Interpreter(const ir::Module &M, std::vector<PlanExec> Plans,
               CostModel Model = CostModel(), ExecLimits Limits = ExecLimits());
   ~Interpreter();
 

@@ -153,6 +153,7 @@ std::string serve::encodeRequest(const Request &Rq) {
   putStr(Out, Rq.Source);
   putU32(Out, Rq.QuerySrc);
   putU32(Out, Rq.QuerySink);
+  putStr(Out, Rq.Clients);
   return Out;
 }
 
@@ -189,6 +190,8 @@ bool serve::decodeRequest(std::string_view Body, Request &Out,
     return fail(Err, "truncated request: missing query source node");
   if (!C.getU32(Out.QuerySink))
     return fail(Err, "truncated request: missing query sink node");
+  if (!C.getStr(Out.Clients))
+    return fail(Err, "truncated request: bad client list field");
   if (!C.atEnd())
     return fail(Err, "trailing bytes after request");
   return true;

@@ -37,8 +37,9 @@ namespace usher {
 namespace serve {
 
 /// Wire protocol version carried in every body. Version 2 added the
-/// demand-query op and the query src/sink request fields.
-constexpr uint8_t ProtocolVersion = 2;
+/// demand-query op and the query src/sink request fields; version 3 the
+/// sanitizer-client list on analyze requests.
+constexpr uint8_t ProtocolVersion = 3;
 
 /// Hard cap on one frame's body. A length field above this is a framing
 /// error, not an allocation request — a corrupt peer cannot make the
@@ -93,6 +94,9 @@ struct Request {
   std::string Source;       ///< TinyC program text.
   uint32_t QuerySrc = 0;    ///< Op::Query: source VFG node id.
   uint32_t QuerySink = 0;   ///< Op::Query: sink VFG node id.
+  /// Op::Analyze: comma-separated sanitizer client list ("uuv,bounds");
+  /// empty means UUV only, exactly the version-2 behavior.
+  std::string Clients;
 };
 
 /// One reply. Id always echoes the request's.

@@ -48,12 +48,18 @@ namespace {
 /// module-section entries are derived from it; they are per-function
 /// *files*, not per-function validity (ROADMAP item 2 covers true
 /// incremental invalidation).
-uint64_t moduleKey(const ir::Module &M, Op Kind) {
+uint64_t moduleKey(const ir::Module &M, Op Kind, const std::string &Clients) {
   std::string Text;
   raw_string_ostream OS(Text);
   M.print(OS);
-  return SnapshotStore::mix(SnapshotStore::hashBytes(opName(Kind)),
-                            SnapshotStore::hashBytes(Text));
+  uint64_t Key = SnapshotStore::mix(SnapshotStore::hashBytes(opName(Kind)),
+                                    SnapshotStore::hashBytes(Text));
+  // The client list changes the reply, so it must change the key; the
+  // empty (UUV-only) list keeps the pre-framework key values, so old
+  // snapshot stores stay warm.
+  if (!Clients.empty())
+    Key = SnapshotStore::mix(Key, SnapshotStore::hashBytes(Clients));
+  return Key;
 }
 
 uint64_t functionKey(uint64_t ModuleKey, const ir::Function &F) {
@@ -103,6 +109,12 @@ std::string renderAnalyzeModule(const core::UsherResult &R) {
      << " checks=" << R.Plan.countChecks()
      << " shadow-ops=" << R.Plan.countShadowOps()
      << " propagations=" << R.Plan.countPropagationReads() << "\n";
+  for (const core::ClientPlanInfo &CP : R.ClientPlans)
+    OS << "client " << core::clientName(CP.Kind)
+       << ": checks=" << CP.Plan.countChecks()
+       << " shadow-ops=" << CP.Plan.countShadowOps()
+       << " sinks=" << CP.SinkCandidates << " unsafe=" << CP.UnsafeSinks
+       << "\n";
   if (R.Degradation.Degraded)
     OS << "degraded: " << R.Degradation.summary() << "\n";
   return Out;
@@ -158,6 +170,25 @@ Reply Session::handleAnalysis(const Request &Rq) {
   }
   ir::Module &M = *PR.M;
 
+  // Sanitizer-client selection (analyze only; diagnose is UUV by nature).
+  std::vector<core::ClientKind> Clients;
+  if (Rq.Kind == Op::Analyze && !Rq.Clients.empty()) {
+    std::string_view List = Rq.Clients;
+    for (;;) {
+      size_t Comma = List.find(',');
+      core::ClientKind K;
+      if (!core::parseClientName(std::string(List.substr(0, Comma)), K)) {
+        Rp.Status = ReplyStatus::Error;
+        Rp.Payload = "unknown sanitizer client in list: " + Rq.Clients;
+        return Rp;
+      }
+      Clients.push_back(K);
+      if (Comma == std::string_view::npos)
+        break;
+      List.remove_prefix(Comma + 1);
+    }
+  }
+
   // Budgeted requests bypass the snapshot store in both directions: their
   // results may be degraded (weaker than what a later unbudgeted request
   // deserves) and an unbudgeted snapshot must never mask the degradation
@@ -165,7 +196,8 @@ Reply Session::handleAnalysis(const Request &Rq) {
   const bool Cacheable =
       Rq.DeadlineMs == 0 && Rq.BudgetSteps == 0 && Rq.FaultSpec.empty();
 
-  const uint64_t MK = moduleKey(M, Rq.Kind);
+  const uint64_t MK =
+      moduleKey(M, Rq.Kind, Rq.Kind == Op::Analyze ? Rq.Clients : "");
   const uint64_t SectionKey = moduleSectionKey(MK);
 
   if (Cacheable) {
@@ -195,6 +227,7 @@ Reply Session::handleAnalysis(const Request &Rq) {
   core::UsherOptions UO;
   UO.Jobs = Opts.Jobs;
   UO.Engine = Opts.Engine;
+  UO.Clients = Clients;
   // Budgeted/faulted requests skip the summary cache for the same reason
   // they skip the reply snapshots: the caller asked to observe resource
   // exhaustion, and warm summaries would move where it lands.

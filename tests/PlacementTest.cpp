@@ -1,0 +1,216 @@
+//===- tests/PlacementTest.cpp - Budgeted placement properties -------------===//
+//
+// Part of the Usher project, reproducing "Accelerating Dynamic Detection of
+// Uses of Undefined Values with Static Value-Flow Analysis" (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Property tests for the OptiSan-style budgeted check placement. On
+/// instances small enough to enumerate every subset, the DP solver must
+/// pick a coverage-maximal plan within capacity (and the cheapest among
+/// those); across a capacity sweep, coverage must be monotone — a higher
+/// slowdown budget never buys fewer covered unsafe operations. The same
+/// monotonicity is asserted end-to-end through the bounds client's
+/// --bounds-budget surface on an equal-weight program.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Placement.h"
+#include "core/SanitizerClient.h"
+#include "core/Usher.h"
+#include "parser/Parser.h"
+#include "support/Budget.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+using namespace usher;
+using core::PlacementCandidate;
+using core::PlacementResult;
+using core::solvePlacement;
+
+namespace {
+
+/// Deterministic 64-bit LCG so instances are reproducible across runs
+/// and platforms.
+struct Lcg {
+  uint64_t S;
+  uint64_t next(uint64_t Bound) {
+    S = S * 6364136223846793005ull + 1442695040888963407ull;
+    return (S >> 33) % Bound;
+  }
+};
+
+struct BestSubset {
+  uint64_t Value = 0;
+  uint64_t Cost = 0;
+};
+
+/// Exhaustive reference: the best coverage over all 2^n subsets, breaking
+/// value ties toward the cheaper plan — the solver's documented order.
+BestSubset bestByEnumeration(const std::vector<PlacementCandidate> &Cands,
+                             uint64_t Capacity) {
+  BestSubset Best;
+  for (uint64_t Mask = 0; Mask != (1ull << Cands.size()); ++Mask) {
+    uint64_t V = 0, C = 0;
+    for (size_t I = 0; I != Cands.size(); ++I)
+      if (Mask & (1ull << I)) {
+        V += Cands[I].Value;
+        C += Cands[I].Cost;
+      }
+    if (C <= Capacity && (V > Best.Value || (V == Best.Value && C < Best.Cost)))
+      Best = {V, C};
+  }
+  return Best;
+}
+
+std::vector<PlacementCandidate> randomInstance(Lcg &R, size_t N) {
+  std::vector<PlacementCandidate> Cands(N);
+  for (PlacementCandidate &C : Cands) {
+    C.Value = 1 + R.next(8);
+    C.Cost = 1 + R.next(16);
+  }
+  return Cands;
+}
+
+uint64_t sumCost(const std::vector<PlacementCandidate> &Cands) {
+  uint64_t C = 0;
+  for (const PlacementCandidate &Cand : Cands)
+    C += Cand.Cost;
+  return C;
+}
+
+TEST(Placement, MatchesExhaustiveEnumeration) {
+  Lcg R{42};
+  for (unsigned Trial = 0; Trial != 200; ++Trial) {
+    const size_t N = 1 + R.next(10);
+    std::vector<PlacementCandidate> Cands = randomInstance(R, N);
+    const uint64_t AllCost = sumCost(Cands);
+    const uint64_t Capacity = R.next(AllCost + 2);
+
+    PlacementResult Got = solvePlacement(Cands, Capacity);
+    BestSubset Want = bestByEnumeration(Cands, Capacity);
+
+    ASSERT_EQ(Got.TotalValue, Want.Value)
+        << "trial " << Trial << ": not coverage-maximal within capacity "
+        << Capacity;
+    ASSERT_EQ(Got.TotalCost, Want.Cost)
+        << "trial " << Trial << ": coverage-maximal but not cheapest";
+    ASSERT_LE(Got.TotalCost, Capacity) << "trial " << Trial;
+    ASSERT_EQ(Got.CapacityBound, AllCost > Capacity) << "trial " << Trial;
+
+    // The chosen flags must account exactly for the reported totals.
+    uint64_t V = 0, C = 0;
+    ASSERT_EQ(Got.Chosen.size(), N);
+    for (size_t I = 0; I != N; ++I)
+      if (Got.Chosen[I]) {
+        V += Cands[I].Value;
+        C += Cands[I].Cost;
+      }
+    ASSERT_EQ(V, Got.TotalValue) << "trial " << Trial;
+    ASSERT_EQ(C, Got.TotalCost) << "trial " << Trial;
+  }
+}
+
+TEST(Placement, CoverageMonotoneInCapacity) {
+  Lcg R{7};
+  for (unsigned Trial = 0; Trial != 60; ++Trial) {
+    const size_t N = 1 + R.next(9);
+    std::vector<PlacementCandidate> Cands = randomInstance(R, N);
+    const uint64_t AllCost = sumCost(Cands);
+
+    uint64_t PrevValue = 0;
+    for (uint64_t Capacity = 0; Capacity <= AllCost + 1; ++Capacity) {
+      PlacementResult Got = solvePlacement(Cands, Capacity);
+      ASSERT_GE(Got.TotalValue, PrevValue)
+          << "trial " << Trial << ": coverage dropped when the capacity "
+          << "rose to " << Capacity;
+      PrevValue = Got.TotalValue;
+    }
+
+    // Unlimited capacity covers everything.
+    PlacementResult Full =
+        solvePlacement(Cands, std::numeric_limits<uint64_t>::max());
+    uint64_t AllValue = 0;
+    for (const PlacementCandidate &C : Cands)
+      AllValue += C.Value;
+    ASSERT_EQ(Full.TotalValue, AllValue);
+    ASSERT_FALSE(Full.CapacityBound);
+  }
+}
+
+TEST(Placement, BudgetExhaustionFallsBackToTakeAll) {
+  // The sound degradation: a solver whose own budget runs out must not
+  // silently drop checks — it instruments every candidate, over budget.
+  std::vector<PlacementCandidate> Cands(12);
+  for (size_t I = 0; I != Cands.size(); ++I)
+    Cands[I] = {1, 10};
+  BudgetLimits L;
+  L.MaxStepsPerPhase = 1;
+  Budget B(L);
+  B.beginPhase(BudgetPhase::OptII);
+  PlacementResult Got = solvePlacement(Cands, /*Capacity=*/15, &B);
+  ASSERT_TRUE(B.exhausted());
+  ASSERT_TRUE(Got.CapacityBound);
+  ASSERT_EQ(Got.TotalValue, Cands.size());
+  for (uint8_t F : Got.Chosen)
+    ASSERT_TRUE(F);
+}
+
+//===----------------------------------------------------------------------===//
+// End-to-end through the bounds client's budget surface
+//===----------------------------------------------------------------------===//
+
+// Straight-line program: every unsafe gep has weight 1 and identical
+// modeled cost, so the placement's coverage equals its check count and
+// monotonicity in the budget is directly observable via ChosenChecks.
+const char *EqualWeightSites = R"(
+func main() {
+  p = alloc stack 2 uninit;
+  i = 1;
+  a = gep p, i;
+  b = gep p, i;
+  c = gep p, i;
+  d = gep p, i;
+  e = gep p, i;
+  f = gep p, i;
+  ret 0;
+}
+)";
+
+core::ClientPlanInfo boundsPlanAtBudget(unsigned Percent) {
+  auto M = parser::parseModuleOrAbort(EqualWeightSites);
+  core::UsherOptions Opts;
+  Opts.Clients = {core::ClientKind::Bounds};
+  Opts.BoundsBudgetPercent = Percent;
+  core::UsherResult R = core::runUsher(*M, Opts);
+  EXPECT_EQ(R.ClientPlans.size(), 1u);
+  return std::move(R.ClientPlans[0]);
+}
+
+TEST(Placement, BoundsBudgetMonotoneOnEqualWeightProgram) {
+  uint64_t PrevChecks = 0;
+  bool SawPartial = false;
+  for (unsigned Percent : {1u, 5u, 10u, 25u, 50u, 100u, 400u}) {
+    core::ClientPlanInfo Info = boundsPlanAtBudget(Percent);
+    ASSERT_EQ(Info.UnsafeSinks, 6u) << "at " << Percent << "%";
+    ASSERT_GE(Info.ChosenChecks, PrevChecks)
+        << "coverage dropped when the budget rose to " << Percent << "%";
+    if (Info.CapacityBound) {
+      ASSERT_LE(Info.PlacementCost, Info.PlacementCapacity)
+          << "at " << Percent << "%";
+      SawPartial = true;
+    }
+    PrevChecks = Info.ChosenChecks;
+  }
+  // The sweep must actually exercise the constrained regime, and the
+  // unlimited default must cover every unsafe site.
+  ASSERT_TRUE(SawPartial) << "no budget in the sweep was binding";
+  core::ClientPlanInfo Unlimited = boundsPlanAtBudget(0);
+  ASSERT_EQ(Unlimited.ChosenChecks, Unlimited.UnsafeSinks);
+  ASSERT_FALSE(Unlimited.CapacityBound);
+}
+
+} // namespace

@@ -23,6 +23,7 @@ import tempfile
 
 VERDICTS = {"may": "warning", "definite": "error"}
 EDGE_KINDS = {"direct", "call", "ret"}
+CLIENTS = {"uuv", "addrleak", "bounds"}
 
 
 def fail(msg):
@@ -113,6 +114,11 @@ def check_report(path):
             fail(f"{where}: not an object")
         if finding.get("ruleId") != "usher-uuv":
             fail(f"{where}: bad ruleId {finding.get('ruleId')!r}")
+        client = finding.get("client")
+        if client not in CLIENTS:
+            fail(f"{where}: bad client {client!r}")
+        if finding["ruleId"] != f"usher-{client}":
+            fail(f"{where}: client {client!r} disagrees with ruleId")
         verdict = finding.get("verdict")
         if verdict not in VERDICTS:
             fail(f"{where}: bad verdict {verdict!r}")

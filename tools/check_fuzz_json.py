@@ -28,6 +28,7 @@ ORACLE_NAMES = [
     "serve-equivalence",
     "summary-equivalence",
     "query-equivalence",
+    "client-consistency",
 ]
 
 COUNTER_FIELDS = ["seed", "runs", "valid", "invalid", "corpus_size", "coverage_keys"]

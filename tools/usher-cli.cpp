@@ -35,6 +35,14 @@
 ///   usher-cli prog.tc --jobs=8        run the parallel analysis phases on
 ///                                     8 workers (output byte-identical to
 ///                                     --jobs=1)
+///   usher-cli prog.tc --client=uuv,addrleak,bounds
+///                                     sanitizer clients to plan and run in
+///                                     a single pass over one VFG (default:
+///                                     uuv only)
+///   usher-cli prog.tc --bounds-budget=10
+///                                     bounds client: cap the modeled
+///                                     slowdown of placed bounds checks at
+///                                     10% (0 = unlimited)
 ///
 /// Exit codes: 0 success (including degraded analysis — a note goes to
 /// stderr), 2 usage/parse/input error, 3 runtime warnings were reported,
@@ -102,6 +110,10 @@ struct CliOptions {
   BudgetLimits Limits;
   std::optional<FaultPlan> Fault;
   uint64_t Jobs = 1;
+  /// --client= selections, in the order given; empty = UUV only (the
+  /// legacy single-client pipeline, output byte-identical).
+  std::vector<core::ClientKind> Clients;
+  unsigned BoundsBudgetPercent = 0;
 };
 
 int usage(const char *Argv0) {
@@ -111,7 +123,19 @@ int usage(const char *Argv0) {
             "[--no-run] [--solver=andersen|naive|unify] [--budget-ms=<N>] "
             "[--budget-steps=<N>] [--inject-fault=<phase>@<step>[:once|:<n>]] "
             "[--diagnose] [--diag-json=<file>] [--jobs=<N>] "
-            "[--engine=global|summary] [--query <srcId> <sinkId>]\n"
+            "[--engine=global|summary] [--query <srcId> <sinkId>] "
+            "[--client=<c>[,<c>...]] [--bounds-budget=<pct>]\n"
+            "\n"
+            "  --client=<c>[,<c>...]\n"
+            "                      sanitizer clients to plan and run in one\n"
+            "                      pass: uuv (use of undefined values,\n"
+            "                      default), addrleak (allocated addresses\n"
+            "                      escaping to globals or main's return),\n"
+            "                      bounds (out-of-bounds pointer formation)\n"
+            "  --bounds-budget=<pct>\n"
+            "                      bounds client: budgeted check placement,\n"
+            "                      capping modeled slowdown at <pct>% of\n"
+            "                      native cost (default 0 = unlimited)\n"
             "\n"
             "  --jobs=<N>          worker threads for the parallel analysis\n"
             "                      phases (default 1 = serial; 0 = all\n"
@@ -262,6 +286,25 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
     } else if (Arg.rfind("--jobs=", 0) == 0) {
       if (!parseUInt(Arg.substr(7), Opts.Jobs) || Opts.Jobs > 64)
         return false;
+    } else if (Arg.rfind("--client=", 0) == 0) {
+      std::string_view List = Arg.substr(9);
+      if (List.empty())
+        return false;
+      for (;;) {
+        size_t Comma = List.find(',');
+        core::ClientKind K;
+        if (!core::parseClientName(std::string(List.substr(0, Comma)), K))
+          return false;
+        Opts.Clients.push_back(K);
+        if (Comma == std::string_view::npos)
+          break;
+        List.remove_prefix(Comma + 1);
+      }
+    } else if (Arg.rfind("--bounds-budget=", 0) == 0) {
+      uint64_t Pct;
+      if (!parseUInt(Arg.substr(16), Pct) || Pct > 10000)
+        return false;
+      Opts.BoundsBudgetPercent = static_cast<unsigned>(Pct);
     } else if (Arg.rfind("--budget-ms=", 0) == 0) {
       if (!parseUInt(Arg.substr(12), Opts.Limits.PhaseDeadlineMs))
         return false;
@@ -327,6 +370,44 @@ void reportRun(raw_ostream &OS, const char *Tool,
       OS << W.At->getLoc().Line << ':' << W.At->getLoc().Col << ": ";
     OS << "use of undefined value in "
        << W.At->getParent()->getParent()->getName() << " at \"";
+    W.At->print(OS);
+    OS << "\" (x" << W.Occurrences << ")\n";
+  }
+}
+
+/// Like reportRun, but for one client of a multi-client run: the base
+/// execution facts are shared, the shadow counters and warnings come from
+/// that client's plan.
+void reportClientRun(raw_ostream &OS, std::string_view Tool,
+                     const runtime::ExecutionReport &Rep,
+                     const runtime::PlanReport &PR, const char *WarnText) {
+  OS << '[';
+  OS.leftJustify(Tool, 12);
+  OS << "] ";
+  if (Rep.Reason == runtime::ExitReason::Trap) {
+    OS << "trapped: " << Rep.TrapMessage << '\n';
+    return;
+  }
+  if (Rep.Reason == runtime::ExitReason::StepLimit) {
+    OS << "stopped: step limit exceeded\n";
+    return;
+  }
+  if (Rep.Reason == runtime::ExitReason::Interrupted) {
+    OS << "interrupted after " << Rep.Steps << " steps, shadow ops "
+       << PR.DynShadowOps << ", checks " << PR.DynChecks << '\n';
+    return;
+  }
+  double Slowdown =
+      Rep.BaseCost > 0 ? 100.0 * PR.ShadowCost / Rep.BaseCost : 0.0;
+  OS << "result " << Rep.MainResult << ", slowdown "
+     << static_cast<int>(Slowdown) << "%, shadow ops " << PR.DynShadowOps
+     << ", checks " << PR.DynChecks << '\n';
+  for (const runtime::Warning &W : PR.ToolWarnings) {
+    OS << "  warning: ";
+    if (W.At->getLoc().isValid())
+      OS << W.At->getLoc().Line << ':' << W.At->getLoc().Col << ": ";
+    OS << WarnText << " in " << W.At->getParent()->getParent()->getName()
+       << " at \"";
     W.At->print(OS);
     OS << "\" (x" << W.Occurrences << ")\n";
   }
@@ -438,6 +519,8 @@ int main(int Argc, char **Argv) {
     UO.Limits = Opts.Limits;
     UO.Fault = Opts.Fault;
     UO.Jobs = Jobs;
+    UO.Clients = Opts.Clients;
+    UO.BoundsBudgetPercent = Opts.BoundsBudgetPercent;
     core::UsherResult R = core::runUsher(M, UO);
     if (R.Degradation.Degraded)
       errs() << "note: analysis degraded: " << R.Degradation.summary()
@@ -475,6 +558,15 @@ int main(int Argc, char **Argv) {
            << "realized boundary facts: " << S.Summary.RealizedBoundaryFacts
            << '\n';
       OS << "analysis time:        " << S.AnalysisSeconds * 1000 << " ms\n";
+      for (const core::ClientPlanInfo &CP : R.ClientPlans) {
+        OS << "client " << core::clientName(CP.Kind) << ":       sinks "
+           << CP.SinkCandidates << ", unsafe " << CP.UnsafeSinks
+           << ", checks placed " << CP.ChosenChecks << '\n';
+        if (CP.Kind == core::ClientKind::Bounds && CP.PlacementCapacity)
+          OS << "  placement:          cost " << CP.PlacementCost
+             << " of capacity " << CP.PlacementCapacity
+             << (CP.CapacityBound ? " (capacity-bound)" : "") << '\n';
+      }
     }
     std::unique_ptr<core::StaticDiagnosis> Diag;
     if (Opts.Diagnose && !Opts.Compare) {
@@ -506,7 +598,7 @@ int main(int Argc, char **Argv) {
       }
     }
 
-    if (Opts.Run) {
+    if (Opts.Run && Opts.Clients.empty()) {
       runtime::ExecLimits Limits;
       Limits.Interrupt = &InterruptRaised;
       runtime::ExecutionReport Rep =
@@ -522,9 +614,47 @@ int main(int Argc, char **Argv) {
         OS.flush();
         return ExitInterrupted;
       }
+    } else if (Opts.Run) {
+      // Multi-client: one base execution, one shadow plane per client.
+      // "uuv" maps to the pipeline's own plan; the other clients' plans
+      // come from R.ClientPlans in request order.
+      std::vector<runtime::PlanExec> Plans;
+      size_t NextClientPlan = 0;
+      for (core::ClientKind K : Opts.Clients) {
+        if (K == core::ClientKind::UUV)
+          Plans.push_back({&R.Plan, core::ShadowSemantics()});
+        else
+          Plans.push_back({&R.ClientPlans[NextClientPlan++].Plan,
+                           core::clientShadowSemantics(K)});
+      }
+      runtime::ExecLimits Limits;
+      Limits.Interrupt = &InterruptRaised;
+      runtime::ExecutionReport Rep =
+          runtime::Interpreter(M, std::move(Plans), runtime::CostModel(),
+                               Limits)
+              .run();
+      for (size_t Ci = 0; Ci != Opts.Clients.size(); ++Ci) {
+        core::ClientKind K = Opts.Clients[Ci];
+        std::string Label = std::string(core::toolVariantName(V)) + "/" +
+                            core::clientName(K);
+        reportClientRun(OS, Label, Rep, Rep.PlanResults[Ci],
+                        core::clientWarningText(K));
+        if (!Rep.PlanResults[Ci].ToolWarnings.empty())
+          ExitCode = ExitWarnings;
+      }
+      if (Rep.Reason != runtime::ExitReason::Finished)
+        ExitCode = ExitLimits;
+      if (Rep.Reason == runtime::ExitReason::Interrupted) {
+        OS.flush();
+        return ExitInterrupted;
+      }
     } else if (!Opts.Compare) {
       OS << "static checks kept: " << R.Plan.countChecks()
          << ", shadow ops kept: " << R.Plan.countShadowOps() << '\n';
+      for (const core::ClientPlanInfo &CP : R.ClientPlans)
+        OS << "client " << core::clientName(CP.Kind)
+           << " checks kept: " << CP.Plan.countChecks()
+           << ", shadow ops kept: " << CP.Plan.countShadowOps() << '\n';
     }
   }
   return ExitCode;

@@ -72,6 +72,9 @@ struct ServeOptions {
   bool QueryGiven = false;
   uint64_t QuerySrc = 0;
   uint64_t QuerySink = 0;
+  /// --client-list= selection for analyze requests; forwarded verbatim on
+  /// the wire (the daemon parses and validates the names).
+  std::string Clients;
 };
 
 int usage(const char *Argv0) {
@@ -85,6 +88,7 @@ int usage(const char *Argv0) {
             "         [--inject-fault=<phase>@<step>[:once|:<n>]] [--id=<N>]\n"
             "         [--max-retries=<N>] [--timeout-ms=<N>]\n"
             "         [--query=<srcId>,<sinkId>]\n"
+            "         [--client-list=<c>[,<c>...]]\n"
             "       " << Argv0 << " --list-fault-sites\n"
             "\n"
             "ops: analyze diagnose status ping shutdown query (analyze,\n"
@@ -92,6 +96,9 @@ int usage(const char *Argv0) {
             "query also needs --query=<srcId>,<sinkId> and answers the\n"
             "single VFG reachability question demand-driven, without a\n"
             "whole-program analysis)\n"
+            "\n"
+            "--client-list=uuv,addrleak,bounds asks analyze to plan the\n"
+            "named sanitizer clients over one shared VFG (default: uuv)\n"
             "\n"
             "--engine=summary keys per-function summaries by content hash\n"
             "and persists them in the snapshot store, so an edited module\n"
@@ -166,6 +173,10 @@ bool parseArgs(int Argc, char **Argv, ServeOptions &Opts) {
           Opts.QuerySrc > 0xffffffffull || Opts.QuerySink > 0xffffffffull)
         return false;
       Opts.QueryGiven = true;
+    } else if (Arg.rfind("--client-list=", 0) == 0) {
+      Opts.Clients = std::string(Arg.substr(14));
+      if (Opts.Clients.empty())
+        return false;
     } else if (Arg.rfind("--id=", 0) == 0) {
       if (!parseUInt(Arg.substr(5), Opts.Id))
         return false;
@@ -266,6 +277,13 @@ int runClient(const ServeOptions &Opts) {
     }
     Rq.QuerySrc = static_cast<uint32_t>(Opts.QuerySrc);
     Rq.QuerySink = static_cast<uint32_t>(Opts.QuerySink);
+  }
+  if (!Opts.Clients.empty()) {
+    if (Rq.Kind != Op::Analyze) {
+      errs() << "error: --client-list= only applies to --op=analyze\n";
+      return ExitUsage;
+    }
+    Rq.Clients = Opts.Clients;
   }
 
   ClientOptions CO;
